@@ -1,0 +1,47 @@
+//! Criterion benches of the discrete-event engine: a full parallel
+//! benchmark phase (n compute kernels + one message stream).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mc_memsim::engine::{Activity, ActivityKind, Engine};
+use mc_memsim::fabric::Fabric;
+use mc_topology::{platforms, NumaId};
+
+fn parallel_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/parallel_phase");
+    group.sample_size(20);
+    for p in [platforms::henri(), platforms::diablo()] {
+        let fabric = Fabric::new(&p);
+        let mut acts: Vec<Activity> = (0..p.max_compute_cores())
+            .map(|i| Activity {
+                kind: ActivityKind::Compute {
+                    numa: NumaId::new(0),
+                    bytes_per_pass: 256e6,
+                    pass_overhead: 2e-6,
+                },
+                start: i as f64 * 1.3e-5,
+            })
+            .collect();
+        acts.push(Activity {
+            kind: ActivityKind::CommRecv {
+                numa: NumaId::new(0),
+                msg_bytes: 64e6,
+                handshake: 2e-6,
+                gap: 1e-6,
+            },
+            start: 0.0,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name().to_string()),
+            &acts,
+            |b, acts| {
+                b.iter(|| Engine::new(&fabric).run(black_box(acts), 0.05, 0.3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_phase);
+criterion_main!(benches);

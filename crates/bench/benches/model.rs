@@ -1,0 +1,45 @@
+//! Criterion benches of the analytical model: single predictions, full
+//! placement grids, and the placement advisor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mc_bench::tables::calibrated_model;
+use mc_membench::{sweep_platform, BenchConfig};
+use mc_model::{rank, PhaseProfile};
+use mc_topology::{platforms, NumaId};
+
+fn model_benches(c: &mut Criterion) {
+    let platform = platforms::henri_subnuma();
+    let sweep = sweep_platform(&platform, BenchConfig::default());
+    let model = calibrated_model(&platform, &sweep);
+
+    c.bench_function("model/predict_one", |b| {
+        b.iter(|| model.predict(black_box(12), NumaId::new(1), NumaId::new(2)))
+    });
+
+    c.bench_function("model/predict_full_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (m_comp, m_comm) in model.placements() {
+                for n in 1..=17 {
+                    let p = model.predict(n, m_comp, m_comm);
+                    acc += p.comp + p.comm;
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    let phase = PhaseProfile {
+        compute_bytes: 40e9,
+        comm_bytes: 10e9,
+        max_cores: 17,
+    };
+    c.bench_function("model/advisor_rank", |b| {
+        b.iter(|| rank(black_box(&model), black_box(&phase)))
+    });
+}
+
+criterion_group!(benches, model_benches);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches of the MPI-layer simulator: point-to-point streams
+//! and collectives over the simulated fabric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mc_mpisim::{allreduce_ring, barrier, broadcast, Tag, World};
+use mc_topology::{platforms, NumaId};
+
+fn point_to_point(c: &mut Criterion) {
+    let platform = platforms::henri();
+    c.bench_function("mpi/pingpong_64mib", |b| {
+        b.iter(|| {
+            let mut w = World::pair(&platform);
+            let r = w.irecv(0, 1, NumaId::new(0), 64 << 20, Tag(0)).unwrap();
+            w.isend(1, 0, NumaId::new(0), 64 << 20, Tag(0)).unwrap();
+            black_box(w.wait(r).unwrap())
+        })
+    });
+
+    c.bench_function("mpi/overlapped_iteration", |b| {
+        b.iter(|| {
+            let mut w = World::pair(&platform);
+            let r = w.irecv(0, 1, NumaId::new(0), 64 << 20, Tag(0)).unwrap();
+            w.isend(1, 0, NumaId::new(0), 64 << 20, Tag(0)).unwrap();
+            let j = w.start_compute(0, NumaId::new(0), 17, 256 << 20).unwrap();
+            w.wait_job(j).unwrap();
+            black_box(w.wait(r).unwrap())
+        })
+    });
+}
+
+fn collectives(c: &mut Criterion) {
+    let platform = platforms::henri();
+    let mut group = c.benchmark_group("mpi/collectives");
+    for &ranks in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("barrier", ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                let mut w = World::homogeneous(&platform, p);
+                black_box(barrier(&mut w, NumaId::new(0)).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("broadcast_8mib", ranks), &ranks, |b, &p| {
+            b.iter(|| {
+                let mut w = World::homogeneous(&platform, p);
+                black_box(broadcast(&mut w, 0, NumaId::new(0), 8 << 20).unwrap())
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_ring_64mib", ranks),
+            &ranks,
+            |b, &p| {
+                b.iter(|| {
+                    let mut w = World::homogeneous(&platform, p);
+                    black_box(allreduce_ring(&mut w, NumaId::new(0), 64 << 20).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, point_to_point, collectives);
+criterion_main!(benches);

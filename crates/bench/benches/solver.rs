@@ -1,0 +1,43 @@
+//! Criterion benches of the tiered max-min solver — the innermost kernel
+//! of the simulator (invoked at every discrete event).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mc_memsim::fabric::Fabric;
+use mc_memsim::solver::{allocate, FlowReq};
+use mc_topology::{platforms, NumaId};
+
+fn bench_raw_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/allocate");
+    for &n in &[4usize, 16, 64, 256] {
+        let mut flows: Vec<FlowReq> = (0..n).map(|_| FlowReq::cpu(vec![0], 5.6)).collect();
+        flows.push(FlowReq::dma(vec![0, 1, 2], 11.3, 2.8));
+        let caps = [80.0, 13.8, 11.3];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, flows| {
+            b.iter(|| allocate(black_box(&caps), black_box(flows)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fabric_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/fabric_solve");
+    for p in platforms::all() {
+        let fabric = Fabric::new(&p);
+        let streams = Fabric::benchmark_streams(
+            p.max_compute_cores(),
+            Some(NumaId::new(0)),
+            Some(NumaId::new(0)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name().to_string()),
+            &streams,
+            |b, streams| b.iter(|| fabric.solve(black_box(streams))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_allocate, bench_fabric_solve);
+criterion_main!(benches);

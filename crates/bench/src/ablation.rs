@@ -1,0 +1,114 @@
+//! Ablation study: score the paper's model against the baseline
+//! predictors of [`mc_model::baselines`] on every platform. This quantifies
+//! what each model ingredient buys — contention awareness, CPU priority +
+//! communication floor, and the two-instantiation NUMA combination.
+
+use mc_membench::{sweep_platform_parallel, BenchConfig};
+use mc_model::{EqualShareBaseline, LocalOnlyBaseline, NoContentionBaseline};
+use mc_topology::platforms;
+
+use crate::tables::{calibrated_model, evaluate_predictor};
+
+/// One platform's ablation scores (average MAPE over comm and comp, %).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Platform name.
+    pub platform: String,
+    /// The paper's full model.
+    pub model: f64,
+    /// No-contention (perfect overlap) baseline.
+    pub no_contention: f64,
+    /// Equal-share (no priority, no floor) baseline.
+    pub equal_share: f64,
+    /// Local-instantiation-only (no eqs. 6–7) baseline.
+    pub local_only: f64,
+}
+
+/// Run the ablation on every platform.
+pub fn ablation_rows(config: BenchConfig) -> Vec<AblationRow> {
+    platforms::all()
+        .iter()
+        .map(|p| {
+            let sweep = sweep_platform_parallel(p, config);
+            let model = calibrated_model(p, &sweep);
+            let e_model = evaluate_predictor(p, &sweep, &model);
+            let e_none =
+                evaluate_predictor(p, &sweep, &NoContentionBaseline::new(model.clone()));
+            let e_equal =
+                evaluate_predictor(p, &sweep, &EqualShareBaseline::new(model.clone()));
+            let e_local = evaluate_predictor(p, &sweep, &LocalOnlyBaseline::new(model));
+            AblationRow {
+                platform: p.name().to_string(),
+                model: e_model.average,
+                no_contention: e_none.average,
+                equal_share: e_equal.average,
+                local_only: e_local.average,
+            }
+        })
+        .collect()
+}
+
+/// Render the ablation table.
+pub fn ablation_table(config: BenchConfig) -> String {
+    let rows = ablation_rows(config);
+    let mut out = String::from(
+        "ABLATION — AVERAGE PREDICTION ERROR (MAPE, %) OF THE MODEL VS BASELINES\n",
+    );
+    out.push_str(&format!(
+        "{:<15} {:>10} {:>15} {:>13} {:>12}\n",
+        "Platform", "Model", "No-contention", "Equal-share", "Local-only"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<15} {:>9.2}% {:>14.2}% {:>12.2}% {:>11.2}%\n",
+            r.platform, r.model, r.no_contention, r.equal_share, r.local_only
+        ));
+    }
+    let n = rows.len() as f64;
+    out.push_str(&format!(
+        "{:<15} {:>9.2}% {:>14.2}% {:>12.2}% {:>11.2}%\n",
+        "Average",
+        rows.iter().map(|r| r.model).sum::<f64>() / n,
+        rows.iter().map(|r| r.no_contention).sum::<f64>() / n,
+        rows.iter().map(|r| r.equal_share).sum::<f64>() / n,
+        rows.iter().map(|r| r.local_only).sum::<f64>() / n,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_beats_every_baseline_on_average() {
+        let rows = ablation_rows(BenchConfig::default());
+        let n = rows.len() as f64;
+        let avg = |f: &dyn Fn(&AblationRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
+        let model = avg(&|r| r.model);
+        assert!(model < avg(&|r| r.no_contention), "vs no-contention");
+        assert!(model < avg(&|r| r.equal_share), "vs equal-share");
+        assert!(model < avg(&|r| r.local_only), "vs local-only");
+    }
+
+    #[test]
+    fn contention_aware_models_beat_no_contention_where_contention_exists() {
+        let rows = ablation_rows(BenchConfig::default());
+        // henri-subnuma has the strongest contention: ignoring it must hurt
+        // badly there.
+        let subnuma = rows.iter().find(|r| r.platform == "henri-subnuma").unwrap();
+        assert!(
+            subnuma.no_contention > 3.0 * subnuma.model,
+            "{subnuma:?}"
+        );
+    }
+
+    #[test]
+    fn local_only_hurts_most_on_locality_sensitive_platforms() {
+        let rows = ablation_rows(BenchConfig::default());
+        let diablo = rows.iter().find(|r| r.platform == "diablo").unwrap();
+        // diablo's remote comm bandwidth is ~2x its local one; a single
+        // local instantiation cannot represent that.
+        assert!(diablo.local_only > 2.0 * diablo.model, "{diablo:?}");
+    }
+}

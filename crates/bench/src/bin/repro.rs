@@ -1,0 +1,190 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # everything, into ./out/
+//! repro table1 table2       # just the tables (stdout + files)
+//! repro fig2 fig3 ... fig8  # figures (SVG + CSV into ./out/)
+//! repro ablation            # model-vs-baselines ablation table
+//! repro sensitivity         # kernel/pattern sensitivity study (henri)
+//! repro calibrate           # print the calibrated parameters per platform
+//! repro --out DIR ...       # choose the output directory
+//! repro --event-driven ...  # measure with the discrete-event engine
+//! repro --exact ...         # disable measurement noise
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mc_bench::figures::{figure1, figure2, placement_grid, predictions_csv, FIGURE_PLATFORMS};
+use mc_bench::tables::{table1, table2};
+use mc_membench::{Backend, BenchConfig};
+use mc_topology::platforms;
+
+fn usage() -> &'static str {
+    "usage: repro [--out DIR] [--event-driven] [--exact] \
+     [all|table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|sensitivity|calibrate|timeline|msgsize|heatmap|gantt|dualsocket]..."
+}
+
+fn write(out_dir: &Path, name: &str, content: &str) {
+    let path = out_dir.join(name);
+    fs::write(&path, content).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn run_figure(fig: u8, config: BenchConfig, out_dir: &Path) {
+    let name = FIGURE_PLATFORMS
+        .iter()
+        .find(|(f, _)| *f == fig)
+        .map(|(_, n)| *n)
+        .unwrap_or_else(|| panic!("no platform for figure {fig}"));
+    let platform = platforms::by_name(name).expect("known platform");
+    let (grid, sweep) = placement_grid(&platform, config);
+    let cell = if platform.topology.numa_count() > 2 {
+        (280.0, 200.0)
+    } else {
+        (360.0, 260.0)
+    };
+    write(
+        out_dir,
+        &format!("fig{fig}_{name}.svg"),
+        &grid.render(cell.0, cell.1).render(),
+    );
+    write(out_dir, &format!("fig{fig}_{name}_measured.csv"), &sweep.to_csv());
+    write(
+        out_dir,
+        &format!("fig{fig}_{name}_predicted.csv"),
+        &predictions_csv(&platform, &sweep),
+    );
+}
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("out");
+    let mut config = BenchConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--event-driven" => config.backend = Backend::EventDriven,
+            "--exact" => config.noisy = false,
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            t if !t.starts_with('-') => targets.push(t.to_string()),
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let all = targets.iter().any(|t| t == "all");
+    let wants = |t: &str| all || targets.iter().any(|x| x == t);
+
+    if wants("table1") {
+        let t = table1();
+        println!("{t}");
+        write(&out_dir, "table1.txt", &t);
+    }
+    if wants("fig1") {
+        let f = figure1();
+        write(&out_dir, "fig1_topologies.txt", &f);
+    }
+    if wants("fig2") {
+        let data = figure2(config);
+        write(&out_dir, "fig2_stacked.svg", &data.render(720.0, 460.0).render());
+        let mut csv = String::from("n_cores,comp_par,comm_par,comp_alone\n");
+        for i in 0..data.n_cores.len() {
+            csv.push_str(&format!(
+                "{},{:.6},{:.6},{:.6}\n",
+                data.n_cores[i], data.comp_par[i], data.comm_par[i], data.comp_alone[i]
+            ));
+        }
+        write(&out_dir, "fig2_stacked.csv", &csv);
+    }
+    for fig in 3u8..=8 {
+        if wants(&format!("fig{fig}")) {
+            run_figure(fig, config, &out_dir);
+        }
+    }
+    if wants("table2") {
+        let t = table2(config);
+        println!("{t}");
+        write(&out_dir, "table2.txt", &t);
+    }
+    if wants("ablation") {
+        let t = mc_bench::ablation::ablation_table(config);
+        println!("{t}");
+        write(&out_dir, "ablation.txt", &t);
+    }
+    if wants("heatmap") {
+        for name in ["henri", "pyxis", "henri-subnuma"] {
+            let p = platforms::by_name(name).expect("known platform");
+            let hm = mc_bench::figures::error_heatmap(&p, config);
+            write(
+                &out_dir,
+                &format!("extra_heatmap_{name}.svg"),
+                &hm.render(86.0).render(),
+            );
+        }
+    }
+    if wants("timeline") {
+        let chart = mc_bench::figures::timeline_figure();
+        write(
+            &out_dir,
+            "extra_timeline.svg",
+            &chart.render(820.0, 420.0).render(),
+        );
+    }
+    if wants("gantt") {
+        let gantt = mc_bench::figures::overlap_gantt();
+        write(&out_dir, "extra_gantt.svg", &gantt.render(860.0).render());
+    }
+    if wants("msgsize") {
+        let mut cfg = config;
+        cfg.backend = Backend::EventDriven;
+        let t = mc_bench::msgsize::msgsize_table("henri", cfg);
+        println!("{t}");
+        write(&out_dir, "msgsize.txt", &t);
+    }
+    if wants("dualsocket") {
+        let t = mc_bench::dualsocket::dual_socket_table("henri");
+        println!("{t}");
+        write(&out_dir, "dualsocket.txt", &t);
+    }
+    if wants("sensitivity") {
+        let t = mc_bench::sensitivity::sensitivity_table("henri", config);
+        println!("{t}");
+        write(&out_dir, "sensitivity.txt", &t);
+    }
+    if wants("calibrate") {
+        let mut out = String::from("CALIBRATED MODEL PARAMETERS PER PLATFORM\n");
+        for p in platforms::all() {
+            let sweep = mc_membench::sweep_platform_parallel(&p, config);
+            let model = mc_bench::tables::calibrated_model(&p, &sweep);
+            out.push_str(&format!(
+                "{}\n  M_local : {}\n  M_remote: {}\n",
+                p.name(),
+                model.local().params(),
+                model.remote().params()
+            ));
+        }
+        println!("{out}");
+        write(&out_dir, "calibration.txt", &out);
+    }
+
+    ExitCode::SUCCESS
+}

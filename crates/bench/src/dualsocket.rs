@@ -1,0 +1,145 @@
+//! Dual-socket compute study — the configuration the paper's §II-B leaves
+//! for future work: computing cores of *all* sockets accessing the same
+//! NUMA node, mixing local and remote accesses.
+//!
+//! For a given total core count the study compares (a) all cores on the
+//! compute socket versus (b) the cores split evenly across both sockets,
+//! both writing to NUMA node 0 while the NIC receives into it.
+
+use mc_memsim::fabric::{Fabric, StreamSpec};
+use mc_topology::{platforms, NumaId, Platform, SocketId};
+
+/// One row of the study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualSocketRow {
+    /// Total computing cores.
+    pub total_cores: usize,
+    /// Compute bandwidth with all cores on socket 0, GB/s.
+    pub comp_single: f64,
+    /// Communication bandwidth in that configuration, GB/s.
+    pub comm_single: f64,
+    /// Compute bandwidth with the cores split across both sockets, GB/s.
+    pub comp_split: f64,
+    /// Communication bandwidth in that configuration, GB/s.
+    pub comm_split: f64,
+}
+
+fn streams_single(n: usize, numa: NumaId) -> Vec<StreamSpec> {
+    let mut v: Vec<StreamSpec> = (0..n).map(|_| StreamSpec::CpuWrite { numa }).collect();
+    v.push(StreamSpec::DmaRecv { numa });
+    v
+}
+
+fn streams_split(n: usize, numa: NumaId) -> Vec<StreamSpec> {
+    let half = n / 2;
+    let mut v: Vec<StreamSpec> = (0..half)
+        .map(|_| StreamSpec::CpuWriteFrom {
+            socket: SocketId::new(0),
+            numa,
+        })
+        .collect();
+    v.extend((0..n - half).map(|_| StreamSpec::CpuWriteFrom {
+        socket: SocketId::new(1),
+        numa,
+    }));
+    v.push(StreamSpec::DmaRecv { numa });
+    v
+}
+
+/// Run the study on one platform for even total core counts up to both
+/// sockets' worth of cores.
+pub fn dual_socket_rows(platform: &Platform) -> Vec<DualSocketRow> {
+    let fabric = Fabric::new(platform);
+    let numa = NumaId::new(0);
+    let per_socket = platform.max_compute_cores();
+    (1..=per_socket)
+        .filter(|n| n % 2 == 0)
+        .map(|n| {
+            let single = streams_single(n, numa);
+            let split = streams_split(n, numa);
+            let s = fabric.solve(&single);
+            let p = fabric.solve(&split);
+            DualSocketRow {
+                total_cores: n,
+                comp_single: s.cpu_total(&single),
+                comm_single: s.dma_total(&single),
+                comp_split: p.cpu_total(&split),
+                comm_split: p.dma_total(&split),
+            }
+        })
+        .collect()
+}
+
+/// Render the study.
+pub fn dual_socket_table(name: &str) -> String {
+    let platform = platforms::by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"));
+    let rows = dual_socket_rows(&platform);
+    let mut out = format!(
+        "DUAL-SOCKET COMPUTE STUDY — {} (all data on numa0, NIC receiving)\n",
+        platform.name()
+    );
+    out.push_str(&format!(
+        "{:>6} {:>24} {:>24}\n",
+        "cores", "single socket", "split across sockets"
+    ));
+    out.push_str(&format!(
+        "{:>6} {:>12} {:>11} {:>12} {:>11}\n",
+        "", "comp GB/s", "comm GB/s", "comp GB/s", "comm GB/s"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:>6} {:>12.1} {:>11.2} {:>12.1} {:>11.2}\n",
+            r.total_cores, r.comp_single, r.comm_single, r.comp_split, r.comm_split
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_never_beats_single_socket_into_a_local_node() {
+        // Writing to socket 0's node: the split configuration pays the
+        // inter-socket hop for half its cores, so its compute bandwidth
+        // can match but never exceed the single-socket one.
+        for r in dual_socket_rows(&platforms::henri()) {
+            assert!(
+                r.comp_split <= r.comp_single + 1e-6,
+                "{} cores: split {} > single {}",
+                r.total_cores,
+                r.comp_split,
+                r.comp_single
+            );
+        }
+    }
+
+    #[test]
+    fn split_matches_single_when_unsaturated() {
+        // Few cores: nothing saturates, both configurations deliver the
+        // per-core demand (the split one at the remote rate for half).
+        let rows = dual_socket_rows(&platforms::henri());
+        let r = rows.iter().find(|r| r.total_cores == 2).unwrap();
+        assert!((r.comp_single - 2.0 * 5.6).abs() < 1e-6);
+        assert!((r.comp_split - (5.6 + 4.4)).abs() < 1e-6);
+        // And the NIC keeps its nominal bandwidth in both.
+        assert!((r.comm_single - r.comm_split).abs() < 0.5);
+    }
+
+    #[test]
+    fn comm_is_squeezed_in_both_configurations_at_full_load() {
+        let rows = dual_socket_rows(&platforms::henri());
+        let r = rows.last().unwrap();
+        let nominal = rows[0].comm_single;
+        assert!(r.comm_single < 0.5 * nominal);
+        assert!(r.comm_split < 0.7 * nominal);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = dual_socket_table("henri");
+        assert!(t.contains("DUAL-SOCKET"));
+        assert!(t.lines().count() > 5);
+    }
+}

@@ -1,0 +1,14 @@
+//! # mc-bench — reproduction harness
+//!
+//! Regenerates every table and figure of the paper's evaluation against the
+//! simulated platforms, and hosts the criterion performance benches.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablation;
+pub mod dualsocket;
+pub mod msgsize;
+pub mod sensitivity;
+pub mod figures;
+pub mod tables;

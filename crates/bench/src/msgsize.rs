@@ -1,0 +1,131 @@
+//! Message-size study.
+//!
+//! The paper fixes 64 MB messages ("big messages are exchanged" maximises
+//! contention) and notes (§IV-C1) that the model parameters are only valid
+//! for the calibrated message size. This study sweeps the message size on
+//! the event-driven backend — where rendezvous handshakes and inter-message
+//! gaps really cost time — and shows that (a) smaller messages observe less
+//! network bandwidth and exert less memory pressure, and (b) the model
+//! recalibrated per size keeps working.
+
+use mc_membench::{calibration_placements, sweep_platform_parallel, BenchConfig};
+use mc_model::{evaluate, ContentionModel};
+use mc_topology::{platforms, Platform, SocketId};
+
+/// One message size's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MsgSizeRow {
+    /// Message size in bytes.
+    pub msg_bytes: u64,
+    /// Observed communication bandwidth alone, GB/s.
+    pub comm_alone: f64,
+    /// Fraction kept at full compute load, local placement.
+    pub comm_kept: f64,
+    /// Recalibrated model's average error, %.
+    pub model_error: f64,
+}
+
+/// The sizes swept: 256 KiB to 64 MiB.
+pub const SIZES: [u64; 5] = [256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20];
+
+/// Run the study on one platform.
+pub fn msgsize_rows(platform: &Platform, base: BenchConfig) -> Vec<MsgSizeRow> {
+    let local = platform.topology.first_numa_of(SocketId::new(0));
+    let n_full = platform.max_compute_cores();
+    SIZES
+        .iter()
+        .map(|&msg_bytes| {
+            let mut config = base;
+            config.msg_bytes = msg_bytes;
+            let sweep = sweep_platform_parallel(platform, config);
+            let placement = sweep.placement(local, local).expect("local measured");
+            let full = placement
+                .points
+                .iter()
+                .find(|p| p.n_cores == n_full)
+                .expect("full-load point");
+            let (s_local, s_remote) = calibration_placements(platform);
+            let model = ContentionModel::calibrate(
+                &platform.topology,
+                sweep.placement(s_local.0, s_local.1).expect("local sample"),
+                sweep
+                    .placement(s_remote.0, s_remote.1)
+                    .expect("remote sample"),
+            )
+            .expect("calibration succeeds");
+            let error = evaluate(&model, &sweep, &[s_local, s_remote]).average;
+            MsgSizeRow {
+                msg_bytes,
+                comm_alone: placement.comm_alone_mean(),
+                comm_kept: full.comm_par / placement.comm_alone_mean(),
+                model_error: error,
+            }
+        })
+        .collect()
+}
+
+/// Render the study.
+pub fn msgsize_table(name: &str, base: BenchConfig) -> String {
+    let platform = platforms::by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"));
+    let rows = msgsize_rows(&platform, base);
+    let mut out = format!(
+        "MESSAGE-SIZE STUDY — {} (local placement, full compute load)\n",
+        platform.name()
+    );
+    out.push_str(&format!(
+        "{:>12} {:>14} {:>12} {:>12}\n",
+        "msg size", "comm alone", "comm kept", "model error"
+    ));
+    for r in &rows {
+        let size = if r.msg_bytes >= 1 << 20 {
+            format!("{} MiB", r.msg_bytes >> 20)
+        } else {
+            format!("{} KiB", r.msg_bytes >> 10)
+        };
+        out.push_str(&format!(
+            "{size:>12} {:>9.2} GB/s {:>11.0}% {:>11.2}%\n",
+            r.comm_alone,
+            100.0 * r.comm_kept,
+            r.model_error
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_bandwidth_grows_with_message_size() {
+        let p = platforms::by_name("henri").unwrap();
+        // Event-driven: handshakes and gaps actually cost time.
+        let mut cfg = BenchConfig::event_driven();
+        cfg.noisy = false;
+        let rows = msgsize_rows(&p, cfg);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].comm_alone >= w[0].comm_alone * 0.999,
+                "alone bandwidth should grow with size: {:?}",
+                rows.iter().map(|r| r.comm_alone).collect::<Vec<_>>()
+            );
+        }
+        // 64 MiB messages approach the nominal EDR rate.
+        assert!(rows.last().unwrap().comm_alone > 10.5);
+    }
+
+    #[test]
+    fn model_recalibrated_per_size_stays_accurate() {
+        let p = platforms::by_name("henri").unwrap();
+        let mut cfg = BenchConfig::event_driven();
+        cfg.noisy = false;
+        for r in msgsize_rows(&p, cfg) {
+            assert!(
+                r.model_error < 6.0,
+                "{} MiB: {:.2} %",
+                r.msg_bytes >> 20,
+                r.model_error
+            );
+        }
+    }
+}

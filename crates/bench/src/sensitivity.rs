@@ -1,0 +1,152 @@
+//! Sensitivity study: how contention and model accuracy vary with the
+//! compute kernel and the communication pattern — the dimensions the
+//! paper's §IV-C1 scopes its validity to and §VI proposes as future work.
+
+use mc_membench::{
+    calibration_placements, sweep_platform_parallel, BenchConfig, CommPattern, ComputeKernel,
+};
+use mc_model::{evaluate, ContentionModel};
+use mc_topology::{platforms, Platform, SocketId};
+
+/// One configuration's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityRow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Communication pattern.
+    pub pattern: CommPattern,
+    /// Fraction of the nominal communication bandwidth kept at full
+    /// compute load in the local placement (1.0 = no contention).
+    pub comm_kept: f64,
+    /// Fraction of the compute-alone bandwidth kept at full load.
+    pub comp_kept: f64,
+    /// Average model error after recalibration for this configuration, %.
+    pub model_error: f64,
+}
+
+/// Run the study on one platform.
+pub fn sensitivity_rows(platform: &Platform, base: BenchConfig) -> Vec<SensitivityRow> {
+    let kernels = [
+        ComputeKernel::compute_bound(2.0),
+        ComputeKernel::memset_nt(),
+        ComputeKernel::copy_nt(),
+        ComputeKernel::triad_nt(),
+    ];
+    let patterns = [CommPattern::RecvOnly, CommPattern::PingPong];
+    let local = platform.topology.first_numa_of(SocketId::new(0));
+    let n_full = platform.max_compute_cores();
+
+    let mut rows = Vec::new();
+    for kernel in kernels {
+        for pattern in patterns {
+            let config = base.with_kernel(kernel).with_pattern(pattern);
+            let sweep = sweep_platform_parallel(platform, config);
+            let placement = sweep
+                .placement(local, local)
+                .expect("local placement measured");
+            let last = placement
+                .points
+                .iter()
+                .find(|p| p.n_cores == n_full)
+                .expect("full-load point measured");
+            let (s_local, s_remote) = calibration_placements(platform);
+            let model = ContentionModel::calibrate(
+                &platform.topology,
+                sweep.placement(s_local.0, s_local.1).expect("local sample"),
+                sweep
+                    .placement(s_remote.0, s_remote.1)
+                    .expect("remote sample"),
+            )
+            .expect("calibration succeeds");
+            let error = evaluate(&model, &sweep, &[s_local, s_remote]).average;
+            rows.push(SensitivityRow {
+                kernel: kernel.name(),
+                pattern,
+                comm_kept: last.comm_par / placement.comm_alone_mean(),
+                comp_kept: last.comp_par / last.comp_alone,
+                model_error: error,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the study for one platform.
+pub fn sensitivity_table(name: &str, base: BenchConfig) -> String {
+    let platform = platforms::by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"));
+    let rows = sensitivity_rows(&platform, base);
+    let mut out = format!(
+        "KERNEL / PATTERN SENSITIVITY — {} (full compute load, local placement)\n",
+        platform.name()
+    );
+    out.push_str(&format!(
+        "{:<16} {:<10} {:>10} {:>10} {:>12}\n",
+        "kernel", "pattern", "comm kept", "comp kept", "model error"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<16} {:<10} {:>9.0}% {:>9.0}% {:>11.2}%\n",
+            r.kernel,
+            format!("{:?}", r.pattern),
+            100.0 * r.comm_kept,
+            100.0 * r.comp_kept,
+            r.model_error
+        ));
+    }
+    out
+}
+
+/// NUMA node helper for tests.
+#[cfg(test)]
+fn n(i: u16) -> mc_topology::NumaId {
+    mc_topology::NumaId::new(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_grows_with_kernel_traffic() {
+        let p = platforms::by_name("henri").unwrap();
+        let rows = sensitivity_rows(&p, BenchConfig::default());
+        let kept = |kernel: &str| -> f64 {
+            rows.iter()
+                .find(|r| r.kernel == kernel && r.pattern == CommPattern::RecvOnly)
+                .expect("row present")
+                .comm_kept
+        };
+        assert!(kept("compute-bound") > kept("memset-nt"));
+        assert!(kept("memset-nt") >= kept("copy-nt") - 0.05);
+        assert!(kept("copy-nt") >= kept("triad-nt") - 0.05);
+    }
+
+    #[test]
+    fn recalibrated_model_stays_accurate_across_the_grid() {
+        let p = platforms::by_name("henri").unwrap();
+        let rows = sensitivity_rows(&p, BenchConfig::default());
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(
+                r.model_error < 6.0,
+                "{} / {:?}: {:.2} %",
+                r.kernel,
+                r.pattern,
+                r.model_error
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = sensitivity_table("henri", BenchConfig::default());
+        assert_eq!(t.matches("RecvOnly").count(), 4);
+        assert_eq!(t.matches("PingPong").count(), 4);
+        assert!(t.contains("triad-nt"));
+    }
+
+    #[test]
+    fn numa_helper() {
+        assert_eq!(n(2).index(), 2);
+    }
+}

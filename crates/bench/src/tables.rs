@@ -1,0 +1,180 @@
+//! Table generators: Table I (testbed characteristics) and Table II
+//! (model errors per platform).
+
+use mc_membench::{calibration_placements, sweep_platform_parallel, BenchConfig};
+use mc_model::{evaluate, BandwidthPredictor, ContentionModel, ErrorBreakdown};
+use mc_topology::{platforms, Platform};
+
+/// Render Table I: one row per platform, matching the paper's columns.
+pub fn table1() -> String {
+    let mut out = String::new();
+    out.push_str("TABLE I — CHARACTERISTICS OF TESTBED PLATFORMS\n");
+    out.push_str(&format!(
+        "{:<15} {:<42} {:<28} {:<16}\n",
+        "Name", "Processor", "Memory", "Network"
+    ));
+    for p in platforms::all() {
+        let topo = &p.topology;
+        let total_mem: u32 = topo.numa_nodes.iter().map(|n| n.memory_gb).sum();
+        out.push_str(&format!(
+            "{:<15} {:<42} {:<28} {:<16}\n",
+            p.name(),
+            format!(
+                "{} x {} with {} cores",
+                topo.sockets.len(),
+                topo.sockets[0].processor,
+                topo.sockets[0].cores
+            ),
+            format!("{} GB of RAM, {} NUMA nodes", total_mem, topo.numa_count()),
+            topo.nic.tech.to_string()
+        ));
+    }
+    out
+}
+
+/// Full evaluation of one platform: measure every placement, calibrate the
+/// model from the two sample placements, score predictions.
+pub fn evaluate_platform(platform: &Platform, config: BenchConfig) -> ErrorBreakdown {
+    let sweep = sweep_platform_parallel(platform, config);
+    evaluate_from_sweep(platform, &sweep)
+}
+
+/// Same, reusing an existing full sweep.
+pub fn evaluate_from_sweep(
+    platform: &Platform,
+    sweep: &mc_membench::PlatformSweep,
+) -> ErrorBreakdown {
+    let model = calibrated_model(platform, sweep);
+    let samples = [
+        calibration_placements(platform).0,
+        calibration_placements(platform).1,
+    ];
+    evaluate(&model, sweep, &samples)
+}
+
+/// Calibrate the paper's model from the two sample placements of a full
+/// sweep.
+pub fn calibrated_model(
+    platform: &Platform,
+    sweep: &mc_membench::PlatformSweep,
+) -> ContentionModel {
+    let ((lc, lm), (rc, rm)) = calibration_placements(platform);
+    let local = sweep
+        .placement(lc, lm)
+        .expect("local calibration placement measured");
+    let remote = sweep
+        .placement(rc, rm)
+        .expect("remote calibration placement measured");
+    ContentionModel::calibrate(&platform.topology, local, remote)
+        .expect("calibration succeeds on measured sweeps")
+}
+
+/// Evaluate an arbitrary predictor built from the calibrated model (used
+/// for the baseline ablations).
+pub fn evaluate_predictor(
+    platform: &Platform,
+    sweep: &mc_membench::PlatformSweep,
+    predictor: &dyn BandwidthPredictor,
+) -> ErrorBreakdown {
+    let samples = [
+        calibration_placements(platform).0,
+        calibration_placements(platform).1,
+    ];
+    evaluate(predictor, sweep, &samples)
+}
+
+/// Render Table II for all six platforms, with the per-column averages of
+/// the paper's last row.
+pub fn table2(config: BenchConfig) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE II — MODEL ERRORS ON TESTBED PLATFORMS (MAPE, %)\n");
+    out.push_str(&format!(
+        "{:<15} {:>12} {:>16} {:>8} {:>12} {:>16} {:>8} {:>9}\n",
+        "Platform",
+        "Comm/Sample",
+        "Comm/non-Sample",
+        "Comm",
+        "Comp/Sample",
+        "Comp/non-Sample",
+        "Comp",
+        "Average"
+    ));
+    let mut rows = Vec::new();
+    for p in platforms::all() {
+        let e = evaluate_platform(&p, config);
+        out.push_str(&format_row(p.name(), &e));
+        rows.push(e);
+    }
+    let n = rows.len() as f64;
+    let avg = ErrorBreakdown {
+        comm_samples: rows.iter().map(|e| e.comm_samples).sum::<f64>() / n,
+        comm_non_samples: rows.iter().map(|e| e.comm_non_samples).sum::<f64>() / n,
+        comm_all: rows.iter().map(|e| e.comm_all).sum::<f64>() / n,
+        comp_samples: rows.iter().map(|e| e.comp_samples).sum::<f64>() / n,
+        comp_non_samples: rows.iter().map(|e| e.comp_non_samples).sum::<f64>() / n,
+        comp_all: rows.iter().map(|e| e.comp_all).sum::<f64>() / n,
+        average: rows.iter().map(|e| e.average).sum::<f64>() / n,
+    };
+    out.push_str(&format_row("Average", &avg));
+    out
+}
+
+fn format_row(name: &str, e: &ErrorBreakdown) -> String {
+    format!(
+        "{:<15} {:>11.2}% {:>15.2}% {:>7.2}% {:>11.2}% {:>15.2}% {:>7.2}% {:>8.2}%\n",
+        name,
+        e.comm_samples,
+        e.comm_non_samples,
+        e.comm_all,
+        e.comp_samples,
+        e.comp_non_samples,
+        e.comp_all,
+        e.average
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_platforms() {
+        let t = table1();
+        for name in ["henri", "henri-subnuma", "dahu", "diablo", "pyxis", "occigen"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+        assert!(t.contains("Omni-Path"));
+    }
+
+    #[test]
+    fn henri_errors_are_low() {
+        let e = evaluate_platform(&platforms::henri(), BenchConfig::default());
+        assert!(e.average < 3.0, "{e:?}");
+    }
+
+    #[test]
+    fn table2_reproduces_the_papers_error_structure() {
+        // The paper's Table II: average error ≈ 2.5 %, occigen by far the
+        // cleanest, pyxis the worst (driven by non-sample communication
+        // error ≈ 13 %), computations predicted better than communications.
+        let cfg = BenchConfig::default();
+        let by_name = |n: &str| evaluate_platform(&platforms::by_name(n).unwrap(), cfg);
+        let occigen = by_name("occigen");
+        let pyxis = by_name("pyxis");
+        let henri = by_name("henri");
+        let diablo = by_name("diablo");
+
+        assert!(occigen.average < 0.3, "occigen {occigen:?}");
+        assert!(
+            (8.0..20.0).contains(&pyxis.comm_non_samples),
+            "pyxis {pyxis:?}"
+        );
+        assert!(pyxis.average > occigen.average);
+        assert!(henri.average < 3.0, "henri {henri:?}");
+        assert!(diablo.average < 3.0, "diablo {diablo:?}");
+        // Communications are harder to predict than computations (paper:
+        // 3.09 % vs 1.94 % overall).
+        assert!(pyxis.comm_all > pyxis.comp_all);
+        assert!(henri.comm_all > henri.comp_all);
+    }
+}

@@ -1,0 +1,170 @@
+//! Hand-rolled argument parsing (keeps the dependency set to the approved
+//! crates; the grammar is small enough that a parser library would be
+//! heavier than the parser).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs, keys without the leading dashes.
+    pub options: BTreeMap<String, String>,
+}
+
+/// CLI errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand given.
+    NoCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A flag is missing its value.
+    MissingValue(String),
+    /// A required option is absent.
+    MissingOption(&'static str),
+    /// An option value failed to parse.
+    BadValue(&'static str, String),
+    /// Unknown platform name.
+    UnknownPlatform(String),
+    /// Reading or parsing a model file failed.
+    Model(String),
+    /// Unexpected positional argument.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::NoCommand => write!(f, "no subcommand given"),
+            CliError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
+            CliError::MissingValue(k) => write!(f, "--{k} needs a value"),
+            CliError::MissingOption(k) => write!(f, "missing required option --{k}"),
+            CliError::BadValue(k, v) => write!(f, "cannot parse --{k} value '{v}'"),
+            CliError::UnknownPlatform(p) => write!(f, "unknown platform '{p}'"),
+            CliError::Model(e) => write!(f, "model file: {e}"),
+            CliError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parse an `argv`-style iterator (without the program name).
+    pub fn parse<I, S>(argv: I) -> Result<Args, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = argv.into_iter().map(Into::into);
+        let command = iter.next().ok_or(CliError::NoCommand)?;
+        if command.starts_with('-') {
+            return Err(CliError::NoCommand);
+        }
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter.next().ok_or_else(|| CliError::MissingValue(key.to_string()))?;
+                options.insert(key.to_string(), value);
+            } else {
+                return Err(CliError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &'static str) -> Result<&str, CliError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or(CliError::MissingOption(key))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required numeric option.
+    pub fn require_num<T: std::str::FromStr>(&self, key: &'static str) -> Result<T, CliError> {
+        let raw = self.require(key)?;
+        raw.parse()
+            .map_err(|_| CliError::BadValue(key, raw.to_string()))
+    }
+
+    /// An optional numeric option with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &'static str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::BadValue(key, raw.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(["bench", "--platform", "henri", "--comp-numa", "1"]).unwrap();
+        assert_eq!(a.command, "bench");
+        assert_eq!(a.require("platform").unwrap(), "henri");
+        assert_eq!(a.require_num::<u16>("comp-numa").unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_argv_is_no_command() {
+        assert_eq!(Args::parse(Vec::<String>::new()), Err(CliError::NoCommand));
+    }
+
+    #[test]
+    fn flag_without_value_errors() {
+        assert_eq!(
+            Args::parse(["bench", "--platform"]),
+            Err(CliError::MissingValue("platform".into()))
+        );
+    }
+
+    #[test]
+    fn positional_after_command_errors() {
+        assert_eq!(
+            Args::parse(["bench", "henri"]),
+            Err(CliError::UnexpectedPositional("henri".into()))
+        );
+    }
+
+    #[test]
+    fn missing_required_option_errors() {
+        let a = Args::parse(["bench"]).unwrap();
+        assert_eq!(a.require("platform"), Err(CliError::MissingOption("platform")));
+    }
+
+    #[test]
+    fn bad_numeric_value_errors() {
+        let a = Args::parse(["bench", "--cores", "many"]).unwrap();
+        assert!(matches!(
+            a.require_num::<usize>("cores"),
+            Err(CliError::BadValue("cores", _))
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(["bench"]).unwrap();
+        assert_eq!(a.num_or("cores", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        assert!(CliError::MissingOption("platform")
+            .to_string()
+            .contains("--platform"));
+    }
+}

@@ -1,0 +1,34 @@
+//! `memcontend` binary: parse argv, dispatch, print.
+
+use std::process::ExitCode;
+
+use mc_cli::{run, Args, CliError};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "-h" || argv[0] == "--help" {
+        println!("{}", mc_cli::commands::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", mc_cli::commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e @ CliError::UnknownCommand(_)) => {
+            eprintln!("error: {e}\n\n{}", mc_cli::commands::USAGE);
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Subcommand implementations. Each returns the rendered output as a
+//! string; file I/O (saving/loading model files) is the only side effect.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use mc_membench::{calibration_placements, calibration_sweeps, sweep_platform_parallel, BenchConfig, BenchRunner};
+use mc_model::{evaluate, model_from_text, model_to_text, rank, ContentionModel, PhaseProfile};
+use mc_topology::{platforms, NumaId, Platform};
+use mc_viz::TopologySketch;
+
+use crate::args::{Args, CliError};
+
+/// Usage text.
+pub const USAGE: &str = "\
+memcontend — model memory contention between communications and computations
+
+usage:
+  memcontend topo      [--platform NAME]
+  memcontend bench     --platform NAME [--comp-numa N] [--comm-numa N]
+  memcontend calibrate --platform NAME [--save FILE] [--sparse yes]
+  memcontend predict   (--platform NAME | --model FILE) --cores N \\
+                       --comp-numa A --comm-numa B
+  memcontend advise    --platform NAME --compute-gb X --comm-gb Y \\
+                       [--max-cores N]
+  memcontend evaluate  --platform NAME
+
+platforms: henri, henri-subnuma, dahu, diablo, pyxis, occigen, grillon
+";
+
+fn platform(args: &Args) -> Result<Platform, CliError> {
+    let name = args.require("platform")?;
+    platforms::by_name(name).ok_or_else(|| CliError::UnknownPlatform(name.to_string()))
+}
+
+fn calibrated(platform: &Platform) -> ContentionModel {
+    let (local, remote) = calibration_sweeps(platform, BenchConfig::default());
+    ContentionModel::calibrate(&platform.topology, &local, &remote)
+        .expect("calibration on measured sweeps succeeds")
+}
+
+/// `topo`: draw one or all machines.
+pub fn topo(args: &Args) -> Result<String, CliError> {
+    let targets = match args.get("platform") {
+        Some(name) => vec![
+            platforms::by_name(name).ok_or_else(|| CliError::UnknownPlatform(name.to_string()))?
+        ],
+        None => platforms::all(),
+    };
+    let mut out = String::new();
+    for p in targets {
+        let topo = &p.topology;
+        let sketch = TopologySketch {
+            name: topo.summary(),
+            sockets: topo.sockets.len(),
+            cores_per_socket: topo.cores_per_socket(),
+            numa_per_socket: topo.numa_per_socket(),
+            nic_socket: topo.nic.socket.index(),
+            network: topo.nic.tech.to_string(),
+            bus: topo.links[0].tech.to_string(),
+        };
+        out.push_str(&mc_viz::topology_diagram(&sketch));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `bench`: run one placement sweep and print the bandwidth table.
+pub fn bench(args: &Args) -> Result<String, CliError> {
+    let p = platform(args)?;
+    let m_comp = NumaId::new(args.num_or("comp-numa", 0u16)?);
+    let m_comm = NumaId::new(args.num_or("comm-numa", 0u16)?);
+    let runner = BenchRunner::new(&p, BenchConfig::default());
+    let sweep = runner.run_placement(m_comp, m_comm);
+    let mut out = format!(
+        "{} — computation data on {m_comp}, communication data on {m_comm}\n",
+        p.name()
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "cores", "comp alone", "comm alone", "comp ||", "comm ||"
+    );
+    for pt in &sweep.points {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            pt.n_cores, pt.comp_alone, pt.comm_alone, pt.comp_par, pt.comm_par
+        );
+    }
+    Ok(out)
+}
+
+/// `calibrate`: run the two calibration sweeps, print the parameters,
+/// optionally persist the model. With `--sparse yes` the adaptive sweep
+/// protocol of the paper's footnote 2 is used (stop once both bandwidth
+/// peaks are confirmed).
+pub fn calibrate_cmd(args: &Args) -> Result<String, CliError> {
+    let p = platform(args)?;
+    let sparse = matches!(args.get("sparse"), Some("yes" | "true" | "1"));
+    let mut out;
+    let model = if sparse {
+        use mc_model::calibrate_sparse;
+        let runner = BenchRunner::new(&p, BenchConfig::default());
+        let ((lc, lm), (rc, rm)) = calibration_placements(&p);
+        let local = calibrate_sparse(&runner, lc, lm)
+            .map_err(|e| CliError::Model(e.to_string()))?;
+        let remote = calibrate_sparse(&runner, rc, rm)
+            .map_err(|e| CliError::Model(e.to_string()))?;
+        out = format!(
+            "{} calibrated with sparse sweeps ({:.0} % / {:.0} % of runs saved)\n",
+            p.name(),
+            100.0 * local.savings(),
+            100.0 * remote.savings()
+        );
+        ContentionModel::calibrate(&p.topology, &local.sweep, &remote.sweep)
+            .map_err(|e| CliError::Model(e.to_string()))?
+    } else {
+        out = format!("{} calibrated from two placement sweeps\n", p.name());
+        calibrated(&p)
+    };
+    let _ = writeln!(out, "M_local : {}", model.local().params());
+    let _ = writeln!(out, "M_remote: {}", model.remote().params());
+    if let Some(path) = args.get("save") {
+        fs::write(path, model_to_text(&model)).map_err(|e| CliError::Model(e.to_string()))?;
+        let _ = writeln!(out, "model saved to {path}");
+    }
+    Ok(out)
+}
+
+/// `predict`: bandwidths for one configuration, from a fresh calibration
+/// or a saved model file.
+pub fn predict(args: &Args) -> Result<String, CliError> {
+    let model = match args.get("model") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| CliError::Model(e.to_string()))?;
+            model_from_text(&text).map_err(|e| CliError::Model(e.to_string()))?
+        }
+        None => calibrated(&platform(args)?),
+    };
+    let n: usize = args.require_num("cores")?;
+    let m_comp = NumaId::new(args.require_num::<u16>("comp-numa")?);
+    let m_comm = NumaId::new(args.require_num::<u16>("comm-numa")?);
+    let par = model.predict(n, m_comp, m_comm);
+    let alone = model.predict_alone(n, m_comp, m_comm);
+    let mut out = format!(
+        "{n} cores, computation data on {m_comp}, communication data on {m_comm}\n"
+    );
+    let _ = writeln!(
+        out,
+        "computations : {:>8.2} GB/s in parallel ({:>8.2} GB/s alone)",
+        par.comp, alone.comp
+    );
+    let _ = writeln!(
+        out,
+        "communications: {:>8.2} GB/s in parallel ({:>8.2} GB/s alone)",
+        par.comm, alone.comm
+    );
+    let _ = writeln!(
+        out,
+        "overlap keeps {:.0} % of compute and {:.0} % of network bandwidth",
+        100.0 * par.comp / alone.comp,
+        100.0 * par.comm / alone.comm
+    );
+    Ok(out)
+}
+
+/// `advise`: placement recommendations for an application phase.
+pub fn advise(args: &Args) -> Result<String, CliError> {
+    let p = platform(args)?;
+    let compute_gb: f64 = args.require_num("compute-gb")?;
+    let comm_gb: f64 = args.require_num("comm-gb")?;
+    let max_cores = args.num_or("max-cores", p.max_compute_cores())?;
+    let model = calibrated(&p);
+    let phase = PhaseProfile {
+        compute_bytes: compute_gb * 1e9,
+        comm_bytes: comm_gb * 1e9,
+        max_cores,
+    };
+    let ranked = rank(&model, &phase);
+    let mut out = format!(
+        "{}: {compute_gb} GB compute overlapped with {comm_gb} GB received\n",
+        p.name()
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "cores", "comp on", "comm on", "comp GB/s", "comm GB/s", "makespan"
+    );
+    for r in ranked.iter().take(5) {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>10} {:>12.1} {:>12.1} {:>10.3} s",
+            r.n_cores,
+            r.m_comp.to_string(),
+            r.m_comm.to_string(),
+            r.comp_bw,
+            r.comm_bw,
+            r.makespan
+        );
+    }
+    Ok(out)
+}
+
+/// `evaluate`: the platform's Table II row.
+pub fn evaluate_cmd(args: &Args) -> Result<String, CliError> {
+    let p = platform(args)?;
+    let sweep = sweep_platform_parallel(&p, BenchConfig::default());
+    let (s_local, s_remote) = calibration_placements(&p);
+    let model = ContentionModel::calibrate(
+        &p.topology,
+        sweep
+            .placement(s_local.0, s_local.1)
+            .expect("local sample measured"),
+        sweep
+            .placement(s_remote.0, s_remote.1)
+            .expect("remote sample measured"),
+    )
+    .expect("calibration succeeds");
+    let e = evaluate(&model, &sweep, &[s_local, s_remote]);
+    Ok(format!(
+        "{} — prediction error (MAPE)\n\
+         communications: {:.2} % samples, {:.2} % non-samples, {:.2} % all\n\
+         computations  : {:.2} % samples, {:.2} % non-samples, {:.2} % all\n\
+         average       : {:.2} %\n",
+        p.name(),
+        e.comm_samples,
+        e.comm_non_samples,
+        e.comm_all,
+        e.comp_samples,
+        e.comp_non_samples,
+        e.comp_all,
+        e.average
+    ))
+}
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "topo" => topo(args),
+        "bench" => bench(args),
+        "calibrate" => calibrate_cmd(args),
+        "predict" => predict(args),
+        "advise" => advise(args),
+        "evaluate" => evaluate_cmd(args),
+        "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        run(&Args::parse(line.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn topo_all_and_single() {
+        let all = run_line(&["topo"]).unwrap();
+        assert!(all.contains("henri"));
+        assert!(all.contains("occigen"));
+        let one = run_line(&["topo", "--platform", "diablo"]).unwrap();
+        assert!(one.contains("diablo"));
+        assert!(!one.contains("occigen"));
+    }
+
+    #[test]
+    fn bench_prints_a_sweep_table() {
+        let out = run_line(&["bench", "--platform", "occigen"]).unwrap();
+        assert!(out.contains("comp alone"));
+        assert_eq!(out.lines().count(), 2 + 13); // header x2 + 13 core counts
+    }
+
+    #[test]
+    fn calibrate_prints_both_instantiations() {
+        let out = run_line(&["calibrate", "--platform", "henri"]).unwrap();
+        assert!(out.contains("M_local"));
+        assert!(out.contains("M_remote"));
+        assert!(out.contains("Bcomm_seq"));
+    }
+
+    #[test]
+    fn sparse_calibration_flag_works() {
+        let out = run_line(&[
+            "calibrate",
+            "--platform",
+            "henri-subnuma",
+            "--sparse",
+            "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("sparse sweeps"));
+        assert!(out.contains("% of runs saved"));
+        assert!(out.contains("M_remote"));
+    }
+
+    #[test]
+    fn predict_reports_overlap_shares() {
+        let out = run_line(&[
+            "predict",
+            "--platform",
+            "henri",
+            "--cores",
+            "17",
+            "--comp-numa",
+            "0",
+            "--comm-numa",
+            "0",
+        ])
+        .unwrap();
+        assert!(out.contains("in parallel"));
+        assert!(out.contains("overlap keeps"));
+    }
+
+    #[test]
+    fn predict_round_trips_through_a_model_file() {
+        let dir = std::env::temp_dir().join("memcontend-test-model.txt");
+        let path = dir.to_str().unwrap();
+        run_line(&["calibrate", "--platform", "henri", "--save", path]).unwrap();
+        let out = run_line(&[
+            "predict",
+            "--model",
+            path,
+            "--cores",
+            "17",
+            "--comp-numa",
+            "0",
+            "--comm-numa",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("GB/s"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn advise_lists_a_podium() {
+        let out = run_line(&[
+            "advise",
+            "--platform",
+            "henri-subnuma",
+            "--compute-gb",
+            "48",
+            "--comm-gb",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("makespan"));
+        assert!(out.lines().count() >= 6);
+    }
+
+    #[test]
+    fn evaluate_prints_a_table2_row() {
+        let out = run_line(&["evaluate", "--platform", "occigen"]).unwrap();
+        assert!(out.contains("average"));
+        assert!(out.contains('%'));
+    }
+
+    #[test]
+    fn unknown_platform_and_command_error() {
+        assert_eq!(
+            run_line(&["topo", "--platform", "zzz"]),
+            Err(CliError::UnknownPlatform("zzz".into()))
+        );
+        assert_eq!(
+            run_line(&["frobnicate"]),
+            Err(CliError::UnknownCommand("frobnicate".into()))
+        );
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_line(&["help"]).unwrap().contains("memcontend"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # mc-cli — the `memcontend` command-line tool
+//!
+//! A thin, fully-testable command layer over the workspace: every
+//! subcommand is a function from parsed arguments to a rendered string, so
+//! the binary only parses `argv` and prints.
+//!
+//! ```text
+//! memcontend topo       [--platform NAME]
+//! memcontend bench      --platform NAME [--comp-numa N] [--comm-numa N]
+//! memcontend calibrate  --platform NAME [--save FILE]
+//! memcontend predict    (--platform NAME | --model FILE) --cores N \
+//!                       --comp-numa A --comm-numa B
+//! memcontend advise     --platform NAME --compute-gb X --comm-gb Y
+//! memcontend evaluate   --platform NAME
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+pub use commands::run;

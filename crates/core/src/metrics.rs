@@ -1,0 +1,229 @@
+//! Prediction-error evaluation (Table II).
+//!
+//! The paper scores the model with the mean absolute percentage error
+//! (MAPE), `100/n · Σ |a_k − p_k| / a_k`, separately for communications and
+//! computations, and separately for the two placement configurations used
+//! to instantiate the model ("samples") versus all others ("non-samples").
+
+use serde::{Deserialize, Serialize};
+
+use mc_membench::record::PlatformSweep;
+use mc_topology::NumaId;
+
+use crate::predictor::BandwidthPredictor;
+
+/// Streaming MAPE accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Mape {
+    sum: f64,
+    count: usize,
+}
+
+impl Mape {
+    /// Add one (actual, predicted) pair. Pairs with a non-positive actual
+    /// value are skipped (a percentage error is undefined there).
+    pub fn add(&mut self, actual: f64, predicted: f64) {
+        if actual > 0.0 {
+            self.sum += ((actual - predicted) / actual).abs();
+            self.count += 1;
+        }
+    }
+
+    /// Merge another accumulator.
+    pub fn merge(&mut self, other: Mape) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// The error in percent (0 if no pairs were added).
+    pub fn percent(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            100.0 * self.sum / self.count as f64
+        }
+    }
+
+    /// Number of pairs accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// One platform's row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBreakdown {
+    /// Communication error on sample placements, percent.
+    pub comm_samples: f64,
+    /// Communication error on non-sample placements, percent.
+    pub comm_non_samples: f64,
+    /// Communication error on all placements, percent.
+    pub comm_all: f64,
+    /// Computation error on sample placements, percent.
+    pub comp_samples: f64,
+    /// Computation error on non-sample placements, percent.
+    pub comp_non_samples: f64,
+    /// Computation error on all placements, percent.
+    pub comp_all: f64,
+    /// Mean of the communication and computation all-placements errors
+    /// (the paper's "Average" column).
+    pub average: f64,
+}
+
+/// Evaluate a predictor against measured parallel-phase bandwidths.
+///
+/// `samples` lists the placements used to instantiate the predictor (the
+/// paper's two calibration configurations).
+pub fn evaluate(
+    predictor: &dyn BandwidthPredictor,
+    sweep: &PlatformSweep,
+    samples: &[(NumaId, NumaId)],
+) -> ErrorBreakdown {
+    let mut comm_s = Mape::default();
+    let mut comm_ns = Mape::default();
+    let mut comp_s = Mape::default();
+    let mut comp_ns = Mape::default();
+
+    for placement in &sweep.sweeps {
+        let is_sample = samples.contains(&(placement.m_comp, placement.m_comm));
+        for point in &placement.points {
+            let pred =
+                predictor.predict_parallel_bw(point.n_cores, placement.m_comp, placement.m_comm);
+            let (comm, comp) = if is_sample {
+                (&mut comm_s, &mut comp_s)
+            } else {
+                (&mut comm_ns, &mut comp_ns)
+            };
+            comm.add(point.comm_par, pred.comm);
+            comp.add(point.comp_par, pred.comp);
+        }
+    }
+
+    let mut comm_all = comm_s;
+    comm_all.merge(comm_ns);
+    let mut comp_all = comp_s;
+    comp_all.merge(comp_ns);
+
+    ErrorBreakdown {
+        comm_samples: comm_s.percent(),
+        comm_non_samples: comm_ns.percent(),
+        comm_all: comm_all.percent(),
+        comp_samples: comp_s.percent(),
+        comp_non_samples: comp_ns.percent(),
+        comp_all: comp_all.percent(),
+        average: (comm_all.percent() + comp_all.percent()) / 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instantiation::Prediction;
+    use mc_membench::record::{PlacementSweep, SweepPoint};
+
+    struct Perfect(f64, f64);
+    impl BandwidthPredictor for Perfect {
+        fn name(&self) -> &'static str {
+            "perfect"
+        }
+        fn predict_parallel_bw(&self, _: usize, _: NumaId, _: NumaId) -> Prediction {
+            Prediction {
+                comp: self.0,
+                comm: self.1,
+            }
+        }
+    }
+
+    fn flat_sweep(comp: f64, comm: f64) -> PlatformSweep {
+        PlatformSweep {
+            platform: "synthetic".into(),
+            sweeps: vec![
+                PlacementSweep {
+                    m_comp: NumaId::new(0),
+                    m_comm: NumaId::new(0),
+                    points: (1..=4)
+                        .map(|n| SweepPoint {
+                            n_cores: n,
+                            comp_alone: comp,
+                            comm_alone: comm,
+                            comp_par: comp,
+                            comm_par: comm,
+                        })
+                        .collect(),
+                },
+                PlacementSweep {
+                    m_comp: NumaId::new(1),
+                    m_comm: NumaId::new(0),
+                    points: (1..=4)
+                        .map(|n| SweepPoint {
+                            n_cores: n,
+                            comp_alone: comp,
+                            comm_alone: comm,
+                            comp_par: comp,
+                            comm_par: comm,
+                        })
+                        .collect(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn perfect_predictor_scores_zero() {
+        let sweep = flat_sweep(10.0, 5.0);
+        let e = evaluate(
+            &Perfect(10.0, 5.0),
+            &sweep,
+            &[(NumaId::new(0), NumaId::new(0))],
+        );
+        assert_eq!(e.comm_all, 0.0);
+        assert_eq!(e.comp_all, 0.0);
+        assert_eq!(e.average, 0.0);
+    }
+
+    #[test]
+    fn ten_percent_off_scores_ten() {
+        let sweep = flat_sweep(10.0, 5.0);
+        let e = evaluate(
+            &Perfect(9.0, 4.5),
+            &sweep,
+            &[(NumaId::new(0), NumaId::new(0))],
+        );
+        assert!((e.comp_all - 10.0).abs() < 1e-9);
+        assert!((e.comm_all - 10.0).abs() < 1e-9);
+        assert!((e.average - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_split_respects_membership() {
+        let sweep = flat_sweep(10.0, 5.0);
+        // Only the (0,0) placement is a sample; predict badly there only is
+        // impossible with a constant predictor, so check the counts via an
+        // asymmetric check: declare no samples — sample buckets stay 0.
+        let e = evaluate(&Perfect(9.0, 5.0), &sweep, &[]);
+        assert_eq!(e.comp_samples, 0.0);
+        assert!((e.comp_non_samples - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let mut m = Mape::default();
+        m.add(0.0, 5.0);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.percent(), 0.0);
+        m.add(10.0, 5.0);
+        assert_eq!(m.count(), 1);
+        assert!((m.percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Mape::default();
+        a.add(10.0, 9.0);
+        let mut b = Mape::default();
+        b.add(10.0, 7.0);
+        a.merge(b);
+        assert_eq!(a.count(), 2);
+        assert!((a.percent() - 20.0).abs() < 1e-9);
+    }
+}

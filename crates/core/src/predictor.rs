@@ -1,0 +1,48 @@
+//! The predictor abstraction: anything that can predict parallel-phase
+//! bandwidths for a placement. The paper's model implements it; so do the
+//! comparison baselines in [`crate::baselines`], which lets the evaluation
+//! harness (Table II) and the ablation benches score them uniformly.
+
+use mc_topology::NumaId;
+
+use crate::instantiation::Prediction;
+use crate::placement::ContentionModel;
+
+/// A bandwidth predictor for the parallel phase.
+pub trait BandwidthPredictor {
+    /// Human-readable name (used in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Predict computation and communication bandwidth with `n` computing
+    /// cores, computation data on `m_comp` and communication data on
+    /// `m_comm`.
+    fn predict_parallel_bw(&self, n: usize, m_comp: NumaId, m_comm: NumaId) -> Prediction;
+}
+
+impl BandwidthPredictor for ContentionModel {
+    fn name(&self) -> &'static str {
+        "threshold-model"
+    }
+
+    fn predict_parallel_bw(&self, n: usize, m_comp: NumaId, m_comm: NumaId) -> Prediction {
+        self.predict(n, m_comp, m_comm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_membench::{calibration_sweeps, BenchConfig};
+    use mc_topology::platforms;
+
+    #[test]
+    fn model_implements_predictor() {
+        let p = platforms::henri();
+        let (local, remote) = calibration_sweeps(&p, BenchConfig::exact());
+        let m = ContentionModel::calibrate(&p.topology, &local, &remote).unwrap();
+        let dyn_pred: &dyn BandwidthPredictor = &m;
+        assert_eq!(dyn_pred.name(), "threshold-model");
+        let pred = dyn_pred.predict_parallel_bw(4, NumaId::new(0), NumaId::new(0));
+        assert!(pred.comp > 0.0 && pred.comm > 0.0);
+    }
+}

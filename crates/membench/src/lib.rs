@@ -1,0 +1,41 @@
+//! # mc-membench — the paper's benchmarking suite
+//!
+//! Reimplementation of the memory-contention benchmark of §IV-A1 against
+//! the simulated platforms: for every number of computing cores it
+//! measures computations alone, then communications alone, then both in
+//! parallel, with computation and communication buffers explicitly bound
+//! to chosen NUMA nodes. Computing cores run non-temporal `memset`-style streams
+//! (weak scaling), the communication thread receives 64 MB messages on a
+//! dedicated core.
+//!
+//! Two backends are available: a fast analytic path straight from the
+//! `mc-memsim` solver, and a full event-driven path where kernel passes,
+//! rendezvous handshakes and message gaps are simulated. Both honour the
+//! platform's deterministic measurement noise.
+//!
+//! ```
+//! use mc_membench::{BenchConfig, BenchRunner};
+//! use mc_topology::{platforms, NumaId};
+//!
+//! let platform = platforms::henri();
+//! let runner = BenchRunner::new(&platform, BenchConfig::exact());
+//! let sweep = runner.run_placement(NumaId::new(0), NumaId::new(0));
+//! assert_eq!(sweep.points.len(), platform.max_compute_cores());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod kernel;
+pub mod record;
+pub mod runner;
+pub mod sweep;
+
+pub use config::{Backend, BenchConfig};
+pub use kernel::{CommPattern, ComputeKernel};
+pub use record::{CsvError, PlacementSweep, PlatformSweep, SweepPoint};
+pub use runner::BenchRunner;
+pub use sweep::{
+    calibration_placements, calibration_sweeps, sweep_platform, sweep_platform_parallel,
+};

@@ -1,0 +1,348 @@
+//! The benchmark runner: measures one placement configuration.
+//!
+//! For every core count `n` the paper's program executes three phases —
+//! computations alone, communications alone, both in parallel — with the
+//! computation buffers bound to `m_comp` and the communication buffers to
+//! `m_comm`. The runner reproduces the three phases against the simulated
+//! platform, through either the analytic solver or full event-driven runs,
+//! and applies the platform's deterministic measurement noise.
+
+use mc_memsim::engine::{Activity, ActivityKind, Engine};
+use mc_memsim::fabric::{Fabric, StreamSpec};
+use mc_memsim::noise::Noise;
+use mc_netsim::nic_model::NicModel;
+use mc_topology::{NumaId, Platform};
+
+use crate::config::{Backend, BenchConfig};
+use crate::record::{PlacementSweep, SweepPoint};
+
+/// Phase tags for the stateless noise source.
+mod phase {
+    pub const COMP_ALONE: u64 = 1;
+    pub const COMM_ALONE: u64 = 2;
+    pub const PAR_COMP: u64 = 3;
+    pub const PAR_COMM: u64 = 4;
+}
+
+/// Measures bandwidths on one simulated platform.
+#[derive(Debug, Clone)]
+pub struct BenchRunner {
+    platform: Platform,
+    fabric: Fabric,
+    nic: NicModel,
+    config: BenchConfig,
+    noise: Noise,
+}
+
+impl BenchRunner {
+    /// Create a runner for a platform with the given configuration.
+    pub fn new(platform: &Platform, config: BenchConfig) -> Self {
+        let fabric = Fabric::new(platform);
+        let nic = NicModel::new(&fabric);
+        BenchRunner {
+            platform: platform.clone(),
+            fabric,
+            nic,
+            config,
+            noise: Noise::new(platform.behavior.noise.seed),
+        }
+    }
+
+    /// The platform under measurement.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The benchmark configuration.
+    pub fn config(&self) -> &BenchConfig {
+        &self.config
+    }
+
+    /// Effective CPU demand scale for `n` computing cores: the kernel's
+    /// traffic factor, reduced by the LLC hit ratio when the kernel is
+    /// cacheable and a cache model is configured.
+    fn cpu_scale(&self, n: usize) -> f64 {
+        let kernel = &self.config.kernel;
+        let mut scale = kernel.traffic_scale;
+        if !kernel.bypasses_llc {
+            if let Some(llc) = self.config.llc {
+                scale *= llc.miss_ratio(n, self.config.bytes_per_pass as f64);
+            }
+        }
+        scale.max(1e-3)
+    }
+
+    /// The DMA streams of the configured communication pattern.
+    fn comm_streams(&self, m_comm: NumaId) -> Vec<StreamSpec> {
+        self.config.comm_pattern.streams(m_comm)
+    }
+
+    fn jitter(&self, value: f64, sigma: f64, tags: [u64; 4]) -> f64 {
+        if !self.config.noisy {
+            return value;
+        }
+        value * self.noise.multiplier(sigma, &tags)
+    }
+
+    /// Computations-alone bandwidth for `n` cores writing to `m_comp`.
+    pub fn comp_alone(&self, n: usize, m_comp: NumaId) -> f64 {
+        let raw = match self.config.backend {
+            Backend::Analytic => {
+                let streams = Fabric::benchmark_streams(n, Some(m_comp), None);
+                self.fabric
+                    .solve_with(&streams, self.cpu_scale(n))
+                    .cpu_total(&streams)
+            }
+            Backend::EventDriven => {
+                let acts = self.compute_activities(n, m_comp);
+                let report = self.engine_run(&acts, n);
+                report.compute_bandwidth(&acts)
+            }
+        };
+        self.jitter(
+            raw,
+            self.platform.behavior.noise.compute_sigma,
+            [phase::COMP_ALONE, m_comp.0 as u64, 0, n as u64],
+        )
+    }
+
+    /// Communications-alone bandwidth into `m_comm`. `n` only tags the
+    /// noise sample (the paper measures the phase once per core count).
+    pub fn comm_alone(&self, n: usize, m_comm: NumaId) -> f64 {
+        let raw = match self.config.backend {
+            Backend::Analytic => {
+                let streams = self.comm_streams(m_comm);
+                let solved = self.fabric.solve(&streams);
+                let per_flow = solved.dma_total(&streams) / streams.len() as f64;
+                self.observed_comm(per_flow)
+            }
+            Backend::EventDriven => {
+                let acts = self.comm_activities(m_comm);
+                let report = self.engine_run(&acts, 0);
+                report.comm_bandwidth(&acts) / acts.len() as f64
+            }
+        };
+        self.jitter(
+            raw,
+            self.platform.behavior.noise.comm_sigma,
+            [phase::COMM_ALONE, 0, m_comm.0 as u64, n as u64],
+        )
+    }
+
+    /// Parallel phase: `(compute bandwidth, communication bandwidth)` for
+    /// `n` cores on `m_comp` with the NIC receiving into `m_comm`.
+    pub fn parallel(&self, n: usize, m_comp: NumaId, m_comm: NumaId) -> (f64, f64) {
+        let (comp_raw, comm_raw) = match self.config.backend {
+            Backend::Analytic => {
+                let mut streams = Fabric::benchmark_streams(n, Some(m_comp), None);
+                let comm_streams = self.comm_streams(m_comm);
+                let n_comm = comm_streams.len();
+                streams.extend(comm_streams);
+                let solved = self.fabric.solve_with(&streams, self.cpu_scale(n));
+                let comp = solved.cpu_total(&streams);
+                let per_flow = solved.dma_total(&streams) / n_comm as f64;
+                (comp, self.observed_comm(per_flow))
+            }
+            Backend::EventDriven => {
+                let mut acts = self.compute_activities(n, m_comp);
+                let comm_acts = self.comm_activities(m_comm);
+                let n_comm = comm_acts.len();
+                acts.extend(comm_acts);
+                let report = self.engine_run(&acts, n);
+                (
+                    report.compute_bandwidth(&acts),
+                    report.comm_bandwidth(&acts) / n_comm as f64,
+                )
+            }
+        };
+        let comp = self.jitter(
+            comp_raw,
+            self.platform.behavior.noise.compute_sigma,
+            [phase::PAR_COMP, m_comp.0 as u64, m_comm.0 as u64, n as u64],
+        );
+        let comm = self.jitter(
+            comm_raw,
+            self.platform.behavior.noise.comm_sigma,
+            [phase::PAR_COMM, m_comp.0 as u64, m_comm.0 as u64, n as u64],
+        );
+        (comp, comm)
+    }
+
+    /// Full sweep over `1..=max_compute_cores` for one placement.
+    pub fn run_placement(&self, m_comp: NumaId, m_comm: NumaId) -> PlacementSweep {
+        let points = (1..=self.platform.max_compute_cores())
+            .map(|n| self.measure_point(n, m_comp, m_comm))
+            .collect();
+        PlacementSweep {
+            m_comp,
+            m_comm,
+            points,
+        }
+    }
+
+    /// One core count, all three phases.
+    pub fn measure_point(&self, n: usize, m_comp: NumaId, m_comm: NumaId) -> SweepPoint {
+        let comp_alone = self.comp_alone(n, m_comp);
+        let comm_alone = self.comm_alone(n, m_comm);
+        let (comp_par, comm_par) = self.parallel(n, m_comp, m_comm);
+        SweepPoint {
+            n_cores: n,
+            comp_alone,
+            comm_alone,
+            comp_par,
+            comm_par,
+        }
+    }
+
+    /// Fold protocol overheads into a DMA payload rate: the benchmark
+    /// reports "message size over the necessary time to receive data",
+    /// which includes the rendezvous handshake.
+    fn observed_comm(&self, payload_rate: f64) -> f64 {
+        if payload_rate <= 0.0 {
+            return 0.0;
+        }
+        self.nic
+            .protocol()
+            .plan(self.config.msg_bytes)
+            .observed_bandwidth(payload_rate)
+    }
+
+    fn compute_activities(&self, n: usize, m_comp: NumaId) -> Vec<Activity> {
+        (0..n)
+            .map(|i| Activity {
+                kind: ActivityKind::Compute {
+                    numa: m_comp,
+                    bytes_per_pass: self.config.bytes_per_pass as f64,
+                    pass_overhead: self.config.pass_overhead,
+                },
+                // Stagger starts so kernel passes do not stay in lockstep.
+                start: i as f64 * 1.3e-5,
+            })
+            .collect()
+    }
+
+    fn comm_activities(&self, m_comm: NumaId) -> Vec<Activity> {
+        use crate::kernel::CommPattern;
+        let recv = self.nic.receive_activity(m_comm, self.config.msg_bytes, 0.0);
+        let send = match recv.kind.clone() {
+            ActivityKind::CommRecv {
+                numa,
+                msg_bytes,
+                handshake,
+                gap,
+            } => Activity {
+                kind: ActivityKind::CommSend {
+                    numa,
+                    msg_bytes,
+                    handshake,
+                    gap,
+                },
+                start: 0.0,
+            },
+            _ => unreachable!("receive_activity builds a CommRecv"),
+        };
+        match self.config.comm_pattern {
+            CommPattern::RecvOnly => vec![recv],
+            CommPattern::SendOnly => vec![send],
+            CommPattern::PingPong => vec![recv, send],
+        }
+    }
+
+    fn engine_run(&self, acts: &[Activity], n: usize) -> mc_memsim::engine::RunReport {
+        Engine::with_cpu_scale(&self.fabric, self.cpu_scale(n)).run(
+            acts,
+            self.config.warmup,
+            self.config.warmup + self.config.window,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_topology::platforms;
+
+    fn n(i: u16) -> NumaId {
+        NumaId::new(i)
+    }
+
+    #[test]
+    fn exact_comp_alone_matches_solver() {
+        let p = platforms::henri();
+        let r = BenchRunner::new(&p, BenchConfig::exact());
+        assert!((r.comp_alone(4, n(0)) - 4.0 * 5.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_measurements_jitter_but_stay_close() {
+        let p = platforms::henri();
+        let exact = BenchRunner::new(&p, BenchConfig::exact());
+        let noisy = BenchRunner::new(&p, BenchConfig::default());
+        let e = exact.comp_alone(4, n(0));
+        let m = noisy.comp_alone(4, n(0));
+        assert_ne!(e, m);
+        assert!((m - e).abs() / e < 0.05, "e={e}, m={m}");
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let p = platforms::henri();
+        let a = BenchRunner::new(&p, BenchConfig::default()).comp_alone(4, n(0));
+        let b = BenchRunner::new(&p, BenchConfig::default()).comp_alone(4, n(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_shows_contention_on_henri_local() {
+        let p = platforms::henri();
+        let r = BenchRunner::new(&p, BenchConfig::exact());
+        let comm_alone = r.comm_alone(17, n(0));
+        let (_, comm_par) = r.parallel(17, n(0), n(0));
+        assert!(
+            comm_par < 0.4 * comm_alone,
+            "comm_par={comm_par}, alone={comm_alone}"
+        );
+    }
+
+    #[test]
+    fn placement_sweep_has_all_core_counts() {
+        let p = platforms::occigen();
+        let r = BenchRunner::new(&p, BenchConfig::exact());
+        let sweep = r.run_placement(n(0), n(0));
+        assert_eq!(sweep.points.len(), 13);
+        assert_eq!(sweep.points[0].n_cores, 1);
+        assert_eq!(sweep.max_cores(), 13);
+    }
+
+    #[test]
+    fn event_driven_close_to_analytic() {
+        let p = platforms::henri();
+        let exact = BenchRunner::new(&p, BenchConfig::exact());
+        let mut ed_cfg = BenchConfig::event_driven();
+        ed_cfg.noisy = false;
+        let ed = BenchRunner::new(&p, ed_cfg);
+        for &nn in &[1usize, 8, 14, 17] {
+            let (ca, ma) = exact.parallel(nn, n(0), n(0));
+            let (ce, me) = ed.parallel(nn, n(0), n(0));
+            assert!(
+                (ca - ce).abs() / ca < 0.03,
+                "n={nn}: comp analytic {ca} vs event {ce}"
+            );
+            assert!(
+                (ma - me).abs() / ma < 0.05,
+                "n={nn}: comm analytic {ma} vs event {me}"
+            );
+        }
+    }
+
+    #[test]
+    fn comm_alone_includes_protocol_overhead() {
+        let p = platforms::henri();
+        let r = BenchRunner::new(&p, BenchConfig::exact());
+        let fabric = Fabric::new(&p);
+        let demand = fabric.dma_demand(n(0));
+        let observed = r.comm_alone(1, n(0));
+        assert!(observed < demand);
+        assert!(observed > demand * 0.99);
+    }
+}

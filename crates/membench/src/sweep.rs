@@ -1,0 +1,120 @@
+//! Platform-wide sweeps: every placement combination, optionally measured
+//! in parallel worker threads.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use mc_topology::{NumaId, Platform, SocketId};
+
+use crate::config::BenchConfig;
+use crate::record::{PlacementSweep, PlatformSweep};
+use crate::runner::BenchRunner;
+
+/// The two placement configurations used to *instantiate* the model
+/// (§IV-A2): both buffers on the first NUMA node of the first socket
+/// (local model), and both on the first NUMA node of the second socket
+/// (remote model). Returns `((comp, comm) local, (comp, comm) remote)`.
+pub fn calibration_placements(platform: &Platform) -> ((NumaId, NumaId), (NumaId, NumaId)) {
+    let topo = &platform.topology;
+    let local = topo.first_numa_of(SocketId::new(0));
+    let remote = topo.first_numa_of(SocketId::new(1));
+    ((local, local), (remote, remote))
+}
+
+/// Measure the two calibration sweeps of a platform.
+pub fn calibration_sweeps(
+    platform: &Platform,
+    config: BenchConfig,
+) -> (PlacementSweep, PlacementSweep) {
+    let runner = BenchRunner::new(platform, config);
+    let ((lc, lm), (rc, rm)) = calibration_placements(platform);
+    (runner.run_placement(lc, lm), runner.run_placement(rc, rm))
+}
+
+/// Measure every placement combination of a platform sequentially.
+pub fn sweep_platform(platform: &Platform, config: BenchConfig) -> PlatformSweep {
+    let runner = BenchRunner::new(platform, config);
+    let sweeps = platform
+        .topology
+        .placement_combinations()
+        .into_iter()
+        .map(|(m_comp, m_comm)| runner.run_placement(m_comp, m_comm))
+        .collect();
+    PlatformSweep {
+        platform: platform.name().to_string(),
+        sweeps,
+    }
+}
+
+/// Measure every placement combination using one worker thread per
+/// placement (the sweeps are independent; the noise source is stateless,
+/// so results are identical to the sequential path).
+pub fn sweep_platform_parallel(platform: &Platform, config: BenchConfig) -> PlatformSweep {
+    let combos = platform.topology.placement_combinations();
+    let results: Mutex<Vec<Option<PlacementSweep>>> = Mutex::new(vec![None; combos.len()]);
+    thread::scope(|s| {
+        for (idx, &(m_comp, m_comm)) in combos.iter().enumerate() {
+            let results = &results;
+            let platform = &platform;
+            s.spawn(move |_| {
+                let runner = BenchRunner::new(platform, config);
+                let sweep = runner.run_placement(m_comp, m_comm);
+                results.lock()[idx] = Some(sweep);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    PlatformSweep {
+        platform: platform.name().to_string(),
+        sweeps: results
+            .into_inner()
+            .into_iter()
+            .map(|s| s.expect("every placement measured"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_topology::platforms;
+
+    #[test]
+    fn calibration_placements_follow_the_paper() {
+        let p = platforms::henri_subnuma();
+        let ((lc, lm), (rc, rm)) = calibration_placements(&p);
+        // First NUMA node of socket 0 and first of socket 1 (#m = 2 → node 2).
+        assert_eq!(lc, NumaId::new(0));
+        assert_eq!(lm, NumaId::new(0));
+        assert_eq!(rc, NumaId::new(2));
+        assert_eq!(rm, NumaId::new(2));
+    }
+
+    #[test]
+    fn full_sweep_covers_all_placements() {
+        let p = platforms::henri();
+        let sweep = sweep_platform(&p, BenchConfig::exact());
+        assert_eq!(sweep.sweeps.len(), 4);
+        let p4 = platforms::henri_subnuma();
+        let sweep4 = sweep_platform(&p4, BenchConfig::exact());
+        assert_eq!(sweep4.sweeps.len(), 16);
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential() {
+        let p = platforms::henri();
+        let cfg = BenchConfig::default(); // noisy: exercises determinism too
+        let seq = sweep_platform(&p, cfg);
+        let par = sweep_platform_parallel(&p, cfg);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn calibration_sweeps_are_the_diagonal_configs() {
+        let p = platforms::henri();
+        let (local, remote) = calibration_sweeps(&p, BenchConfig::exact());
+        assert_eq!(local.m_comp, local.m_comm);
+        assert_eq!(remote.m_comp, remote.m_comm);
+        assert_ne!(local.m_comp, remote.m_comp);
+    }
+}

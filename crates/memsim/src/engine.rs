@@ -1,0 +1,575 @@
+//! Flow-level discrete-event engine.
+//!
+//! Activities (compute kernels, message receptions) alternate between timed
+//! phases (kernel-launch overhead, rendezvous handshake, inter-message gap)
+//! and *streaming* phases where they move bytes through the fabric. While
+//! streaming, their instantaneous rate comes from the tiered max-min solver
+//! ([`crate::fabric::Fabric::solve`]); rates are re-solved whenever the set
+//! of streaming activities changes (an event). Between events all rates are
+//! constant, so byte counters integrate exactly.
+//!
+//! The engine runs all activities repeatedly until a time horizon and
+//! reports, per activity, the bytes moved inside a measurement window —
+//! exactly how the paper's benchmark derives bandwidths from `memset`
+//! durations and message-reception times, but without the noise of partial
+//! first/last operations (steady state, §V: "we rather focus on the steady
+//! state").
+
+use serde::{Deserialize, Serialize};
+
+use mc_topology::NumaId;
+
+use crate::fabric::{Fabric, StreamSpec};
+
+/// What an activity does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActivityKind {
+    /// A computing core repeatedly `memset`ting a buffer with non-temporal
+    /// stores (the paper's compute kernel).
+    Compute {
+        /// NUMA node holding the computation buffer.
+        numa: NumaId,
+        /// Bytes written per kernel pass.
+        bytes_per_pass: f64,
+        /// Fixed overhead between passes, seconds (loop control, OpenMP
+        /// barrier).
+        pass_overhead: f64,
+    },
+    /// The communication thread receiving large messages back-to-back.
+    CommRecv {
+        /// NUMA node holding the receive buffer.
+        numa: NumaId,
+        /// Message size in bytes (64 MB in the paper).
+        msg_bytes: f64,
+        /// Rendezvous handshake duration before each message, seconds.
+        handshake: f64,
+        /// Gap after each message before the next is posted, seconds.
+        gap: f64,
+    },
+    /// The communication thread sending large messages back-to-back (the
+    /// NIC reads the payload from memory — the other half of a ping-pong).
+    CommSend {
+        /// NUMA node holding the send buffer.
+        numa: NumaId,
+        /// Message size in bytes.
+        msg_bytes: f64,
+        /// Rendezvous handshake duration before each message, seconds.
+        handshake: f64,
+        /// Gap after each message, seconds.
+        gap: f64,
+    },
+}
+
+/// An activity plus its start offset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Behaviour of the activity.
+    pub kind: ActivityKind,
+    /// Simulation time at which the activity starts, seconds.
+    pub start: f64,
+}
+
+/// Phase of a running activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Waiting to start (before `Activity::start`) or in a timed phase
+    /// ending at the stored absolute time.
+    TimedUntil(f64),
+    /// Streaming; bytes left in the current unit.
+    Streaming(f64),
+}
+
+/// Which timed phase a comm activity is in (handshake vs gap) is tracked by
+/// this tag; compute activities only have one timed phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TimedTag {
+    StartDelay,
+    Overhead,
+    Handshake,
+    Gap,
+}
+
+struct ActState {
+    kind: ActivityKind,
+    phase: Phase,
+    tag: TimedTag,
+    /// Bytes streamed inside the measurement window.
+    measured_bytes: f64,
+    /// Total bytes streamed since t = 0.
+    total_bytes: f64,
+    /// Completed streaming units (passes / messages).
+    units_done: u64,
+}
+
+impl ActState {
+    fn stream_spec(&self) -> StreamSpec {
+        match self.kind {
+            ActivityKind::Compute { numa, .. } => StreamSpec::CpuWrite { numa },
+            ActivityKind::CommRecv { numa, .. } => StreamSpec::DmaRecv { numa },
+            ActivityKind::CommSend { numa, .. } => StreamSpec::DmaSend { numa },
+        }
+    }
+
+    /// Enter the next phase after the current one completes.
+    fn advance(&mut self, now: f64) {
+        match (&self.kind, self.phase, self.tag) {
+            (ActivityKind::Compute { bytes_per_pass, .. }, Phase::TimedUntil(_), _) => {
+                self.phase = Phase::Streaming(*bytes_per_pass);
+            }
+            (
+                ActivityKind::Compute { pass_overhead, .. },
+                Phase::Streaming(_),
+                _,
+            ) => {
+                self.units_done += 1;
+                self.phase = Phase::TimedUntil(now + *pass_overhead);
+                self.tag = TimedTag::Overhead;
+            }
+            (
+                ActivityKind::CommRecv { msg_bytes, .. } | ActivityKind::CommSend { msg_bytes, .. },
+                Phase::TimedUntil(_),
+                TimedTag::Handshake,
+            ) => {
+                self.phase = Phase::Streaming(*msg_bytes);
+            }
+            (
+                ActivityKind::CommRecv { gap, .. } | ActivityKind::CommSend { gap, .. },
+                Phase::Streaming(_),
+                _,
+            ) => {
+                self.units_done += 1;
+                self.phase = Phase::TimedUntil(now + *gap);
+                self.tag = TimedTag::Gap;
+            }
+            (
+                ActivityKind::CommRecv { handshake, .. } | ActivityKind::CommSend { handshake, .. },
+                Phase::TimedUntil(_),
+                _,
+            ) => {
+                // StartDelay or Gap ends → handshake for the next message.
+                self.phase = Phase::TimedUntil(now + *handshake);
+                self.tag = TimedTag::Handshake;
+            }
+        }
+    }
+}
+
+/// Result for one activity after a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityReport {
+    /// Bytes streamed inside the measurement window.
+    pub measured_bytes: f64,
+    /// Average bandwidth over the measurement window, GB/s.
+    pub bandwidth: f64,
+    /// Bytes streamed since simulation start.
+    pub total_bytes: f64,
+    /// Streaming units (kernel passes / messages) completed.
+    pub units_done: u64,
+}
+
+/// Result of an engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-activity reports, same order as the input.
+    pub activities: Vec<ActivityReport>,
+    /// Number of solver invocations (events) during the run.
+    pub events: u64,
+    /// The measurement window used, seconds.
+    pub window: (f64, f64),
+}
+
+impl RunReport {
+    /// Sum of measured bandwidths of all compute activities.
+    pub fn compute_bandwidth(&self, activities: &[Activity]) -> f64 {
+        self.activities
+            .iter()
+            .zip(activities)
+            .filter(|(_, a)| matches!(a.kind, ActivityKind::Compute { .. }))
+            .map(|(r, _)| r.bandwidth)
+            .sum()
+    }
+
+    /// Sum of measured bandwidths of all communication activities.
+    pub fn comm_bandwidth(&self, activities: &[Activity]) -> f64 {
+        self.activities
+            .iter()
+            .zip(activities)
+            .filter(|(_, a)| {
+                matches!(
+                    a.kind,
+                    ActivityKind::CommRecv { .. } | ActivityKind::CommSend { .. }
+                )
+            })
+            .map(|(r, _)| r.bandwidth)
+            .sum()
+    }
+}
+
+/// One sample of the bandwidth timeline: the instantaneous rates that
+/// held from `t` until the next sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Simulation time of the re-solve, seconds.
+    pub t: f64,
+    /// Aggregate CPU bandwidth, GB/s.
+    pub compute: f64,
+    /// Aggregate DMA bandwidth, GB/s.
+    pub comm: f64,
+    /// Number of streaming activities.
+    pub active: usize,
+}
+
+/// Giga multiplier: rates are GB/s, byte counters are bytes.
+const GB: f64 = 1e9;
+/// Numerical slack when comparing times/bytes.
+const EPS: f64 = 1e-12;
+
+/// The discrete-event engine.
+///
+/// ```
+/// use mc_memsim::engine::{Activity, ActivityKind, Engine};
+/// use mc_memsim::fabric::Fabric;
+/// use mc_topology::{platforms, NumaId};
+///
+/// let platform = platforms::henri();
+/// let fabric = Fabric::new(&platform);
+/// let acts = vec![Activity {
+///     kind: ActivityKind::Compute {
+///         numa: NumaId::new(0),
+///         bytes_per_pass: 64e6,
+///         pass_overhead: 1e-6,
+///     },
+///     start: 0.0,
+/// }];
+/// let report = Engine::new(&fabric).run(&acts, 0.01, 0.05);
+/// // One core writes ~5.6 GB/s on henri.
+/// assert!((report.activities[0].bandwidth - 5.6).abs() < 0.1);
+/// ```
+pub struct Engine<'f> {
+    fabric: &'f Fabric,
+    cpu_scale: f64,
+}
+
+impl<'f> Engine<'f> {
+    /// Create an engine over a fabric (non-temporal `memset` kernels:
+    /// unit CPU demand scale).
+    pub fn new(fabric: &'f Fabric) -> Self {
+        Engine {
+            fabric,
+            cpu_scale: 1.0,
+        }
+    }
+
+    /// Create an engine whose compute activities issue `cpu_scale` times
+    /// the memory traffic of a non-temporal `memset` kernel.
+    pub fn with_cpu_scale(fabric: &'f Fabric, cpu_scale: f64) -> Self {
+        assert!(cpu_scale > 0.0, "cpu_scale must be positive");
+        Engine { fabric, cpu_scale }
+    }
+
+    /// Run `activities` repeatedly from t = 0 to `horizon`, measuring
+    /// streamed bytes within `[measure_start, horizon]`.
+    ///
+    /// Panics if `measure_start >= horizon` or any duration is negative.
+    pub fn run(&self, activities: &[Activity], measure_start: f64, horizon: f64) -> RunReport {
+        self.run_impl(activities, measure_start, horizon, None)
+    }
+
+    /// Like [`Engine::run`], additionally recording the bandwidth timeline
+    /// (one sample per event) — the raw material of time-series figures.
+    pub fn run_traced(
+        &self,
+        activities: &[Activity],
+        measure_start: f64,
+        horizon: f64,
+    ) -> (RunReport, Vec<TraceSample>) {
+        let mut trace = Vec::new();
+        let report = self.run_impl(activities, measure_start, horizon, Some(&mut trace));
+        (report, trace)
+    }
+
+    fn run_impl(
+        &self,
+        activities: &[Activity],
+        measure_start: f64,
+        horizon: f64,
+        mut trace: Option<&mut Vec<TraceSample>>,
+    ) -> RunReport {
+        assert!(
+            measure_start < horizon,
+            "measurement window is empty ({measure_start} >= {horizon})"
+        );
+        let mut states: Vec<ActState> = activities
+            .iter()
+            .map(|a| {
+                let mut st = ActState {
+                    kind: a.kind.clone(),
+                    phase: Phase::TimedUntil(a.start),
+                    tag: TimedTag::StartDelay,
+                    measured_bytes: 0.0,
+                    total_bytes: 0.0,
+                    units_done: 0,
+                };
+                if a.start <= 0.0 {
+                    // Start immediately: move into the first real phase.
+                    st.advance(0.0);
+                }
+                st
+            })
+            .collect();
+
+        let mut now = 0.0_f64;
+        let mut events = 0_u64;
+
+        while now < horizon - EPS {
+            // Active streaming set → solve rates.
+            let streaming: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s.phase, Phase::Streaming(_)))
+                .map(|(i, _)| i)
+                .collect();
+            let specs: Vec<StreamSpec> = streaming.iter().map(|&i| states[i].stream_spec()).collect();
+            let rates = if specs.is_empty() {
+                Vec::new()
+            } else {
+                self.fabric.solve_with(&specs, self.cpu_scale).rates
+            };
+            events += 1;
+            if let Some(trace) = trace.as_deref_mut() {
+                let mut compute = 0.0;
+                let mut comm = 0.0;
+                for (slot, &i) in streaming.iter().enumerate() {
+                    if states[i].stream_spec().is_dma() {
+                        comm += rates[slot];
+                    } else {
+                        compute += rates[slot];
+                    }
+                }
+                trace.push(TraceSample {
+                    t: now,
+                    compute,
+                    comm,
+                    active: streaming.len(),
+                });
+            }
+
+            // Next event: earliest phase end, capped at the horizon.
+            let mut next = horizon;
+            for (slot, &i) in streaming.iter().enumerate() {
+                if let Phase::Streaming(bytes_left) = states[i].phase {
+                    let rate = rates[slot] * GB;
+                    if rate > 0.0 {
+                        next = next.min(now + bytes_left / rate);
+                    }
+                }
+            }
+            for s in &states {
+                if let Phase::TimedUntil(t) = s.phase {
+                    if t > now + EPS {
+                        next = next.min(t);
+                    }
+                }
+            }
+            // Guard against zero-length steps (e.g. all rates zero and no
+            // timed phase pending): jump to horizon.
+            if next <= now + EPS {
+                next = horizon;
+            }
+            let dt = next - now;
+
+            // Integrate bytes over [now, next]; clip to the measure window.
+            let overlap = (next.min(horizon) - now.max(measure_start)).max(0.0);
+            for (slot, &i) in streaming.iter().enumerate() {
+                let rate = rates[slot] * GB;
+                let moved = rate * dt;
+                if let Phase::Streaming(ref mut bytes_left) = states[i].phase {
+                    *bytes_left = (*bytes_left - moved).max(0.0);
+                }
+                states[i].total_bytes += moved;
+                states[i].measured_bytes += rate * overlap;
+            }
+            now = next;
+
+            // Advance activities whose phase completed.
+            for s in states.iter_mut() {
+                match s.phase {
+                    Phase::Streaming(left) if left <= 1.0 => s.advance(now),
+                    Phase::TimedUntil(t) if t <= now + EPS => s.advance(now),
+                    _ => {}
+                }
+            }
+        }
+
+        let window = horizon - measure_start;
+        RunReport {
+            activities: states
+                .iter()
+                .map(|s| ActivityReport {
+                    measured_bytes: s.measured_bytes,
+                    bandwidth: s.measured_bytes / window / GB,
+                    total_bytes: s.total_bytes,
+                    units_done: s.units_done,
+                })
+                .collect(),
+            events,
+            window: (measure_start, horizon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_topology::platforms;
+
+    fn compute_act(numa: u16, start: f64) -> Activity {
+        Activity {
+            kind: ActivityKind::Compute {
+                numa: NumaId::new(numa),
+                bytes_per_pass: 64e6,
+                pass_overhead: 2e-6,
+            },
+            start,
+        }
+    }
+
+    fn comm_act(numa: u16) -> Activity {
+        Activity {
+            kind: ActivityKind::CommRecv {
+                numa: NumaId::new(numa),
+                msg_bytes: 64e6 * 1.048_576, // 64 MiB
+                handshake: 4e-6,
+                gap: 1e-6,
+            },
+            start: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_compute_core_hits_nominal_rate() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let report = Engine::new(&f).run(&[compute_act(0, 0.0)], 0.02, 0.1);
+        assert!(
+            (report.activities[0].bandwidth - 5.6).abs() < 0.05,
+            "{}",
+            report.activities[0].bandwidth
+        );
+        assert!(report.activities[0].units_done > 0);
+    }
+
+    #[test]
+    fn comm_alone_is_slightly_below_wire_demand() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let report = Engine::new(&f).run(&[comm_act(0)], 0.02, 0.2);
+        let demand = f.dma_demand(NumaId::new(0));
+        let bw = report.activities[0].bandwidth;
+        assert!(bw < demand, "handshake gaps must cost a little: {bw} vs {demand}");
+        assert!(bw > demand * 0.98, "but not much: {bw} vs {demand}");
+    }
+
+    #[test]
+    fn parallel_run_shows_contention() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let mut acts: Vec<Activity> = (0..17).map(|i| compute_act(0, i as f64 * 1e-5)).collect();
+        acts.push(comm_act(0));
+        let report = Engine::new(&f).run(&acts, 0.05, 0.3);
+        let comm_bw = report.comm_bandwidth(&acts);
+        let demand = f.dma_demand(NumaId::new(0));
+        // With 17 cores the NIC is squeezed to its floor (25 % of demand).
+        assert!(
+            comm_bw < demand * 0.35,
+            "comm {comm_bw} should be near floor {}",
+            demand * 0.25
+        );
+        let comp_bw = report.compute_bandwidth(&acts);
+        assert!(comp_bw > 60.0, "compute should keep most of the bus: {comp_bw}");
+    }
+
+    #[test]
+    fn compute_scales_with_core_count_until_threshold() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let engine = Engine::new(&f);
+        let bw_at = |n: usize| {
+            let acts: Vec<Activity> = (0..n).map(|i| compute_act(0, i as f64 * 1e-5)).collect();
+            engine.run(&acts, 0.02, 0.2).compute_bandwidth(&acts)
+        };
+        let b4 = bw_at(4);
+        let b8 = bw_at(8);
+        assert!((b8 / b4 - 2.0).abs() < 0.05, "b4={b4}, b8={b8}");
+    }
+
+    #[test]
+    fn staggered_starts_do_not_change_steady_state() {
+        let p = platforms::occigen();
+        let f = Fabric::new(&p);
+        let engine = Engine::new(&f);
+        let aligned: Vec<Activity> = (0..8).map(|_| compute_act(0, 0.0)).collect();
+        let staggered: Vec<Activity> = (0..8).map(|i| compute_act(0, i as f64 * 3e-5)).collect();
+        let a = engine.run(&aligned, 0.05, 0.3).compute_bandwidth(&aligned);
+        let b = engine.run(&staggered, 0.05, 0.3).compute_bandwidth(&staggered);
+        assert!((a - b).abs() / a < 0.01, "a={a}, b={b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement window is empty")]
+    fn empty_window_panics() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        Engine::new(&f).run(&[], 0.2, 0.1);
+    }
+
+    #[test]
+    fn no_activities_runs_to_horizon() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let r = Engine::new(&f).run(&[], 0.0, 0.1);
+        assert!(r.activities.is_empty());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_events() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let mut acts: Vec<Activity> = (0..4).map(|i| compute_act(0, i as f64 * 1e-5)).collect();
+        acts.push(comm_act(0));
+        let engine = Engine::new(&f);
+        let plain = engine.run(&acts, 0.02, 0.1);
+        let (traced, trace) = engine.run_traced(&acts, 0.02, 0.1);
+        assert_eq!(plain, traced);
+        assert_eq!(trace.len() as u64, traced.events);
+        // Timeline is time-ordered and rates are physical.
+        for w in trace.windows(2) {
+            assert!(w[1].t >= w[0].t);
+        }
+        assert!(trace.iter().any(|s| s.comm > 0.0));
+        assert!(trace.iter().any(|s| s.compute > 0.0));
+    }
+
+    #[test]
+    fn trace_captures_the_rampup() {
+        // Staggered starts: the active count must grow over early samples.
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let acts: Vec<Activity> = (0..6).map(|i| compute_act(0, i as f64 * 1e-3)).collect();
+        let (_, trace) = Engine::new(&f).run_traced(&acts, 0.01, 0.05);
+        let first_active = trace.first().map(|s| s.active).unwrap_or(0);
+        let max_active = trace.iter().map(|s| s.active).max().unwrap_or(0);
+        assert!(max_active > first_active);
+        assert_eq!(max_active, 6);
+    }
+
+    #[test]
+    fn late_start_activity_streams_less() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let engine = Engine::new(&f);
+        let early = engine.run(&[compute_act(0, 0.0)], 0.0, 0.1).activities[0].total_bytes;
+        let late = engine.run(&[compute_act(0, 0.05)], 0.0, 0.1).activities[0].total_bytes;
+        assert!(late < early * 0.6, "early={early}, late={late}");
+    }
+}

@@ -1,0 +1,756 @@
+//! The fabric: resources and flow construction for a concrete platform.
+//!
+//! A [`Fabric`] is built once per [`Platform`]. Given the set of currently
+//! active streams (CPU cores writing to a NUMA node, NIC DMA writing
+//! received data to a NUMA node), it builds the corresponding resource
+//! capacities and flow requests, applies the platform quirks, and runs the
+//! tiered max-min solver to obtain every stream's instantaneous rate.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use mc_topology::{NumaId, Platform, SocketId};
+
+use crate::solver::{allocate, Allocation, FlowClass, FlowReq};
+
+/// What kind of hardware component a resource index denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// The memory controller of one NUMA node.
+    MemCtrl(NumaId),
+    /// One direction of an inter-socket link.
+    LinkDir {
+        /// Source socket.
+        from: SocketId,
+        /// Destination socket.
+        to: SocketId,
+    },
+    /// The PCIe link hosting the NIC.
+    Pcie(SocketId),
+    /// The NIC wire (network line rate after protocol efficiency).
+    NicWire,
+}
+
+/// One active stream, as seen by the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamSpec {
+    /// One computing core on socket 0 issuing non-temporal stores to
+    /// `numa`. The benchmark always computes on the first socket (§II-B:
+    /// "we will model performances ... when cores of only one socket are
+    /// computing").
+    CpuWrite {
+        /// Target NUMA node of the stores.
+        numa: NumaId,
+    },
+    /// One computing core on an explicit socket — the configuration the
+    /// paper leaves for future work (§II-B: "considering computing cores
+    /// of all sockets accessing the same NUMA node ... is another
+    /// problematic that is left for future work").
+    CpuWriteFrom {
+        /// Socket hosting the core.
+        socket: SocketId,
+        /// Target NUMA node of the stores.
+        numa: NumaId,
+    },
+    /// The NIC DMA engine writing a received message into `numa`.
+    DmaRecv {
+        /// NUMA node holding the communication buffer.
+        numa: NumaId,
+    },
+    /// The NIC DMA engine reading an outgoing message from `numa` (the
+    /// send side of the paper's future-work "ping-pongs instead of only
+    /// pongs" scenario).
+    DmaSend {
+        /// NUMA node holding the send buffer.
+        numa: NumaId,
+    },
+}
+
+impl StreamSpec {
+    /// Target NUMA node of the stream.
+    pub fn numa(&self) -> NumaId {
+        match *self {
+            StreamSpec::CpuWrite { numa }
+            | StreamSpec::CpuWriteFrom { numa, .. }
+            | StreamSpec::DmaRecv { numa }
+            | StreamSpec::DmaSend { numa } => numa,
+        }
+    }
+
+    /// Whether this is a DMA stream.
+    pub fn is_dma(&self) -> bool {
+        matches!(self, StreamSpec::DmaRecv { .. } | StreamSpec::DmaSend { .. })
+    }
+
+    /// Source socket of a CPU stream (`None` for DMA streams).
+    pub fn cpu_socket(&self) -> Option<SocketId> {
+        match *self {
+            StreamSpec::CpuWrite { .. } => Some(SocketId::new(0)),
+            StreamSpec::CpuWriteFrom { socket, .. } => Some(socket),
+            _ => None,
+        }
+    }
+}
+
+/// Result of solving the rates of a set of streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// Rate of each stream in GB/s, same order as the input.
+    pub rates: Vec<f64>,
+    /// Load per fabric resource in GB/s (indexable via
+    /// [`Fabric::resource_index`]).
+    pub resource_load: Vec<f64>,
+    /// Effective capacity per resource used for this solve.
+    pub capacities: Vec<f64>,
+}
+
+impl SolveResult {
+    /// Sum of the rates of all CPU streams.
+    pub fn cpu_total(&self, streams: &[StreamSpec]) -> f64 {
+        self.rates
+            .iter()
+            .zip(streams)
+            .filter(|(_, s)| !s.is_dma())
+            .map(|(r, _)| r)
+            .sum()
+    }
+
+    /// Sum of the rates of all DMA streams.
+    pub fn dma_total(&self, streams: &[StreamSpec]) -> f64 {
+        self.rates
+            .iter()
+            .zip(streams)
+            .filter(|(_, s)| s.is_dma())
+            .map(|(r, _)| r)
+            .sum()
+    }
+}
+
+/// The simulated memory/IO fabric of one platform.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    platform: Platform,
+    kinds: Vec<ResourceKind>,
+    index: HashMap<ResourceKind, usize>,
+}
+
+impl Fabric {
+    /// Build the fabric for a platform.
+    pub fn new(platform: &Platform) -> Self {
+        let topo = &platform.topology;
+        let mut kinds = Vec::new();
+        for n in topo.numa_ids() {
+            kinds.push(ResourceKind::MemCtrl(n));
+        }
+        for link in &topo.links {
+            kinds.push(ResourceKind::LinkDir {
+                from: link.a,
+                to: link.b,
+            });
+            kinds.push(ResourceKind::LinkDir {
+                from: link.b,
+                to: link.a,
+            });
+        }
+        kinds.push(ResourceKind::Pcie(topo.nic.socket));
+        kinds.push(ResourceKind::NicWire);
+        let index = kinds.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        Fabric {
+            platform: platform.clone(),
+            kinds,
+            index,
+        }
+    }
+
+    /// The platform this fabric simulates.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Number of resources in the fabric.
+    pub fn resource_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Kind of resource `i`.
+    pub fn resource_kind(&self, i: usize) -> ResourceKind {
+        self.kinds[i]
+    }
+
+    /// Index of a resource kind, if present.
+    pub fn resource_index(&self, kind: ResourceKind) -> Option<usize> {
+        self.index.get(&kind).copied()
+    }
+
+    /// Base (quirk-free) DMA demand when receiving into `numa`: wire rate ×
+    /// protocol efficiency × per-node NIC efficiency, capped by the narrower
+    /// DMA path across the inter-socket link when the buffer is on the
+    /// other socket.
+    pub fn dma_demand(&self, numa: NumaId) -> f64 {
+        let topo = &self.platform.topology;
+        let nic = &topo.nic;
+        let mut demand = nic.tech.wire_rate()
+            * nic.tech.protocol_efficiency()
+            * self.platform.behavior.nic_efficiency_for(numa.index());
+        demand = demand.min(nic.pcie.usable_bandwidth());
+        if topo.dma_crosses_socket_link(numa) {
+            if let Some(link) = topo.link_between(nic.socket, topo.socket_of_numa(numa)) {
+                demand = demand.min(link.dma_bandwidth);
+            }
+        }
+        demand
+    }
+
+    /// Path of a CPU write stream from `src` to `numa`.
+    fn cpu_path(&self, src: SocketId, numa: NumaId) -> Vec<usize> {
+        let topo = &self.platform.topology;
+        let mut path = vec![self.index[&ResourceKind::MemCtrl(numa)]];
+        let target_socket = topo.socket_of_numa(numa);
+        if target_socket != src {
+            path.push(
+                self.index[&ResourceKind::LinkDir {
+                    from: src,
+                    to: target_socket,
+                }],
+            );
+        }
+        path
+    }
+
+    /// Path of a DMA receive stream into `numa`.
+    fn dma_path(&self, numa: NumaId) -> Vec<usize> {
+        let topo = &self.platform.topology;
+        let nic_socket = topo.nic.socket;
+        let mut path = vec![
+            self.index[&ResourceKind::NicWire],
+            self.index[&ResourceKind::Pcie(nic_socket)],
+            self.index[&ResourceKind::MemCtrl(numa)],
+        ];
+        let target_socket = topo.socket_of_numa(numa);
+        if target_socket != nic_socket {
+            path.push(
+                self.index[&ResourceKind::LinkDir {
+                    from: nic_socket,
+                    to: target_socket,
+                }],
+            );
+        }
+        path
+    }
+
+    /// Path of a DMA send (NIC read) stream from `numa`: the same
+    /// components as a receive, but the inter-socket hop runs towards the
+    /// NIC.
+    fn dma_send_path(&self, numa: NumaId) -> Vec<usize> {
+        let topo = &self.platform.topology;
+        let nic_socket = topo.nic.socket;
+        let mut path = vec![
+            self.index[&ResourceKind::NicWire],
+            self.index[&ResourceKind::Pcie(nic_socket)],
+            self.index[&ResourceKind::MemCtrl(numa)],
+        ];
+        let source_socket = topo.socket_of_numa(numa);
+        if source_socket != nic_socket {
+            path.push(
+                self.index[&ResourceKind::LinkDir {
+                    from: source_socket,
+                    to: nic_socket,
+                }],
+            );
+        }
+        path
+    }
+
+    /// Effective capacities given the current accessor population.
+    fn capacities(&self, streams: &[StreamSpec]) -> Vec<f64> {
+        let topo = &self.platform.topology;
+        let behavior = &self.platform.behavior;
+        let mut caps = Vec::with_capacity(self.kinds.len());
+        for &kind in &self.kinds {
+            let cap = match kind {
+                ResourceKind::MemCtrl(n) => {
+                    let cpu_accessors = streams
+                        .iter()
+                        .filter(|s| !s.is_dma() && s.numa() == n)
+                        .count() as f64;
+                    let dma_accessors = streams
+                        .iter()
+                        .filter(|s| s.is_dma() && s.numa() == n)
+                        .count() as f64;
+                    let slots =
+                        cpu_accessors + dma_accessors * behavior.arbitration.dma_accessor_weight;
+                    behavior.mem_ctrl.effective_capacity(slots)
+                }
+                ResourceKind::LinkDir { from, to } => topo
+                    .link_between(from, to)
+                    .map(|l| l.cpu_bandwidth)
+                    .unwrap_or(f64::INFINITY),
+                ResourceKind::Pcie(s) => {
+                    debug_assert_eq!(s, topo.nic.socket);
+                    topo.nic.pcie.usable_bandwidth()
+                }
+                ResourceKind::NicWire => {
+                    topo.nic.tech.wire_rate() * topo.nic.tech.protocol_efficiency()
+                }
+            };
+            caps.push(cap);
+        }
+        caps
+    }
+
+    /// Build the solver flows for a set of streams. `cpu_scale` scales the
+    /// per-core demand uniformly — the knob compute kernels other than
+    /// non-temporal `memset` use (a copy kernel moves more bytes per
+    /// element, a compute-bound kernel far fewer).
+    fn flows(&self, streams: &[StreamSpec], capacities: &[f64], cpu_scale: f64) -> Vec<FlowReq> {
+        let behavior = &self.platform.behavior;
+        let topo = &self.platform.topology;
+        // Per-core demand depends on how many cores stream together
+        // (imperfect-scaling quirk) and on locality.
+        let n_cpu = streams.iter().filter(|s| !s.is_dma()).count();
+
+        streams
+            .iter()
+            .map(|s| match *s {
+                StreamSpec::CpuWrite { numa } => {
+                    let local = topo.is_local(SocketId::new(0), numa);
+                    let demand = behavior.core_stream.demand(n_cpu, local) * cpu_scale;
+                    FlowReq::cpu(self.cpu_path(SocketId::new(0), numa), demand)
+                }
+                StreamSpec::CpuWriteFrom { socket, numa } => {
+                    let local = topo.is_local(socket, numa);
+                    let demand = behavior.core_stream.demand(n_cpu, local) * cpu_scale;
+                    FlowReq::cpu(self.cpu_path(socket, numa), demand)
+                }
+                StreamSpec::DmaRecv { numa } => {
+                    let demand = self.dma_demand(numa);
+                    let floor = behavior.arbitration.dma_floor_fraction * demand;
+                    let capped =
+                        self.dma_pressure_cap(streams, capacities, numa, demand, floor, cpu_scale);
+                    FlowReq::dma(self.dma_path(numa), capped, floor.min(capped))
+                }
+                StreamSpec::DmaSend { numa } => {
+                    let demand = self.dma_demand(numa);
+                    let floor = behavior.arbitration.dma_floor_fraction * demand;
+                    let capped =
+                        self.dma_pressure_cap(streams, capacities, numa, demand, floor, cpu_scale);
+                    FlowReq::dma(self.dma_send_path(numa), capped, floor.min(capped))
+                }
+            })
+            .collect()
+    }
+
+    /// Throttle the DMA demand according to CPU *issue pressure* on the
+    /// hardware domains both kinds of streams occupy.
+    ///
+    /// Cores issue non-temporal stores at their nominal rate whatever their
+    /// target; stalled requests occupy the socket mesh and the target
+    /// memory controller's queues. The hardware therefore squeezes DMA
+    /// according to the issue pressure, not the eventually-granted CPU
+    /// bandwidth — which is why communications experience local-config-like
+    /// contention in every placement (paper eq. 6 applies the local model
+    /// to all non-both-remote placements).
+    ///
+    /// Domains considered: the target memory controller, the NIC socket's
+    /// mesh, and the target socket's mesh. Per domain, the cap decays
+    /// linearly from the full demand (utilisation `u0`, 1.0 unless the
+    /// platform has the early-decay quirk) to the floor (utilisation `u1`,
+    /// where a leftover-based allocation would hit the floor too).
+    fn dma_pressure_cap(
+        &self,
+        streams: &[StreamSpec],
+        capacities: &[f64],
+        numa: NumaId,
+        demand: f64,
+        floor: f64,
+        cpu_scale: f64,
+    ) -> f64 {
+        let behavior = &self.platform.behavior;
+        let topo = &self.platform.topology;
+        if demand <= floor {
+            return demand;
+        }
+        let u0 = behavior.arbitration.soft_decay_start.unwrap_or(1.0);
+        let n_cpu = streams.iter().filter(|s| !s.is_dma()).count();
+        // Issue rate of one core: its nominal local streaming rate (the
+        // core pushes requests at this rate regardless of target locality),
+        // scaled by the kernel's traffic factor.
+        let issue = behavior.core_stream.demand(n_cpu, true) * cpu_scale;
+        let target_socket = topo.socket_of_numa(numa);
+        let nic_socket = topo.nic.socket;
+        // Architectures with a narrow cross-socket I/O path feel CPU
+        // pressure more strongly when the DMA has to cross the link.
+        let cross_factor = if target_socket != nic_socket {
+            behavior.arbitration.cross_traffic_pressure_factor
+        } else {
+            1.0
+        };
+        let link_cap = |from: SocketId, to: SocketId| -> f64 {
+            if from == to {
+                f64::INFINITY
+            } else {
+                topo.link_between(from, to)
+                    .map(|l| l.cpu_bandwidth)
+                    .unwrap_or(f64::INFINITY)
+            }
+        };
+        // CPU pressure a domain on socket `dom` feels: streams are grouped
+        // by their source socket; a group issuing from another socket only
+        // delivers what the inter-socket link lets through. `filter`
+        // selects which streams pressure the domain at all.
+        let sockets = topo.sockets.len();
+        let grouped_pressure = |dom: SocketId, filter: &dyn Fn(&StreamSpec) -> bool| -> f64 {
+            let mut total = 0.0;
+            for src_idx in 0..sockets {
+                let src = SocketId::new(src_idx as u16);
+                let count = streams
+                    .iter()
+                    .filter(|s| s.cpu_socket() == Some(src) && filter(s))
+                    .count();
+                total += (count as f64 * issue).min(link_cap(src, dom));
+            }
+            total
+        };
+
+        // (capacity, cpu pressure) per domain.
+        let mut domains: Vec<(f64, f64)> = Vec::with_capacity(3);
+        // Target memory controller: pressure from CPU streams writing to
+        // the same node, delivery-capped when they cross the link.
+        let ctrl = self.index[&ResourceKind::MemCtrl(numa)];
+        let mc_pressure = grouped_pressure(target_socket, &|s| s.numa() == numa);
+        domains.push((capacities[ctrl], mc_pressure * cross_factor));
+        // Socket meshes the DMA occupies: entry (NIC socket) and landing
+        // (target socket). A CPU stream occupies its source socket's mesh
+        // (at issue rate — stalled requests queue there) and its target
+        // socket's mesh (delivery-capped by the link).
+        let mut mesh_sockets = vec![nic_socket];
+        if target_socket != nic_socket {
+            mesh_sockets.push(target_socket);
+        }
+        for mesh in mesh_sockets {
+            let pressure = grouped_pressure(mesh, &|s| {
+                s.cpu_socket() == Some(mesh) || topo.socket_of_numa(s.numa()) == mesh
+            });
+            domains.push((behavior.mesh_capacity, pressure * cross_factor));
+        }
+
+        let mut cap = demand;
+        for (c, pressure) in domains {
+            if c <= 0.0 {
+                return floor;
+            }
+            let u = (pressure + demand) / c;
+            let u1 = (c - floor + demand) / c;
+            if u <= u0 || u1 <= u0 {
+                continue;
+            }
+            let t = ((u - u0) / (u1 - u0)).clamp(0.0, 1.0);
+            cap = cap.min(demand - (demand - floor) * t);
+        }
+        cap.max(floor)
+    }
+
+    /// Solve the steady-state rates of a set of streams (non-temporal
+    /// `memset` kernels: unit CPU demand scale).
+    pub fn solve(&self, streams: &[StreamSpec]) -> SolveResult {
+        self.solve_with(streams, 1.0)
+    }
+
+    /// Solve with an explicit CPU demand scale — the per-core traffic of
+    /// the compute kernel relative to a non-temporal `memset` (e.g. ≈ 1.15
+    /// for a copy kernel, well below 1 for compute-bound kernels).
+    pub fn solve_with(&self, streams: &[StreamSpec], cpu_scale: f64) -> SolveResult {
+        assert!(cpu_scale > 0.0, "cpu_scale must be positive");
+        let capacities = self.capacities(streams);
+        let flows = self.flows(streams, &capacities, cpu_scale);
+        let Allocation {
+            rates,
+            resource_load,
+        } = allocate(&capacities, &flows);
+        SolveResult {
+            rates,
+            resource_load,
+            capacities,
+        }
+    }
+
+    /// Convenience: streams for `n` computing cores writing to `m_comp`,
+    /// optionally plus one DMA receive into `m_comm`.
+    pub fn benchmark_streams(
+        n_cores: usize,
+        m_comp: Option<NumaId>,
+        m_comm: Option<NumaId>,
+    ) -> Vec<StreamSpec> {
+        let mut v = Vec::with_capacity(n_cores + 1);
+        if let Some(mc) = m_comp {
+            v.extend((0..n_cores).map(|_| StreamSpec::CpuWrite { numa: mc }));
+        }
+        if let Some(mm) = m_comm {
+            v.push(StreamSpec::DmaRecv { numa: mm });
+        }
+        v
+    }
+}
+
+/// Check that `FlowClass` mapping matches `StreamSpec` (compile-time
+/// assurance for maintainers; used in tests).
+pub fn class_of(stream: &StreamSpec) -> FlowClass {
+    if stream.is_dma() {
+        FlowClass::Dma
+    } else {
+        FlowClass::Cpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_topology::platforms;
+
+    #[test]
+    fn resources_cover_all_components() {
+        let p = platforms::henri_subnuma();
+        let f = Fabric::new(&p);
+        // 4 controllers + 2 link directions + pcie + wire = 8.
+        assert_eq!(f.resource_count(), 8);
+        assert!(f
+            .resource_index(ResourceKind::MemCtrl(NumaId::new(3)))
+            .is_some());
+        assert!(f.resource_index(ResourceKind::NicWire).is_some());
+    }
+
+    #[test]
+    fn comm_alone_reaches_nominal_bandwidth() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let streams = Fabric::benchmark_streams(0, None, Some(NumaId::new(0)));
+        let r = f.solve(&streams);
+        let expected = f.dma_demand(NumaId::new(0));
+        assert!((r.rates[0] - expected).abs() < 1e-9);
+        // EDR ≈ 11.3 GB/s
+        assert!((10.5..12.0).contains(&r.rates[0]), "{}", r.rates[0]);
+    }
+
+    #[test]
+    fn compute_alone_scales_then_saturates() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let one = f.solve(&Fabric::benchmark_streams(1, Some(NumaId::new(0)), None));
+        assert!((one.cpu_total(&Fabric::benchmark_streams(1, Some(NumaId::new(0)), None)) - 5.6).abs() < 1e-9);
+        let s10 = Fabric::benchmark_streams(10, Some(NumaId::new(0)), None);
+        let r10 = f.solve(&s10);
+        assert!((r10.cpu_total(&s10) - 56.0).abs() < 1e-9);
+        let s17 = Fabric::benchmark_streams(17, Some(NumaId::new(0)), None);
+        let r17 = f.solve(&s17);
+        let total = r17.cpu_total(&s17);
+        // Saturated below the 17*5.6 = 95.2 demand, near controller capacity.
+        assert!(total < 95.0);
+        assert!(total > 70.0, "{total}");
+    }
+
+    #[test]
+    fn parallel_total_never_exceeds_controller_capacity() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        for n in 1..=17 {
+            let s = Fabric::benchmark_streams(n, Some(NumaId::new(0)), Some(NumaId::new(0)));
+            let r = f.solve(&s);
+            let ctrl = f.resource_index(ResourceKind::MemCtrl(NumaId::new(0))).unwrap();
+            assert!(
+                r.resource_load[ctrl] <= r.capacities[ctrl] + 1e-6,
+                "n={n}: {} > {}",
+                r.resource_load[ctrl],
+                r.capacities[ctrl]
+            );
+        }
+    }
+
+    #[test]
+    fn comm_degrades_to_floor_under_heavy_compute() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let s = Fabric::benchmark_streams(17, Some(NumaId::new(0)), Some(NumaId::new(0)));
+        let r = f.solve(&s);
+        let comm = r.dma_total(&s);
+        let demand = f.dma_demand(NumaId::new(0));
+        let floor = p.behavior.arbitration.dma_floor_fraction * demand;
+        assert!((comm - floor).abs() < 1e-6, "comm {comm} vs floor {floor}");
+    }
+
+    #[test]
+    fn no_contention_when_streams_use_different_nodes_and_mesh_is_idle() {
+        // henri-subnuma: compute on node 0, comm on node 1 — different
+        // controllers. With few cores the shared socket mesh is far from
+        // saturation, so both streams keep their nominal rates.
+        let p = platforms::henri_subnuma();
+        let f = Fabric::new(&p);
+        let n = 3; // well below mesh saturation
+        let s = Fabric::benchmark_streams(n, Some(NumaId::new(0)), Some(NumaId::new(1)));
+        let r = f.solve(&s);
+        assert!((r.cpu_total(&s) - 3.0 * 5.6).abs() < 1e-6);
+        assert!((r.dma_total(&s) - f.dma_demand(NumaId::new(1))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mesh_pressure_throttles_comm_even_across_controllers() {
+        // Same placement with many cores: the streams land on different
+        // controllers but share the socket mesh, so the NIC is squeezed —
+        // the behaviour the paper's eq. 6 encodes by applying the local
+        // model to every non-both-remote placement.
+        let p = platforms::henri_subnuma();
+        let f = Fabric::new(&p);
+        let s = Fabric::benchmark_streams(17, Some(NumaId::new(0)), Some(NumaId::new(1)));
+        let r = f.solve(&s);
+        assert!(r.dma_total(&s) < f.dma_demand(NumaId::new(1)) * 0.5);
+    }
+
+    #[test]
+    fn diablo_nic_locality_sensitivity() {
+        let p = platforms::diablo();
+        let f = Fabric::new(&p);
+        let to_nic_local = f.dma_demand(NumaId::new(1));
+        let to_remote = f.dma_demand(NumaId::new(0));
+        assert!(to_nic_local > 20.0, "{to_nic_local}");
+        assert!((11.5..13.5).contains(&to_remote), "{to_remote}");
+    }
+
+    #[test]
+    fn occigen_comm_never_throttled() {
+        let p = platforms::occigen();
+        let f = Fabric::new(&p);
+        let nominal = f.dma_demand(NumaId::new(0));
+        for n in 1..=13 {
+            let s = Fabric::benchmark_streams(n, Some(NumaId::new(0)), Some(NumaId::new(0)));
+            let r = f.solve(&s);
+            assert!(
+                (r.dma_total(&s) - nominal).abs() < 1e-6,
+                "n={n}: {} vs {nominal}",
+                r.dma_total(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn remote_compute_limited_by_socket_link() {
+        let p = platforms::occigen();
+        let f = Fabric::new(&p);
+        let s = Fabric::benchmark_streams(13, Some(NumaId::new(1)), None);
+        let r = f.solve(&s);
+        let link_cap = p
+            .topology
+            .link_between(SocketId::new(0), SocketId::new(1))
+            .unwrap()
+            .cpu_bandwidth;
+        assert!(r.cpu_total(&s) <= link_cap + 1e-6);
+        // And the link really is the binding constraint (not the controller).
+        assert!((r.cpu_total(&s) - link_cap).abs() < 1e-6);
+    }
+
+    #[test]
+    fn henri_soft_decay_starts_before_threshold() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let demand = f.dma_demand(NumaId::new(0));
+        // At a core count where the hard leftover rule would still give the
+        // NIC full demand, the soft-decay quirk already shaves bandwidth.
+        // Capacity 80, demand ≈ 11.3: hard squeeze starts at n ≈ 12.3;
+        // soft decay (u0 = 0.95) starts at n ≈ 11.9.
+        let s12 = Fabric::benchmark_streams(12, Some(NumaId::new(0)), Some(NumaId::new(0)));
+        let r12 = f.solve(&s12);
+        assert!(
+            r12.dma_total(&s12) < demand - 0.2,
+            "expected early decay, got {} vs demand {demand}",
+            r12.dma_total(&s12)
+        );
+        // The hard rule alone would leave the NIC untouched here:
+        // 12 × 5.6 + 11.3 = 78.5 < 80.
+        assert!(12.0 * 5.6 + demand < 80.0);
+    }
+
+    #[test]
+    fn cpu_write_from_socket_zero_equals_plain_cpu_write() {
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        for n in [1usize, 8, 17] {
+            let plain = Fabric::benchmark_streams(n, Some(NumaId::new(0)), Some(NumaId::new(0)));
+            let explicit: Vec<StreamSpec> = plain
+                .iter()
+                .map(|s| match *s {
+                    StreamSpec::CpuWrite { numa } => StreamSpec::CpuWriteFrom {
+                        socket: SocketId::new(0),
+                        numa,
+                    },
+                    other => other,
+                })
+                .collect();
+            assert_eq!(f.solve(&plain).rates, f.solve(&explicit).rates, "n={n}");
+        }
+    }
+
+    #[test]
+    fn both_sockets_hammering_one_node_share_its_controller() {
+        // §II-B future work: 9 cores on each socket, all writing to NUMA
+        // node 0. Socket-1 cores are link-limited; the controller is the
+        // shared bottleneck; total stays within its capacity.
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let mut streams: Vec<StreamSpec> = (0..9)
+            .map(|_| StreamSpec::CpuWriteFrom {
+                socket: SocketId::new(0),
+                numa: NumaId::new(0),
+            })
+            .collect();
+        streams.extend((0..9).map(|_| StreamSpec::CpuWriteFrom {
+            socket: SocketId::new(1),
+            numa: NumaId::new(0),
+        }));
+        let solved = f.solve(&streams);
+        let total = solved.cpu_total(&streams);
+        let ctrl = f.resource_index(ResourceKind::MemCtrl(NumaId::new(0))).unwrap();
+        assert!(total <= solved.capacities[ctrl] + 1e-9);
+        // The remote half cannot exceed the inter-socket link.
+        let remote_total: f64 = solved.rates[9..].iter().sum();
+        assert!(remote_total <= 36.0 + 1e-9);
+        // Mixed access must beat what socket 0 alone could deliver only if
+        // the controller has headroom; on henri 18 streams saturate it, so
+        // the total sits at the (accessor-degraded) capacity.
+        assert!(total > 70.0, "{total}");
+    }
+
+    #[test]
+    fn mixed_socket_compute_still_squeezes_the_nic() {
+        // Cores from both sockets plus the NIC on node 0: the DMA floor
+        // still holds (no starvation) and the NIC is squeezed.
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let mut streams: Vec<StreamSpec> = (0..9)
+            .map(|_| StreamSpec::CpuWriteFrom {
+                socket: SocketId::new(0),
+                numa: NumaId::new(0),
+            })
+            .collect();
+        streams.extend((0..9).map(|_| StreamSpec::CpuWriteFrom {
+            socket: SocketId::new(1),
+            numa: NumaId::new(0),
+        }));
+        streams.push(StreamSpec::DmaRecv { numa: NumaId::new(0) });
+        let solved = f.solve(&streams);
+        let comm = solved.dma_total(&streams);
+        let demand = f.dma_demand(NumaId::new(0));
+        let floor = p.behavior.arbitration.dma_floor_fraction * demand;
+        assert!(comm < demand, "squeezed: {comm} < {demand}");
+        assert!(comm >= floor - 1e-9, "floor holds: {comm} >= {floor}");
+    }
+
+    #[test]
+    fn class_of_matches_stream_kind() {
+        assert_eq!(
+            class_of(&StreamSpec::CpuWrite { numa: NumaId::new(0) }),
+            FlowClass::Cpu
+        );
+        assert_eq!(
+            class_of(&StreamSpec::DmaRecv { numa: NumaId::new(0) }),
+            FlowClass::Dma
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! Tiered max-min fair bandwidth allocation.
+//!
+//! This is the arbitration core of the simulator. Given a set of resources
+//! (memory controllers, inter-socket bus directions, PCIe links, the NIC
+//! wire) with finite capacities, and a set of flows each following a path
+//! through some of those resources, it computes the steady-state rate of
+//! every flow under the arbitration rules the paper hypothesises (§II-A):
+//!
+//! 1. **DMA floors first** — a minimal bandwidth is reserved for DMA flows
+//!    on every resource they cross, "to prevent starvations";
+//! 2. **CPU tier** — CPU flows are filled max-min fairly within the
+//!    remaining capacity ("the performance of computations decreases
+//!    uniformly between computing cores"), each capped at its own demand;
+//! 3. **DMA tier** — DMA flows then share whatever capacity is left, again
+//!    max-min fairly, between their floor and their demand.
+//!
+//! Max-min fairness is computed by classic progressive filling: all
+//! unfrozen flows grow at the same rate; a flow freezes when it reaches its
+//! cap or when a resource on its path saturates.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a resource in the solver input.
+pub type ResourceIdx = usize;
+
+/// Class of a flow, deciding its arbitration tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowClass {
+    /// CPU-initiated traffic (loads/stores from computing cores). Higher
+    /// priority: memory requests from cores win over PCIe requests.
+    Cpu,
+    /// PCIe-initiated traffic (NIC DMA). Lower priority but with a
+    /// guaranteed floor.
+    Dma,
+}
+
+/// One flow to allocate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowReq {
+    /// Resources this flow crosses (deduplicated; order irrelevant).
+    pub path: Vec<ResourceIdx>,
+    /// Maximum rate the flow can use (its demand), in GB/s.
+    pub demand: f64,
+    /// Guaranteed minimum rate, in GB/s. Must be `<= demand`. Only
+    /// meaningful for [`FlowClass::Dma`]; CPU flows use 0.
+    pub floor: f64,
+    /// Arbitration class.
+    pub class: FlowClass,
+}
+
+impl FlowReq {
+    /// A CPU flow with the given path and demand.
+    pub fn cpu(path: Vec<ResourceIdx>, demand: f64) -> Self {
+        FlowReq {
+            path,
+            demand,
+            floor: 0.0,
+            class: FlowClass::Cpu,
+        }
+    }
+
+    /// A DMA flow with the given path, demand and guaranteed floor.
+    pub fn dma(path: Vec<ResourceIdx>, demand: f64, floor: f64) -> Self {
+        FlowReq {
+            path,
+            demand,
+            floor,
+            class: FlowClass::Dma,
+        }
+    }
+}
+
+/// Outcome of an allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Rate granted to each flow, same order as the input, in GB/s.
+    pub rates: Vec<f64>,
+    /// Capacity used on each resource, same order as the input, in GB/s.
+    pub resource_load: Vec<f64>,
+}
+
+impl Allocation {
+    /// Total rate granted to flows of a class.
+    pub fn total_for(&self, flows: &[FlowReq], class: FlowClass) -> f64 {
+        self.rates
+            .iter()
+            .zip(flows)
+            .filter(|(_, f)| f.class == class)
+            .map(|(r, _)| r)
+            .sum()
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Progressive-filling max-min within `remaining` capacities.
+///
+/// `extras[i]` is the maximum additional rate flow `i` may receive;
+/// the returned vector holds the granted additional rate. `remaining` is
+/// updated in place.
+fn max_min_fill(flows: &[FlowReq], mask: &[bool], extras: &[f64], remaining: &mut [f64]) -> Vec<f64> {
+    let n = flows.len();
+    let mut granted = vec![0.0; n];
+    let mut active: Vec<usize> = (0..n)
+        .filter(|&i| mask[i] && extras[i] > EPS && !flows[i].path.is_empty())
+        .collect();
+    // Flows with an empty path are only limited by their own demand.
+    for i in 0..n {
+        if mask[i] && flows[i].path.is_empty() {
+            granted[i] = extras[i];
+        }
+    }
+
+    while !active.is_empty() {
+        // Count active flows per resource.
+        let mut counts = vec![0usize; remaining.len()];
+        for &i in &active {
+            for &r in &flows[i].path {
+                counts[r] += 1;
+            }
+        }
+        // Largest uniform increment before a flow caps or a resource
+        // saturates.
+        let mut delta = f64::INFINITY;
+        for &i in &active {
+            delta = delta.min(extras[i] - granted[i]);
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                delta = delta.min(remaining[r] / c as f64);
+            }
+        }
+        if !delta.is_finite() || delta < 0.0 {
+            break;
+        }
+        // Apply the increment.
+        for &i in &active {
+            granted[i] += delta;
+            for &r in &flows[i].path {
+                remaining[r] -= delta;
+            }
+        }
+        // Freeze flows that reached their cap or hit a saturated resource.
+        let before = active.len();
+        active.retain(|&i| {
+            if extras[i] - granted[i] <= EPS {
+                return false;
+            }
+            flows[i].path.iter().all(|&r| remaining[r] > EPS)
+        });
+        if active.len() == before && delta <= EPS {
+            // No progress possible (numerical corner); stop.
+            break;
+        }
+    }
+    granted
+}
+
+/// Allocate rates to `flows` over resources of the given `capacities`.
+///
+/// See the module documentation for the tier semantics. Floors that are
+/// collectively infeasible on a resource are scaled down proportionally so
+/// the allocation never exceeds capacity.
+pub fn allocate(capacities: &[f64], flows: &[FlowReq]) -> Allocation {
+    let n = flows.len();
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    let mut rates = vec![0.0; n];
+
+    // --- Tier 0: reserve DMA floors (scaled down if infeasible). ---------
+    let mut floor_scale = 1.0_f64;
+    for (r, &cap) in capacities.iter().enumerate() {
+        let floor_sum: f64 = flows
+            .iter()
+            .filter(|f| f.class == FlowClass::Dma && f.path.contains(&r))
+            .map(|f| f.floor)
+            .sum();
+        if floor_sum > cap {
+            floor_scale = floor_scale.min(cap / floor_sum);
+        }
+    }
+    for (i, f) in flows.iter().enumerate() {
+        if f.class == FlowClass::Dma {
+            let fl = (f.floor * floor_scale).min(f.demand);
+            rates[i] = fl;
+            for &r in &f.path {
+                remaining[r] = (remaining[r] - fl).max(0.0);
+            }
+        }
+    }
+
+    // --- Tier 1: CPU flows, max-min within what floors left. -------------
+    let cpu_mask: Vec<bool> = flows.iter().map(|f| f.class == FlowClass::Cpu).collect();
+    let cpu_extras: Vec<f64> = flows
+        .iter()
+        .map(|f| if f.class == FlowClass::Cpu { f.demand } else { 0.0 })
+        .collect();
+    let granted = max_min_fill(flows, &cpu_mask, &cpu_extras, &mut remaining);
+    for i in 0..n {
+        rates[i] += granted[i];
+    }
+
+    // --- Tier 2: DMA flows, floor..demand, max-min in the leftovers. -----
+    let dma_mask: Vec<bool> = flows.iter().map(|f| f.class == FlowClass::Dma).collect();
+    let dma_extras: Vec<f64> = flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            if f.class == FlowClass::Dma {
+                (f.demand - rates[i]).max(0.0)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let granted = max_min_fill(flows, &dma_mask, &dma_extras, &mut remaining);
+    for i in 0..n {
+        rates[i] += granted[i];
+    }
+
+    let mut resource_load = vec![0.0; capacities.len()];
+    for (i, f) in flows.iter().enumerate() {
+        for &r in &f.path {
+            resource_load[r] += rates[i];
+        }
+    }
+    Allocation {
+        rates,
+        resource_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn single_cpu_flow_gets_its_demand() {
+        let alloc = allocate(&[100.0], &[FlowReq::cpu(vec![0], 5.0)]);
+        assert_close(alloc.rates[0], 5.0);
+        assert_close(alloc.resource_load[0], 5.0);
+    }
+
+    #[test]
+    fn cpu_flows_share_saturated_resource_equally() {
+        let flows: Vec<FlowReq> = (0..4).map(|_| FlowReq::cpu(vec![0], 5.0)).collect();
+        let alloc = allocate(&[10.0], &flows);
+        for r in &alloc.rates {
+            assert_close(*r, 2.5);
+        }
+    }
+
+    #[test]
+    fn dma_floor_is_honoured_under_cpu_pressure() {
+        // 10 CPU flows of 5 want 50 on a 20-capacity controller; the DMA
+        // flow keeps its floor of 3.
+        let mut flows: Vec<FlowReq> = (0..10).map(|_| FlowReq::cpu(vec![0], 5.0)).collect();
+        flows.push(FlowReq::dma(vec![0], 11.0, 3.0));
+        let alloc = allocate(&[20.0], &flows);
+        assert_close(alloc.rates[10], 3.0);
+        let cpu_total: f64 = alloc.rates[..10].iter().sum();
+        assert_close(cpu_total, 17.0);
+    }
+
+    #[test]
+    fn dma_gets_leftover_up_to_demand_when_cpu_is_light() {
+        let flows = vec![FlowReq::cpu(vec![0], 5.0), FlowReq::dma(vec![0], 11.0, 3.0)];
+        let alloc = allocate(&[100.0], &flows);
+        assert_close(alloc.rates[0], 5.0);
+        assert_close(alloc.rates[1], 11.0);
+    }
+
+    #[test]
+    fn dma_squeezed_gradually_as_cpu_grows() {
+        // Capacity 20; CPU requests grow; DMA demand 11, floor 3.
+        // leftover(n) = 20 - 5n; dma = clamp(leftover, 3, 11).
+        for (n, expected) in [(1, 11.0), (2, 10.0), (3, 5.0), (4, 3.0)] {
+            let mut flows: Vec<FlowReq> = (0..n).map(|_| FlowReq::cpu(vec![0], 5.0)).collect();
+            flows.push(FlowReq::dma(vec![0], 11.0, 3.0));
+            let alloc = allocate(&[20.0], &flows);
+            assert_close(alloc.rates[n], expected);
+        }
+    }
+
+    #[test]
+    fn no_resource_is_over_capacity() {
+        let flows = vec![
+            FlowReq::cpu(vec![0, 1], 30.0),
+            FlowReq::cpu(vec![0], 30.0),
+            FlowReq::dma(vec![1, 2], 30.0, 4.0),
+        ];
+        let caps = [25.0, 18.0, 12.0];
+        let alloc = allocate(&caps, &flows);
+        for (load, cap) in alloc.resource_load.iter().zip(&caps) {
+            assert!(*load <= cap + 1e-6, "{load} > {cap}");
+        }
+    }
+
+    #[test]
+    fn multi_resource_path_limited_by_tightest() {
+        // A flow crossing both a wide and a narrow resource is limited by
+        // the narrow one.
+        let alloc = allocate(&[100.0, 8.0], &[FlowReq::cpu(vec![0, 1], 50.0)]);
+        assert_close(alloc.rates[0], 8.0);
+    }
+
+    #[test]
+    fn infeasible_floors_are_scaled() {
+        let flows = vec![
+            FlowReq::dma(vec![0], 10.0, 8.0),
+            FlowReq::dma(vec![0], 10.0, 8.0),
+        ];
+        let alloc = allocate(&[8.0], &flows);
+        assert_close(alloc.rates[0], 4.0);
+        assert_close(alloc.rates[1], 4.0);
+        assert!(alloc.resource_load[0] <= 8.0 + 1e-6);
+    }
+
+    #[test]
+    fn cpu_priority_over_dma_beyond_floor() {
+        // Capacity 10, CPU demands 8, DMA demand 8 floor 1: CPU gets its
+        // full 8, DMA gets 2 (floor 1 + leftover 1).
+        let flows = vec![FlowReq::cpu(vec![0], 8.0), FlowReq::dma(vec![0], 8.0, 1.0)];
+        let alloc = allocate(&[10.0], &flows);
+        assert_close(alloc.rates[0], 8.0);
+        assert_close(alloc.rates[1], 2.0);
+    }
+
+    #[test]
+    fn empty_path_flow_gets_demand() {
+        let alloc = allocate(&[], &[FlowReq::cpu(vec![], 7.0)]);
+        assert_close(alloc.rates[0], 7.0);
+    }
+
+    #[test]
+    fn zero_demand_flow_gets_zero() {
+        let alloc = allocate(&[10.0], &[FlowReq::cpu(vec![0], 0.0)]);
+        assert_close(alloc.rates[0], 0.0);
+    }
+
+    #[test]
+    fn two_dma_flows_share_leftover_fairly() {
+        let flows = vec![
+            FlowReq::cpu(vec![0], 4.0),
+            FlowReq::dma(vec![0], 10.0, 1.0),
+            FlowReq::dma(vec![0], 10.0, 1.0),
+        ];
+        // Capacity 10: CPU 4, floors 2, leftover 4 split 2/2 → DMA 3 each.
+        let alloc = allocate(&[10.0], &flows);
+        assert_close(alloc.rates[1], 3.0);
+        assert_close(alloc.rates[2], 3.0);
+    }
+
+    #[test]
+    fn dma_floor_capped_by_demand() {
+        // floor > demand must not over-allocate.
+        let alloc = allocate(&[10.0], &[FlowReq::dma(vec![0], 2.0, 5.0)]);
+        assert_close(alloc.rates[0], 2.0);
+    }
+}

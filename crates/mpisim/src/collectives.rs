@@ -1,0 +1,379 @@
+//! Collective operations built from point-to-point messages — the level of
+//! abstraction HPC applications actually use, and a stress test for the
+//! request machinery. Algorithms are the textbook ones (binomial trees,
+//! dissemination barrier, flat gather); all of them progress through the
+//! same simulated fabric, so contention from concurrent compute jobs slows
+//! them realistically.
+
+use mc_topology::NumaId;
+
+use crate::error::MpiError;
+use crate::request::{Rank, RequestId, Tag};
+use crate::world::World;
+
+/// Tag namespace reserved for collectives (high bits set to avoid clashing
+/// with application tags).
+const COLL_TAG_BASE: u32 = 0x4000_0000;
+
+fn coll_tag(op: u32, round: u32) -> Tag {
+    Tag(COLL_TAG_BASE | (op << 16) | round)
+}
+
+/// Blocking send: post and wait.
+pub fn send(
+    world: &mut World,
+    from: Rank,
+    to: Rank,
+    numa: NumaId,
+    bytes: u64,
+    tag: Tag,
+) -> Result<f64, MpiError> {
+    let req = world.isend(from, to, numa, bytes, tag)?;
+    world.wait(req)
+}
+
+/// Blocking receive: post and wait.
+pub fn recv(
+    world: &mut World,
+    on: Rank,
+    from: Rank,
+    numa: NumaId,
+    bytes: u64,
+    tag: Tag,
+) -> Result<f64, MpiError> {
+    let req = world.irecv(on, from, numa, bytes, tag)?;
+    world.wait(req)
+}
+
+/// Simultaneous exchange between two ranks (MPI_Sendrecv on both sides):
+/// both directions are posted before any progress, so they share the wire.
+/// Returns the completion time.
+pub fn exchange(
+    world: &mut World,
+    a: Rank,
+    b: Rank,
+    numa: NumaId,
+    bytes: u64,
+    tag: Tag,
+) -> Result<f64, MpiError> {
+    let ra = world.irecv(a, b, numa, bytes, tag)?;
+    let rb = world.irecv(b, a, numa, bytes, tag)?;
+    let sa = world.isend(a, b, numa, bytes, tag)?;
+    let sb = world.isend(b, a, numa, bytes, tag)?;
+    world.wait_all(&[ra, rb, sa, sb])
+}
+
+/// Dissemination barrier: ⌈log₂ P⌉ rounds; in round `k`, rank `i` sends a
+/// token to rank `(i + 2^k) mod P` and receives one from `(i - 2^k) mod P`.
+/// Returns the completion time.
+pub fn barrier(world: &mut World, numa: NumaId) -> Result<f64, MpiError> {
+    let p = world.size();
+    let mut round = 0u32;
+    let mut dist = 1usize;
+    let mut t = world.now();
+    while dist < p {
+        // One round: everyone exchanges a token with its partners, and the
+        // whole round completes before the next one starts (a rank cannot
+        // send its round-k+1 token before finishing round k).
+        let mut requests: Vec<RequestId> = Vec::with_capacity(2 * p);
+        for i in 0..p {
+            let to = (i + dist) % p;
+            let from = (i + p - dist % p) % p;
+            requests.push(world.irecv(i, from, numa, 1, coll_tag(1, round))?);
+            requests.push(world.isend(i, to, numa, 1, coll_tag(1, round))?);
+        }
+        t = world.wait_all(&requests)?;
+        dist <<= 1;
+        round += 1;
+    }
+    Ok(t)
+}
+
+/// Binomial-tree broadcast from `root`: ⌈log₂ P⌉ rounds, each doubling the
+/// set of ranks holding the payload. Returns the completion time.
+pub fn broadcast(
+    world: &mut World,
+    root: Rank,
+    numa: NumaId,
+    bytes: u64,
+) -> Result<f64, MpiError> {
+    let p = world.size();
+    // Work in a rotated space where the root is rank 0.
+    let abs = |v: usize| (v + root) % p;
+    let mut have = 1usize; // ranks 0..have (virtual) hold the data
+    let mut round = 0u32;
+    let mut t = world.now();
+    while have < p {
+        let senders = have.min(p - have);
+        let mut reqs = Vec::with_capacity(2 * senders);
+        for s in 0..senders {
+            let dst = s + have;
+            if dst >= p {
+                break;
+            }
+            reqs.push(world.irecv(abs(dst), abs(s), numa, bytes, coll_tag(2, round))?);
+            reqs.push(world.isend(abs(s), abs(dst), numa, bytes, coll_tag(2, round))?);
+        }
+        t = world.wait_all(&reqs)?;
+        have += senders;
+        round += 1;
+    }
+    Ok(t)
+}
+
+/// Flat gather to `root`: every other rank sends its `bytes` to the root.
+/// All receives are posted up front (the root's NIC serialises them on its
+/// wire). Returns the completion time.
+pub fn gather(
+    world: &mut World,
+    root: Rank,
+    numa: NumaId,
+    bytes: u64,
+) -> Result<f64, MpiError> {
+    let p = world.size();
+    let mut reqs = Vec::with_capacity(2 * (p - 1));
+    for r in 0..p {
+        if r == root {
+            continue;
+        }
+        reqs.push(world.irecv(root, r, numa, bytes, coll_tag(3, r as u32))?);
+        reqs.push(world.isend(r, root, numa, bytes, coll_tag(3, r as u32))?);
+    }
+    world.wait_all(&reqs)
+}
+
+/// Flat scatter from `root`: the root sends a distinct `bytes`-sized chunk
+/// to every other rank. Returns the completion time.
+pub fn scatter(
+    world: &mut World,
+    root: Rank,
+    numa: NumaId,
+    bytes: u64,
+) -> Result<f64, MpiError> {
+    let p = world.size();
+    let mut reqs = Vec::with_capacity(2 * (p - 1));
+    for r in 0..p {
+        if r == root {
+            continue;
+        }
+        reqs.push(world.irecv(r, root, numa, bytes, coll_tag(4, r as u32))?);
+        reqs.push(world.isend(root, r, numa, bytes, coll_tag(4, r as u32))?);
+    }
+    world.wait_all(&reqs)
+}
+
+/// Ring allgather: `P − 1` rounds; in each round every rank forwards the
+/// chunk it received last round to its right neighbour. After the last
+/// round every rank holds every chunk. Returns the completion time.
+pub fn allgather_ring(
+    world: &mut World,
+    numa: NumaId,
+    bytes_per_rank: u64,
+) -> Result<f64, MpiError> {
+    let p = world.size();
+    let mut t = world.now();
+    for round in 0..(p - 1) as u32 {
+        let mut reqs = Vec::with_capacity(2 * p);
+        for i in 0..p {
+            let to = (i + 1) % p;
+            let from = (i + p - 1) % p;
+            reqs.push(world.irecv(i, from, numa, bytes_per_rank, coll_tag(5, round))?);
+            reqs.push(world.isend(i, to, numa, bytes_per_rank, coll_tag(5, round))?);
+        }
+        t = world.wait_all(&reqs)?;
+    }
+    Ok(t)
+}
+
+/// Ring allreduce (reduce-scatter + allgather): the classic bandwidth-
+/// optimal algorithm, `2·(P − 1)` rounds of `bytes / P` chunks. Returns
+/// the completion time.
+pub fn allreduce_ring(world: &mut World, numa: NumaId, bytes: u64) -> Result<f64, MpiError> {
+    let p = world.size();
+    let chunk = (bytes / p as u64).max(1);
+    let mut t = world.now();
+    for round in 0..(2 * (p - 1)) as u32 {
+        let mut reqs = Vec::with_capacity(2 * p);
+        for i in 0..p {
+            let to = (i + 1) % p;
+            let from = (i + p - 1) % p;
+            reqs.push(world.irecv(i, from, numa, chunk, coll_tag(6, round))?);
+            reqs.push(world.isend(i, to, numa, chunk, coll_tag(6, round))?);
+        }
+        t = world.wait_all(&reqs)?;
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_topology::platforms;
+
+    const MB8: u64 = 8 << 20;
+
+    fn n0() -> NumaId {
+        NumaId::new(0)
+    }
+
+    #[test]
+    fn blocking_send_recv_complete() {
+        let mut w = World::pair(&platforms::henri());
+        let r = w.irecv(0, 1, n0(), MB8, Tag(0)).unwrap();
+        let t_send = send(&mut w, 1, 0, n0(), MB8, Tag(0)).unwrap();
+        assert!(w.test(r).unwrap());
+        assert!(t_send > 0.0);
+    }
+
+    #[test]
+    fn exchange_is_slower_than_one_way() {
+        let p = platforms::henri();
+        let mut w = World::pair(&p);
+        let one_way = {
+            let r = w.irecv(0, 1, n0(), MB8, Tag(9)).unwrap();
+            w.isend(1, 0, n0(), MB8, Tag(9)).unwrap();
+            w.wait(r).unwrap() - 0.0
+        };
+        let mut w2 = World::pair(&p);
+        let both = exchange(&mut w2, 0, 1, n0(), MB8, Tag(1)).unwrap();
+        assert!(both > 1.3 * one_way, "one_way={one_way}, both={both}");
+    }
+
+    #[test]
+    fn barrier_completes_on_two_and_more_ranks() {
+        for p in [2usize, 3, 5, 8] {
+            let mut w = World::homogeneous(&platforms::henri(), p);
+            let t = barrier(&mut w, n0()).unwrap_or_else(|e| panic!("P={p}: {e}"));
+            assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    fn barrier_rounds_grow_logarithmically() {
+        let t2 = {
+            let mut w = World::homogeneous(&platforms::henri(), 2);
+            barrier(&mut w, n0()).unwrap()
+        };
+        let t8 = {
+            let mut w = World::homogeneous(&platforms::henri(), 8);
+            barrier(&mut w, n0()).unwrap()
+        };
+        // 1 round vs 3 rounds: about 3x, certainly < 6x (not linear in P).
+        assert!(t8 > 1.5 * t2);
+        assert!(t8 < 6.0 * t2, "t2={t2}, t8={t8}");
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_in_log_rounds() {
+        let p = platforms::henri();
+        let t4 = {
+            let mut w = World::homogeneous(&p, 4);
+            broadcast(&mut w, 0, n0(), MB8).unwrap()
+        };
+        let t8 = {
+            let mut w = World::homogeneous(&p, 8);
+            broadcast(&mut w, 0, n0(), MB8).unwrap()
+        };
+        // log2(8)/log2(4) = 1.5 rounds ratio; allow slack but forbid the
+        // linear-ratio 2.0 with margin.
+        assert!(t8 / t4 < 1.9, "t4={t4}, t8={t8}");
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let mut w = World::homogeneous(&platforms::henri(), 5);
+        let t = broadcast(&mut w, 3, n0(), MB8).unwrap();
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn gather_serialises_on_the_root_wire() {
+        let p = platforms::henri();
+        let t3 = {
+            let mut w = World::homogeneous(&p, 3);
+            gather(&mut w, 0, n0(), MB8).unwrap()
+        };
+        let t5 = {
+            let mut w = World::homogeneous(&p, 5);
+            gather(&mut w, 0, n0(), MB8).unwrap()
+        };
+        // 2 senders vs 4 senders through one wire: about 2x.
+        assert!(t5 > 1.6 * t3, "t3={t3}, t5={t5}");
+    }
+
+    #[test]
+    fn scatter_mirrors_gather() {
+        let p = platforms::henri();
+        let t_scatter = {
+            let mut w = World::homogeneous(&p, 4);
+            scatter(&mut w, 0, n0(), MB8).unwrap()
+        };
+        let t_gather = {
+            let mut w = World::homogeneous(&p, 4);
+            gather(&mut w, 0, n0(), MB8).unwrap()
+        };
+        // Same traffic through the root's wire, opposite direction.
+        assert!((t_scatter - t_gather).abs() / t_gather < 0.15);
+    }
+
+    #[test]
+    fn allgather_ring_scales_linearly_in_ranks() {
+        let p = platforms::henri();
+        let t3 = {
+            let mut w = World::homogeneous(&p, 3);
+            allgather_ring(&mut w, n0(), MB8).unwrap()
+        };
+        let t6 = {
+            let mut w = World::homogeneous(&p, 6);
+            allgather_ring(&mut w, n0(), MB8).unwrap()
+        };
+        // (P-1) rounds: 5/2 = 2.5x expected.
+        assert!((t6 / t3 - 2.5).abs() < 0.5, "t3={t3}, t6={t6}");
+    }
+
+    #[test]
+    fn allreduce_ring_cost_tracks_message_size_not_rank_count() {
+        // Bandwidth-optimal allreduce moves ~2·bytes per rank regardless of
+        // P (chunks shrink as rounds grow).
+        let p = platforms::henri();
+        let t4 = {
+            let mut w = World::homogeneous(&p, 4);
+            allreduce_ring(&mut w, n0(), 64 << 20).unwrap()
+        };
+        let t8 = {
+            let mut w = World::homogeneous(&p, 8);
+            allreduce_ring(&mut w, n0(), 64 << 20).unwrap()
+        };
+        assert!(
+            t8 < 1.4 * t4,
+            "ring allreduce should be nearly P-independent: t4={t4}, t8={t8}"
+        );
+    }
+
+    #[test]
+    fn allreduce_costs_about_twice_an_allgather() {
+        let p = platforms::henri();
+        let bytes = 64u64 << 20;
+        let mut w = World::homogeneous(&p, 4);
+        let t_ag = allgather_ring(&mut w, n0(), bytes / 4).unwrap();
+        let mut w = World::homogeneous(&p, 4);
+        let t_ar = allreduce_ring(&mut w, n0(), bytes).unwrap() ;
+        assert!((t_ar / t_ag - 2.0).abs() < 0.3, "ag={t_ag}, ar={t_ar}");
+    }
+
+    #[test]
+    fn collectives_slow_down_under_memory_contention() {
+        let p = platforms::henri();
+        let quiet = {
+            let mut w = World::pair(&p);
+            broadcast(&mut w, 0, n0(), 64 << 20).unwrap()
+        };
+        let contended = {
+            let mut w = World::pair(&p);
+            // Saturate the receiver's memory controller.
+            w.start_compute(1, n0(), 17, 8 << 30).unwrap();
+            broadcast(&mut w, 0, n0(), 64 << 20).unwrap()
+        };
+        assert!(contended > 1.5 * quiet, "quiet={quiet}, contended={contended}");
+    }
+}

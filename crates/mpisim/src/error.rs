@@ -1,0 +1,56 @@
+//! Errors of the message-passing simulator.
+
+use std::fmt;
+
+use crate::request::{JobId, Rank, RequestId};
+
+/// Errors raised by [`crate::world::World`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// A rank outside `0..world_size` was used.
+    InvalidRank(Rank),
+    /// A request id that was never issued (or already reaped).
+    UnknownRequest(RequestId),
+    /// A job id that was never issued (or already reaped).
+    UnknownJob(JobId),
+    /// The matched send was larger than the receive buffer.
+    Truncated(RequestId),
+    /// Send and receive ranks coincide — the simulator models network
+    /// transfers only, not self-sends.
+    SelfMessage(Rank),
+    /// Waiting would never return: the request's peer operation was never
+    /// posted and no further progress is possible.
+    Deadlock(RequestId),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::InvalidRank(r) => write!(f, "invalid rank {r}"),
+            MpiError::UnknownRequest(r) => write!(f, "unknown request {r}"),
+            MpiError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            MpiError::Truncated(r) => write!(f, "message truncated on {r}"),
+            MpiError::SelfMessage(r) => write!(f, "rank {r} cannot message itself"),
+            MpiError::Deadlock(r) => write!(f, "deadlock: {r} can never complete"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MpiError::InvalidRank(7).to_string().contains('7'));
+        assert!(MpiError::Deadlock(RequestId(1)).to_string().contains("req1"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes(_: &dyn std::error::Error) {}
+        takes(&MpiError::SelfMessage(0));
+    }
+}

@@ -1,0 +1,773 @@
+//! The simulated MPI world: ranks, request matching, and a request-level
+//! event loop co-simulating transfers and compute jobs over the memory
+//! fabrics of the participating nodes.
+//!
+//! This is the substitute for MadMPI/NewMadeleine in the paper's setup:
+//! non-blocking sends/receives progressed by a dedicated communication
+//! core, with large messages moved by rendezvous + RDMA. Each node owns an
+//! `mc-memsim` fabric; the instantaneous rate of a transfer is the minimum
+//! of what the sender-side and receiver-side fabrics grant its DMA flows,
+//! so memory contention on either end slows the wire transfer — exactly the
+//! phenomenon the paper models.
+
+use std::collections::BTreeMap;
+
+use mc_memsim::fabric::{Fabric, StreamSpec};
+use mc_netsim::protocol::ProtocolConfig;
+use mc_topology::{NumaId, Platform};
+
+use crate::error::MpiError;
+use crate::request::{JobId, Rank, RequestId, RequestStatus, Tag};
+
+/// An unmatched posted operation (send or receive).
+#[derive(Debug, Clone)]
+struct PendingOp {
+    req: RequestId,
+    /// Rank that posted the operation.
+    rank: Rank,
+    /// Peer rank (destination for sends, source for receives).
+    peer: Rank,
+    tag: Tag,
+    numa: NumaId,
+    bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TransferPhase {
+    /// Handshake until the stored absolute time.
+    Pre(f64),
+    /// Payload streaming; bytes left.
+    Streaming(f64),
+    /// Wrap-up until the stored absolute time.
+    Post(f64),
+}
+
+#[derive(Debug, Clone)]
+struct Transfer {
+    send_req: RequestId,
+    recv_req: RequestId,
+    history_idx: usize,
+    src: Rank,
+    dst: Rank,
+    src_numa: NumaId,
+    dst_numa: NumaId,
+    phase: TransferPhase,
+    payload: f64,
+    post_len: f64,
+}
+
+#[derive(Debug, Clone)]
+struct JobState {
+    rank: Rank,
+    numa: NumaId,
+    cores: usize,
+    bytes_left_per_core: f64,
+    done_at: Option<f64>,
+    history_idx: usize,
+}
+
+/// Where a solved stream rate should be routed back to.
+#[derive(Debug, Clone, Copy)]
+enum StreamRef {
+    JobCore(JobId),
+    TransferIn(usize),
+    TransferOut(usize),
+}
+
+/// A completed (or in-flight) transfer, for post-mortem analysis and
+/// Gantt rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRecord {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Time the send and receive were matched.
+    pub matched_at: f64,
+    /// Completion time (`None` while in flight).
+    pub finished_at: Option<f64>,
+}
+
+/// A compute job's execution interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Rank the job ran on.
+    pub rank: Rank,
+    /// Cores used.
+    pub cores: usize,
+    /// Start time.
+    pub started_at: f64,
+    /// Completion time (`None` while running).
+    pub finished_at: Option<f64>,
+}
+
+/// The simulated multi-node world.
+pub struct World {
+    fabrics: Vec<Fabric>,
+    protocols: Vec<ProtocolConfig>,
+    time: f64,
+    next_id: u64,
+    statuses: BTreeMap<RequestId, RequestStatus>,
+    jobs: BTreeMap<JobId, JobState>,
+    transfers: Vec<Transfer>,
+    pending_sends: Vec<PendingOp>,
+    pending_recvs: Vec<PendingOp>,
+    transfer_history: Vec<TransferRecord>,
+    job_history: Vec<JobRecord>,
+}
+
+const EPS: f64 = 1e-12;
+const GB: f64 = 1e9;
+
+impl World {
+    /// Build a world of `n` identical nodes of the given platform
+    /// (`n >= 2`).
+    pub fn homogeneous(platform: &Platform, n: usize) -> Self {
+        assert!(n >= 2, "a world needs at least two nodes");
+        let fabric = Fabric::new(platform);
+        let protocol = ProtocolConfig::for_tech(platform.topology.nic.tech);
+        World {
+            fabrics: vec![fabric; n],
+            protocols: vec![protocol; n],
+            time: 0.0,
+            next_id: 0,
+            statuses: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            transfers: Vec::new(),
+            pending_sends: Vec::new(),
+            pending_recvs: Vec::new(),
+            transfer_history: Vec::new(),
+            job_history: Vec::new(),
+        }
+    }
+
+    /// The classic two-node setup of the paper's benchmark.
+    pub fn pair(platform: &Platform) -> Self {
+        World::homogeneous(platform, 2)
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.fabrics.len()
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.time
+    }
+
+    /// Every transfer matched so far (completed ones carry their finish
+    /// time), in match order.
+    pub fn transfer_history(&self) -> &[TransferRecord] {
+        &self.transfer_history
+    }
+
+    /// Every compute job started so far, in start order.
+    pub fn job_history(&self) -> &[JobRecord] {
+        &self.job_history
+    }
+
+    fn fresh_request(&mut self) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.statuses.insert(id, RequestStatus::Pending);
+        id
+    }
+
+    fn check_rank(&self, r: Rank) -> Result<(), MpiError> {
+        if r < self.size() {
+            Ok(())
+        } else {
+            Err(MpiError::InvalidRank(r))
+        }
+    }
+
+    /// Post a non-blocking send of `bytes` from `from`'s buffer on
+    /// `numa` to rank `to`.
+    pub fn isend(
+        &mut self,
+        from: Rank,
+        to: Rank,
+        numa: NumaId,
+        bytes: u64,
+        tag: Tag,
+    ) -> Result<RequestId, MpiError> {
+        self.check_rank(from)?;
+        self.check_rank(to)?;
+        if from == to {
+            return Err(MpiError::SelfMessage(from));
+        }
+        let req = self.fresh_request();
+        let op = PendingOp {
+            req,
+            rank: from,
+            peer: to,
+            tag,
+            numa,
+            bytes,
+        };
+        // MPI matching is non-overtaking: match against the earliest
+        // compatible posted receive.
+        if let Some(pos) = self
+            .pending_recvs
+            .iter()
+            .position(|r| r.rank == to && r.peer == from && r.tag.matches(tag))
+        {
+            let recv = self.pending_recvs.remove(pos);
+            self.start_transfer(op, recv);
+        } else {
+            self.pending_sends.push(op);
+        }
+        Ok(req)
+    }
+
+    /// Post a non-blocking receive on rank `on` for a message from `from`
+    /// into a buffer of `max_bytes` on `numa`.
+    pub fn irecv(
+        &mut self,
+        on: Rank,
+        from: Rank,
+        numa: NumaId,
+        max_bytes: u64,
+        tag: Tag,
+    ) -> Result<RequestId, MpiError> {
+        self.check_rank(on)?;
+        self.check_rank(from)?;
+        if on == from {
+            return Err(MpiError::SelfMessage(on));
+        }
+        let req = self.fresh_request();
+        let op = PendingOp {
+            req,
+            rank: on,
+            peer: from,
+            tag,
+            numa,
+            bytes: max_bytes,
+        };
+        if let Some(pos) = self
+            .pending_sends
+            .iter()
+            .position(|s| s.rank == from && s.peer == on && tag.matches(s.tag))
+        {
+            let send = self.pending_sends.remove(pos);
+            self.start_transfer(send, op);
+        } else {
+            self.pending_recvs.push(op);
+        }
+        Ok(req)
+    }
+
+    fn start_transfer(&mut self, send: PendingOp, recv: PendingOp) {
+        if send.bytes > recv.bytes {
+            self.statuses.insert(send.req, RequestStatus::Truncated);
+            self.statuses.insert(recv.req, RequestStatus::Truncated);
+            return;
+        }
+        let plan = self.protocols[recv.rank].plan(send.bytes);
+        self.statuses.insert(send.req, RequestStatus::InFlight);
+        self.statuses.insert(recv.req, RequestStatus::InFlight);
+        let history_idx = self.transfer_history.len();
+        self.transfer_history.push(TransferRecord {
+            src: send.rank,
+            dst: recv.rank,
+            bytes: send.bytes as f64,
+            matched_at: self.time,
+            finished_at: None,
+        });
+        self.transfers.push(Transfer {
+            send_req: send.req,
+            recv_req: recv.req,
+            history_idx,
+            src: send.rank,
+            dst: recv.rank,
+            src_numa: send.numa,
+            dst_numa: recv.numa,
+            phase: TransferPhase::Pre(self.time + plan.pre_transfer),
+            payload: send.bytes as f64,
+            post_len: plan.post_transfer,
+        });
+    }
+
+    /// Start a compute job: `cores` cores of rank `rank` each streaming
+    /// `bytes_per_core` bytes of non-temporal stores to `numa`.
+    pub fn start_compute(
+        &mut self,
+        rank: Rank,
+        numa: NumaId,
+        cores: usize,
+        bytes_per_core: u64,
+    ) -> Result<JobId, MpiError> {
+        self.check_rank(rank)?;
+        assert!(cores > 0, "a compute job needs at least one core");
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let history_idx = self.job_history.len();
+        let done_at = if bytes_per_core == 0 {
+            Some(self.time)
+        } else {
+            None
+        };
+        self.job_history.push(JobRecord {
+            rank,
+            cores,
+            started_at: self.time,
+            finished_at: done_at,
+        });
+        self.jobs.insert(
+            id,
+            JobState {
+                rank,
+                numa,
+                cores,
+                bytes_left_per_core: bytes_per_core as f64,
+                done_at,
+                history_idx,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Status of a request.
+    pub fn status(&self, req: RequestId) -> Result<RequestStatus, MpiError> {
+        self.statuses
+            .get(&req)
+            .copied()
+            .ok_or(MpiError::UnknownRequest(req))
+    }
+
+    /// Non-blocking completion test (makes no progress, like a pure
+    /// `MPI_Test` against an already-progressed engine).
+    pub fn test(&self, req: RequestId) -> Result<bool, MpiError> {
+        Ok(self.status(req)?.is_done())
+    }
+
+    /// Advance simulated time until `req` completes; returns the completion
+    /// time. Errors on truncation or deadlock.
+    pub fn wait(&mut self, req: RequestId) -> Result<f64, MpiError> {
+        loop {
+            match self.status(req)? {
+                RequestStatus::Complete(t) => return Ok(t),
+                RequestStatus::Truncated => return Err(MpiError::Truncated(req)),
+                _ => {
+                    if !self.step() {
+                        return Err(MpiError::Deadlock(req));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wait for all the given requests.
+    pub fn wait_all(&mut self, reqs: &[RequestId]) -> Result<f64, MpiError> {
+        let mut last = self.time;
+        for &r in reqs {
+            last = last.max(self.wait(r)?);
+        }
+        Ok(last)
+    }
+
+    /// Advance simulated time until job completion; returns that time.
+    pub fn wait_job(&mut self, job: JobId) -> Result<f64, MpiError> {
+        loop {
+            let done = self
+                .jobs
+                .get(&job)
+                .ok_or(MpiError::UnknownJob(job))?
+                .done_at;
+            if let Some(t) = done {
+                return Ok(t);
+            }
+            if !self.step() {
+                // A compute job can always progress unless its rate is
+                // zero, which the fabric never produces for CPU streams
+                // with positive demand.
+                return Err(MpiError::UnknownJob(job));
+            }
+        }
+    }
+
+    /// Advance by `dt` seconds of simulated time, processing events.
+    pub fn advance_by(&mut self, dt: f64) {
+        let deadline = self.time + dt;
+        while self.time < deadline - EPS {
+            if !self.step_until(deadline) {
+                self.time = deadline;
+                break;
+            }
+        }
+    }
+
+    /// Solve rates for every node; returns per-(node) stream lists with
+    /// back references and their granted rates in GB/s.
+    fn solve_rates(&self) -> Vec<(StreamRef, f64)> {
+        let mut out = Vec::new();
+        for node in 0..self.size() {
+            let mut refs: Vec<StreamRef> = Vec::new();
+            let mut specs: Vec<StreamSpec> = Vec::new();
+            for (&jid, job) in &self.jobs {
+                if job.rank == node && job.done_at.is_none() {
+                    for _ in 0..job.cores {
+                        refs.push(StreamRef::JobCore(jid));
+                        specs.push(StreamSpec::CpuWrite { numa: job.numa });
+                    }
+                }
+            }
+            for (ti, tr) in self.transfers.iter().enumerate() {
+                if !matches!(tr.phase, TransferPhase::Streaming(_)) {
+                    continue;
+                }
+                if tr.dst == node {
+                    refs.push(StreamRef::TransferIn(ti));
+                    specs.push(StreamSpec::DmaRecv { numa: tr.dst_numa });
+                }
+                if tr.src == node {
+                    // Sender-side NIC read of the source buffer.
+                    refs.push(StreamRef::TransferOut(ti));
+                    specs.push(StreamSpec::DmaRecv { numa: tr.src_numa });
+                }
+            }
+            if specs.is_empty() {
+                continue;
+            }
+            let solved = self.fabrics[node].solve(&specs);
+            out.extend(refs.into_iter().zip(solved.rates));
+        }
+        out
+    }
+
+    /// Effective rate of each active entity: per-core job rates and
+    /// transfer rates (min of both endpoints).
+    fn effective_rates(&self) -> (BTreeMap<JobId, f64>, Vec<f64>) {
+        let solved = self.solve_rates();
+        let mut job_rates: BTreeMap<JobId, f64> = BTreeMap::new();
+        let mut t_in = vec![f64::INFINITY; self.transfers.len()];
+        let mut t_out = vec![f64::INFINITY; self.transfers.len()];
+        for (r, rate) in solved {
+            match r {
+                StreamRef::JobCore(j) => {
+                    // All cores of a job are identical; keep the rate of one
+                    // core (they are equal by max-min symmetry).
+                    job_rates.insert(j, rate);
+                }
+                StreamRef::TransferIn(i) => t_in[i] = rate,
+                StreamRef::TransferOut(i) => t_out[i] = rate,
+            }
+        }
+        let transfer_rates = t_in
+            .into_iter()
+            .zip(t_out)
+            .map(|(i, o)| i.min(o))
+            .collect();
+        (job_rates, transfer_rates)
+    }
+
+    fn step(&mut self) -> bool {
+        self.step_until(f64::INFINITY)
+    }
+
+    /// Advance to the next event (bounded by `deadline`). Returns false if
+    /// nothing can progress.
+    fn step_until(&mut self, deadline: f64) -> bool {
+        let any_job = self.jobs.values().any(|j| j.done_at.is_none());
+        if self.transfers.is_empty() && !any_job {
+            return false;
+        }
+        let (job_rates, transfer_rates) = self.effective_rates();
+
+        // Earliest next event.
+        let mut next = deadline;
+        for (jid, job) in &self.jobs {
+            if job.done_at.is_none() {
+                let rate = job_rates.get(jid).copied().unwrap_or(0.0) * GB;
+                if rate > 0.0 {
+                    next = next.min(self.time + job.bytes_left_per_core / rate);
+                }
+            }
+        }
+        for (ti, tr) in self.transfers.iter().enumerate() {
+            match tr.phase {
+                TransferPhase::Pre(t) | TransferPhase::Post(t) => next = next.min(t),
+                TransferPhase::Streaming(bytes) => {
+                    let rate = transfer_rates[ti] * GB;
+                    if rate > 0.0 {
+                        next = next.min(self.time + bytes / rate);
+                    }
+                }
+            }
+        }
+        if !next.is_finite() || next <= self.time + EPS {
+            // Either nothing bounded progress, or we are already at the
+            // event instant; nudge by processing transitions directly.
+            next = (self.time + EPS).max(next.min(deadline));
+            if !next.is_finite() {
+                return false;
+            }
+        }
+        let dt = next - self.time;
+
+        // Integrate.
+        for (jid, job) in self.jobs.iter_mut() {
+            if job.done_at.is_none() {
+                let rate = job_rates.get(jid).copied().unwrap_or(0.0) * GB;
+                job.bytes_left_per_core = (job.bytes_left_per_core - rate * dt).max(0.0);
+            }
+        }
+        for (ti, tr) in self.transfers.iter_mut().enumerate() {
+            if let TransferPhase::Streaming(ref mut bytes) = tr.phase {
+                let rate = transfer_rates[ti] * GB;
+                *bytes = (*bytes - rate * dt).max(0.0);
+            }
+        }
+        self.time = next;
+
+        // Transitions.
+        for job in self.jobs.values_mut() {
+            if job.done_at.is_none() && job.bytes_left_per_core <= 1.0 {
+                job.done_at = Some(self.time);
+                self.job_history[job.history_idx].finished_at = Some(self.time);
+            }
+        }
+        let now = self.time;
+        let mut finished: Vec<(RequestId, RequestId)> = Vec::new();
+        let mut finished_history: Vec<usize> = Vec::new();
+        for tr in self.transfers.iter_mut() {
+            match tr.phase {
+                TransferPhase::Pre(t) if t <= now + EPS => {
+                    tr.phase = TransferPhase::Streaming(tr.payload);
+                }
+                TransferPhase::Streaming(bytes) if bytes <= 1.0 => {
+                    tr.phase = TransferPhase::Post(now + tr.post_len);
+                }
+                TransferPhase::Post(t) if t <= now + EPS => {
+                    finished.push((tr.send_req, tr.recv_req));
+                    finished_history.push(tr.history_idx);
+                }
+                _ => {}
+            }
+        }
+        for idx in finished_history {
+            self.transfer_history[idx].finished_at = Some(now);
+        }
+        if !finished.is_empty() {
+            self.transfers.retain(|tr| {
+                !finished
+                    .iter()
+                    .any(|&(s, _)| s == tr.send_req)
+            });
+            for (s, r) in finished {
+                self.statuses.insert(s, RequestStatus::Complete(now));
+                self.statuses.insert(r, RequestStatus::Complete(now));
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_topology::platforms;
+
+    const MB64: u64 = 64 << 20;
+
+    fn n0() -> NumaId {
+        NumaId::new(0)
+    }
+
+    #[test]
+    fn simple_send_recv_completes() {
+        let mut w = World::pair(&platforms::henri());
+        let r = w.irecv(0, 1, n0(), MB64, Tag(1)).unwrap();
+        let s = w.isend(1, 0, n0(), MB64, Tag(1)).unwrap();
+        let t = w.wait_all(&[r, s]).unwrap();
+        // 64 MiB at ~11.3 GB/s ≈ 5.9 ms.
+        assert!((0.004..0.010).contains(&t), "t = {t}");
+        assert!(w.test(r).unwrap());
+    }
+
+    #[test]
+    fn matching_respects_tags() {
+        let mut w = World::pair(&platforms::henri());
+        let r_tag2 = w.irecv(0, 1, n0(), MB64, Tag(2)).unwrap();
+        let s_tag1 = w.isend(1, 0, n0(), MB64, Tag(1)).unwrap();
+        // Tag 1 send must not match the tag-2 receive.
+        assert!(!w.test(r_tag2).unwrap());
+        assert!(!w.test(s_tag1).unwrap());
+        let r_tag1 = w.irecv(0, 1, n0(), MB64, Tag(1)).unwrap();
+        w.wait(r_tag1).unwrap();
+        assert!(w.test(s_tag1).unwrap());
+    }
+
+    #[test]
+    fn any_tag_receives_anything() {
+        let mut w = World::pair(&platforms::henri());
+        let r = w.irecv(0, 1, n0(), MB64, Tag::ANY).unwrap();
+        let s = w.isend(1, 0, n0(), MB64, Tag(77)).unwrap();
+        w.wait_all(&[r, s]).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mut w = World::pair(&platforms::henri());
+        let r = w.irecv(0, 1, n0(), 1024, Tag(0)).unwrap();
+        let _s = w.isend(1, 0, n0(), 2048, Tag(0)).unwrap();
+        assert_eq!(w.wait(r), Err(MpiError::Truncated(r)));
+    }
+
+    #[test]
+    fn deadlock_detected_on_unmatched_wait() {
+        let mut w = World::pair(&platforms::henri());
+        let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        assert_eq!(w.wait(r), Err(MpiError::Deadlock(r)));
+    }
+
+    #[test]
+    fn self_message_rejected() {
+        let mut w = World::pair(&platforms::henri());
+        assert_eq!(
+            w.isend(0, 0, n0(), 1, Tag(0)).unwrap_err(),
+            MpiError::SelfMessage(0)
+        );
+    }
+
+    #[test]
+    fn invalid_rank_rejected() {
+        let mut w = World::pair(&platforms::henri());
+        assert_eq!(
+            w.irecv(0, 5, n0(), 1, Tag(0)).unwrap_err(),
+            MpiError::InvalidRank(5)
+        );
+    }
+
+    #[test]
+    fn compute_job_duration_matches_nominal_bandwidth() {
+        let p = platforms::henri();
+        let mut w = World::pair(&p);
+        let per_core = 512u64 << 20; // 512 MiB/core
+        let job = w.start_compute(0, n0(), 4, per_core).unwrap();
+        let t = w.wait_job(job).unwrap();
+        let expected = per_core as f64 / (5.6e9);
+        assert!((t - expected).abs() / expected < 0.01, "t={t}, exp={expected}");
+    }
+
+    #[test]
+    fn overlap_on_same_numa_slows_the_transfer() {
+        let p = platforms::henri();
+        // Alone:
+        let mut w = World::pair(&p);
+        let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        let alone = w.wait(r).unwrap();
+        // With 17 cores hammering the same node on the receiver:
+        let mut w = World::pair(&p);
+        w.start_compute(0, n0(), 17, 8 << 30).unwrap();
+        let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        let contended = w.wait(r).unwrap();
+        assert!(
+            contended > 2.0 * alone,
+            "alone={alone}, contended={contended}"
+        );
+    }
+
+    #[test]
+    fn overlap_on_other_numa_leaves_transfer_untouched() {
+        let p = platforms::henri_subnuma();
+        let mut w = World::pair(&p);
+        let r = w.irecv(0, 1, NumaId::new(1), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, NumaId::new(1), MB64, Tag(0)).unwrap();
+        let alone = w.wait(r).unwrap();
+
+        // Few enough cores that the shared socket mesh stays unsaturated.
+        let mut w = World::pair(&p);
+        w.start_compute(0, NumaId::new(0), 3, 8 << 30).unwrap();
+        let r = w.irecv(0, 1, NumaId::new(1), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, NumaId::new(1), MB64, Tag(0)).unwrap();
+        let with_compute = w.wait(r).unwrap();
+        assert!(
+            (with_compute - alone).abs() / alone < 0.02,
+            "alone={alone}, with={with_compute}"
+        );
+    }
+
+    #[test]
+    fn bidirectional_traffic_shares_the_wire() {
+        let p = platforms::henri();
+        let mut w = World::pair(&p);
+        let r0 = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        let one_way = w.wait(r0).unwrap();
+
+        let mut w = World::pair(&p);
+        let r0 = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        let r1 = w.irecv(1, 0, n0(), MB64, Tag(1)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        w.isend(0, 1, n0(), MB64, Tag(1)).unwrap();
+        let both = w.wait_all(&[r0, r1]).unwrap();
+        // Each node now both sends and receives: its NIC wire carries two
+        // flows, so the pair takes measurably longer than a single pong.
+        assert!(both > 1.5 * one_way, "one_way={one_way}, both={both}");
+    }
+
+    #[test]
+    fn advance_by_moves_the_clock_even_when_idle() {
+        let mut w = World::pair(&platforms::henri());
+        w.advance_by(0.5);
+        assert!((w.now() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn posting_order_send_first_also_matches() {
+        let mut w = World::pair(&platforms::henri());
+        let s = w.isend(1, 0, n0(), MB64, Tag(9)).unwrap();
+        let r = w.irecv(0, 1, n0(), MB64, Tag(9)).unwrap();
+        w.wait_all(&[s, r]).unwrap();
+    }
+
+    #[test]
+    fn history_records_transfers_and_jobs() {
+        let p = platforms::henri();
+        let mut w = World::pair(&p);
+        let j = w.start_compute(0, n0(), 4, 256 << 20).unwrap();
+        let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        w.wait(r).unwrap();
+        w.wait_job(j).unwrap();
+
+        let transfers = w.transfer_history();
+        assert_eq!(transfers.len(), 1);
+        let tr = &transfers[0];
+        assert_eq!((tr.src, tr.dst), (1, 0));
+        assert_eq!(tr.bytes, MB64 as f64);
+        let finished = tr.finished_at.expect("transfer completed");
+        assert!(finished > tr.matched_at);
+
+        let jobs = w.job_history();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].cores, 4);
+        assert!(jobs[0].finished_at.unwrap() > jobs[0].started_at);
+    }
+
+    #[test]
+    fn unmatched_transfer_stays_unfinished_in_history() {
+        let p = platforms::henri();
+        let mut w = World::pair(&p);
+        let _r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        // Never matched: nothing in the transfer history yet.
+        assert!(w.transfer_history().is_empty());
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        // Matched but not progressed: recorded, not finished.
+        assert_eq!(w.transfer_history().len(), 1);
+        assert!(w.transfer_history()[0].finished_at.is_none());
+    }
+
+    #[test]
+    fn zero_byte_compute_job_completes_immediately() {
+        let mut w = World::pair(&platforms::henri());
+        let j = w.start_compute(0, n0(), 2, 0).unwrap();
+        assert_eq!(w.wait_job(j).unwrap(), 0.0);
+    }
+}

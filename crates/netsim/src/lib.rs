@@ -1,0 +1,29 @@
+//! # mc-netsim — NIC and protocol models
+//!
+//! Receive-side model of the high-performance NICs of the paper's testbed
+//! (InfiniBand FDR/EDR/HDR, Omni-Path): eager/rendezvous protocol timing,
+//! the DMA path through PCIe and (possibly) the inter-socket bus into the
+//! destination NUMA node, and helpers that turn message streams into
+//! `mc-memsim` engine activities.
+//!
+//! ```
+//! use mc_memsim::fabric::Fabric;
+//! use mc_netsim::NicModel;
+//! use mc_topology::{platforms, NumaId};
+//!
+//! let fabric = Fabric::new(&platforms::henri());
+//! let nic = NicModel::new(&fabric);
+//! let nominal = nic.nominal_receive(&fabric, NumaId::new(0), 64 << 20);
+//! assert!(nominal.observed_bandwidth > 10.0); // EDR ballpark, GB/s
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod nic_model;
+pub mod pingpong;
+pub mod protocol;
+
+pub use nic_model::{NicModel, NominalReceive};
+pub use pingpong::{pingpong_curve, size_ladder, PingPongPoint};
+pub use protocol::{ProtocolConfig, TransferMode, TransferPlan};

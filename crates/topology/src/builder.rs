@@ -1,0 +1,292 @@
+//! Fluent builder for custom platforms.
+//!
+//! The six Table I machines cover the paper's evaluation; downstream users
+//! modelling *their* cluster need to describe their own node. The builder
+//! assembles a [`Platform`] from high-level facts (socket/core/NUMA
+//! counts, link and memory bandwidths, NIC technology and placement) and
+//! validates the result.
+
+use crate::behavior::{ArbitrationSpec, CoreStreamSpec, HwBehavior, MemCtrlSpec, NoiseSpec};
+use crate::error::TopologyError;
+use crate::ids::{NumaId, SocketId};
+use crate::link::{InterSocketTech, PcieGen};
+use crate::machine::MachineTopology;
+use crate::nic::{NetworkTech, Nic};
+use crate::platforms::Platform;
+
+/// Builder for a custom [`Platform`]. Start from [`PlatformBuilder::new`],
+/// chain setters, finish with [`PlatformBuilder::build`].
+///
+/// ```
+/// use mc_topology::builder::{InterconnectKind, PlatformBuilder};
+/// use mc_topology::NetworkTech;
+///
+/// let platform = PlatformBuilder::new("mycluster")
+///     .processor("Example CPU 9000", 24)
+///     .sockets(2)
+///     .numa_per_socket(2)
+///     .memory_gb(128)
+///     .memory_controller(45.0, 8, 0.5)
+///     .core_stream(5.0, 4.0)
+///     .interconnect(InterconnectKind::Upi, 36.0, 26.0)
+///     .nic(NetworkTech::InfinibandEdr, 0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(platform.topology.numa_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    name: String,
+    processor: String,
+    cores_per_socket: u16,
+    sockets: u16,
+    numa_per_socket: u16,
+    memory_gb: u32,
+    mem_ctrl: MemCtrlSpec,
+    mesh_capacity: Option<f64>,
+    core_stream: CoreStreamSpec,
+    link_tech: InterSocketTech,
+    link_cpu_bw: f64,
+    link_dma_bw: f64,
+    nic_tech: NetworkTech,
+    nic_socket: u16,
+    nic_pcie: PcieGen,
+    arbitration: ArbitrationSpec,
+    noise: NoiseSpec,
+    nic_numa_efficiency: Vec<f64>,
+}
+
+/// Re-exported link technology under a builder-friendly name.
+pub use crate::link::InterSocketTech as InterconnectKind;
+
+impl PlatformBuilder {
+    /// Start a builder with sensible dual-socket Intel-like defaults.
+    pub fn new(name: impl Into<String>) -> Self {
+        PlatformBuilder {
+            name: name.into(),
+            processor: "Generic CPU".into(),
+            cores_per_socket: 16,
+            sockets: 2,
+            numa_per_socket: 1,
+            memory_gb: 128,
+            mem_ctrl: MemCtrlSpec {
+                base_capacity: 75.0,
+                contention_knees: vec![(13, 0.5)],
+                min_capacity_fraction: 0.55,
+            },
+            mesh_capacity: None,
+            core_stream: CoreStreamSpec {
+                local_bandwidth: 5.4,
+                remote_bandwidth: 4.2,
+                scaling_dropoff: 0.0,
+            },
+            link_tech: InterSocketTech::Upi,
+            link_cpu_bw: 36.0,
+            link_dma_bw: 26.0,
+            nic_tech: NetworkTech::InfinibandEdr,
+            nic_socket: 0,
+            nic_pcie: PcieGen::GEN3_X16,
+            arbitration: ArbitrationSpec {
+                dma_floor_fraction: 0.3,
+                dma_accessor_weight: 2.2,
+                soft_decay_start: None,
+                cross_traffic_pressure_factor: 1.0,
+            },
+            noise: NoiseSpec {
+                compute_sigma: 0.01,
+                comm_sigma: 0.012,
+                seed: 0x5EED,
+            },
+            nic_numa_efficiency: vec![],
+        }
+    }
+
+    /// Processor name and physical cores per socket.
+    pub fn processor(mut self, name: impl Into<String>, cores_per_socket: u16) -> Self {
+        self.processor = name.into();
+        self.cores_per_socket = cores_per_socket;
+        self
+    }
+
+    /// Number of sockets (≥ 2 for a machine with remote accesses).
+    pub fn sockets(mut self, sockets: u16) -> Self {
+        self.sockets = sockets;
+        self
+    }
+
+    /// NUMA nodes per socket (the paper's `#m`).
+    pub fn numa_per_socket(mut self, numa: u16) -> Self {
+        self.numa_per_socket = numa;
+        self
+    }
+
+    /// Total machine memory in GB (split evenly across NUMA nodes).
+    pub fn memory_gb(mut self, gb: u32) -> Self {
+        self.memory_gb = gb;
+        self
+    }
+
+    /// Memory-controller behaviour: non-temporal capacity in GB/s per NUMA
+    /// node, the accessor knee, and the per-extra-accessor penalty.
+    pub fn memory_controller(mut self, capacity: f64, knee: u32, penalty: f64) -> Self {
+        self.mem_ctrl = MemCtrlSpec {
+            base_capacity: capacity,
+            contention_knees: vec![(knee, penalty)],
+            min_capacity_fraction: 0.55,
+        };
+        self
+    }
+
+    /// Socket-level mesh throughput (defaults to the controller capacity
+    /// times the NUMA nodes per socket, capped sensibly).
+    pub fn mesh_capacity(mut self, capacity: f64) -> Self {
+        self.mesh_capacity = Some(capacity);
+        self
+    }
+
+    /// Per-core streaming bandwidth to local and remote NUMA nodes, GB/s.
+    pub fn core_stream(mut self, local: f64, remote: f64) -> Self {
+        self.core_stream.local_bandwidth = local;
+        self.core_stream.remote_bandwidth = remote;
+        self
+    }
+
+    /// Inter-socket interconnect: technology plus usable CPU and DMA
+    /// bandwidths per direction.
+    pub fn interconnect(mut self, kind: InterconnectKind, cpu_bw: f64, dma_bw: f64) -> Self {
+        self.link_tech = kind;
+        self.link_cpu_bw = cpu_bw;
+        self.link_dma_bw = dma_bw;
+        self
+    }
+
+    /// NIC technology and the socket hosting it.
+    pub fn nic(mut self, tech: NetworkTech, socket: u16) -> Self {
+        self.nic_tech = tech;
+        self.nic_socket = socket;
+        if tech == NetworkTech::InfinibandHdr {
+            self.nic_pcie = PcieGen::GEN4_X16;
+        }
+        self
+    }
+
+    /// DMA arbitration: guaranteed floor fraction and accessor weight.
+    pub fn arbitration(mut self, floor_fraction: f64, accessor_weight: f64) -> Self {
+        self.arbitration.dma_floor_fraction = floor_fraction;
+        self.arbitration.dma_accessor_weight = accessor_weight;
+        self
+    }
+
+    /// Measurement-noise magnitudes and seed.
+    pub fn noise(mut self, compute_sigma: f64, comm_sigma: f64, seed: u64) -> Self {
+        self.noise = NoiseSpec {
+            compute_sigma,
+            comm_sigma,
+            seed,
+        };
+        self
+    }
+
+    /// Per-NUMA NIC efficiency multipliers (indexed by machine-wide node
+    /// id; missing entries default to 1.0).
+    pub fn nic_numa_efficiency(mut self, eff: Vec<f64>) -> Self {
+        self.nic_numa_efficiency = eff;
+        self
+    }
+
+    /// Assemble and validate the platform.
+    pub fn build(self) -> Result<Platform, TopologyError> {
+        let nic_numa = NumaId::new(self.nic_socket * self.numa_per_socket);
+        let topology = MachineTopology::homogeneous(
+            self.name,
+            self.processor,
+            self.sockets,
+            self.cores_per_socket,
+            self.numa_per_socket,
+            self.memory_gb,
+            self.link_tech,
+            self.link_cpu_bw,
+            self.link_dma_bw,
+            Nic {
+                tech: self.nic_tech,
+                socket: SocketId::new(self.nic_socket),
+                pcie: self.nic_pcie,
+                closest_numa: nic_numa,
+            },
+        )?;
+        let mesh_capacity = self.mesh_capacity.unwrap_or_else(|| {
+            // Default: the socket can absorb what all its controllers can,
+            // up to a mild mesh limit.
+            self.mem_ctrl.base_capacity * f64::from(self.numa_per_socket).min(2.0)
+        });
+        Ok(Platform {
+            topology,
+            behavior: HwBehavior {
+                mem_ctrl: self.mem_ctrl,
+                mesh_capacity,
+                core_stream: self.core_stream,
+                arbitration: self.arbitration,
+                noise: self.noise,
+                nic_numa_efficiency: self.nic_numa_efficiency,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_a_valid_platform() {
+        let p = PlatformBuilder::new("default-box").build().unwrap();
+        p.topology.validate().unwrap();
+        assert_eq!(p.topology.cores_per_socket(), 16);
+        assert_eq!(p.topology.numa_count(), 2);
+        assert_eq!(p.name(), "default-box");
+    }
+
+    #[test]
+    fn custom_settings_are_applied() {
+        let p = PlatformBuilder::new("big")
+            .processor("Mega 128", 64)
+            .numa_per_socket(4)
+            .memory_gb(512)
+            .memory_controller(40.0, 10, 0.6)
+            .core_stream(4.5, 3.6)
+            .interconnect(InterconnectKind::InfinityFabric, 40.0, 14.0)
+            .nic(NetworkTech::InfinibandHdr, 1)
+            .arbitration(0.5, 2.0)
+            .noise(0.005, 0.006, 77)
+            .build()
+            .unwrap();
+        assert_eq!(p.topology.cores_per_socket(), 64);
+        assert_eq!(p.topology.numa_count(), 8);
+        assert_eq!(p.topology.nic.socket, SocketId::new(1));
+        // NIC on socket 1 with 4 nodes/socket → closest node is 4.
+        assert_eq!(p.topology.nic.closest_numa, NumaId::new(4));
+        // HDR implies a gen4 slot.
+        assert_eq!(p.topology.nic.pcie, PcieGen::GEN4_X16);
+        assert_eq!(p.behavior.arbitration.dma_floor_fraction, 0.5);
+        assert_eq!(p.behavior.noise.seed, 77);
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        assert!(PlatformBuilder::new("bad").sockets(0).build().is_err());
+        assert!(PlatformBuilder::new("bad")
+            .processor("x", 0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn default_mesh_tracks_controller_capacity() {
+        let one = PlatformBuilder::new("a").build().unwrap();
+        assert!((one.behavior.mesh_capacity - 75.0).abs() < 1e-9);
+        let two = PlatformBuilder::new("b").numa_per_socket(2).build().unwrap();
+        assert!((two.behavior.mesh_capacity - 150.0).abs() < 1e-9);
+        let explicit = PlatformBuilder::new("c").mesh_capacity(99.0).build().unwrap();
+        assert_eq!(explicit.behavior.mesh_capacity, 99.0);
+    }
+}

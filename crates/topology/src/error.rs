@@ -1,0 +1,73 @@
+//! Topology validation errors.
+
+use std::fmt;
+
+use crate::ids::SocketId;
+
+/// Errors raised by [`crate::machine::MachineTopology::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The machine has no socket, NUMA node or core.
+    Empty,
+    /// Identifiers are not dense indexes into the owning collection.
+    NonDenseIds(&'static str),
+    /// Sockets differ in core or NUMA node count.
+    HeterogeneousSockets,
+    /// An object references a component that does not exist (or is
+    /// inconsistent with the referenced component).
+    DanglingReference(&'static str),
+    /// A socket pair is connected by zero or several links.
+    BadLinkCount {
+        /// First socket.
+        a: SocketId,
+        /// Second socket.
+        b: SocketId,
+        /// Number of links found (expected exactly 1).
+        count: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Empty => write!(f, "machine has no sockets/NUMA nodes/cores"),
+            TopologyError::NonDenseIds(what) => {
+                write!(f, "{what} identifiers are not dense indexes")
+            }
+            TopologyError::HeterogeneousSockets => {
+                write!(f, "sockets differ in core or NUMA node count")
+            }
+            TopologyError::DanglingReference(what) => {
+                write!(f, "dangling or inconsistent reference: {what}")
+            }
+            TopologyError::BadLinkCount { a, b, count } => {
+                write!(f, "{a} and {b} connected by {count} links, expected 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopologyError::BadLinkCount {
+            a: SocketId::new(0),
+            b: SocketId::new(1),
+            count: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("socket0"));
+        assert!(s.contains("2 links"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TopologyError::Empty);
+    }
+}

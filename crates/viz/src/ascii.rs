@@ -1,0 +1,148 @@
+//! ASCII rendering: terminal-friendly charts and the machine-topology
+//! diagram of the paper's Fig. 1.
+
+/// Internal shim so the crate stays dependency-light: only the pieces of
+/// the topology the diagram needs.
+mod mc_topology_shim {
+    /// Minimal machine description consumed by [`super::topology_diagram`].
+    #[derive(Debug, Clone)]
+    pub struct TopologySketch {
+        /// Machine name.
+        pub name: String,
+        /// Number of sockets.
+        pub sockets: usize,
+        /// Cores per socket.
+        pub cores_per_socket: usize,
+        /// NUMA nodes per socket.
+        pub numa_per_socket: usize,
+        /// Socket index hosting the NIC.
+        pub nic_socket: usize,
+        /// Network technology name.
+        pub network: String,
+        /// Inter-socket bus name (UPI, Infinity Fabric, …).
+        pub bus: String,
+    }
+}
+
+pub use mc_topology_shim::TopologySketch;
+
+/// Render a simple XY line plot with unicode block characters.
+/// `series` is a list of `(label, points)`; all series share the axes.
+pub fn line_plot(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "plot area too small");
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let xmin = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let xmax = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let ymax = all.iter().map(|p| p.1).fold(0.0f64, f64::max).max(1e-12);
+    let xspan = (xmax - xmin).max(1e-12);
+
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(x, y) in *pts {
+            let cx = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let cy = ((1.0 - (y / ymax).clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            canvas[cy.min(height - 1)][cx.min(width - 1)] = g;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:8.1} ┤"));
+    out.push_str(&canvas[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &canvas[1..] {
+        out.push_str("         │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("         └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("          {xmin:<8.0}{:>w$.0}\n", xmax, w = width - 8));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {label}\n", glyphs[si % glyphs.len()]));
+    }
+    out
+}
+
+/// Render the machine diagram of the paper's Fig. 1 in ASCII: sockets with
+/// their NUMA nodes and cores, the inter-socket bus, and the NIC behind
+/// PCIe.
+pub fn topology_diagram(t: &TopologySketch) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", t.name));
+    let cell = 26usize;
+    let line = |s: &str| format!("| {s:<w$}|\n", w = cell - 2);
+    for s in 0..t.sockets {
+        out.push_str(&format!("+{}+\n", "-".repeat(cell - 1)));
+        out.push_str(&line(&format!("Socket {s}")));
+        for m in 0..t.numa_per_socket {
+            let numa_id = s * t.numa_per_socket + m;
+            out.push_str(&line(&format!("  NUMA node {numa_id} [RAM]")));
+        }
+        out.push_str(&line(&format!("  {} cores (PU)", t.cores_per_socket)));
+        if s == t.nic_socket {
+            out.push_str(&line(&format!("  PCIe -> NIC ({})", t.network)));
+        }
+        out.push_str(&format!("+{}+\n", "-".repeat(cell - 1)));
+        if s + 1 < t.sockets {
+            out.push_str(&format!("{:^w$}\n", format!("|| {} ||", t.bus), w = cell));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_plot_shows_all_series_glyphs() {
+        let a: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, i as f64)).collect();
+        let b: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 10.0 - i as f64)).collect();
+        let out = line_plot(&[("up", &a), ("down", &b)], 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("up"));
+        assert!(out.contains("down"));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        assert_eq!(line_plot(&[], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "plot area too small")]
+    fn tiny_plot_panics() {
+        let pts = [(0.0, 0.0)];
+        let _ = line_plot(&[("x", &pts)], 2, 2);
+    }
+
+    #[test]
+    fn topology_diagram_mentions_all_parts() {
+        let t = TopologySketch {
+            name: "henri".into(),
+            sockets: 2,
+            cores_per_socket: 18,
+            numa_per_socket: 2,
+            nic_socket: 0,
+            network: "InfiniBand EDR".into(),
+            bus: "UPI".into(),
+        };
+        let d = topology_diagram(&t);
+        assert!(d.contains("Socket 0"));
+        assert!(d.contains("Socket 1"));
+        assert!(d.contains("NUMA node 3"));
+        assert!(d.contains("NIC (InfiniBand EDR)"));
+        assert!(d.contains("UPI"));
+        // The NIC appears exactly once (only on its socket).
+        assert_eq!(d.matches("NIC").count(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Subplot grids — the layout of the paper's Figs. 3–8: one column per
+//! computation-data placement, one row per communication-data placement,
+//! calibration subplots highlighted.
+
+use crate::chart::DualAxisChart;
+use crate::svg::Svg;
+
+/// A grid of dual-axis charts with an overall title.
+#[derive(Debug, Clone)]
+pub struct ChartGrid {
+    /// Figure title.
+    pub title: String,
+    /// Row-major charts; all rows must have `cols` entries.
+    pub charts: Vec<DualAxisChart>,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl ChartGrid {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        assert!(self.cols > 0, "grid needs at least one column");
+        assert_eq!(
+            self.charts.len() % self.cols,
+            0,
+            "chart count {} not a multiple of cols {}",
+            self.charts.len(),
+            self.cols
+        );
+        self.charts.len() / self.cols
+    }
+
+    /// Render the grid; each cell is `cell_w` × `cell_h` pixels.
+    pub fn render(&self, cell_w: f64, cell_h: f64) -> Svg {
+        let rows = self.rows();
+        let title_h = 30.0;
+        let mut svg = Svg::new(
+            self.cols as f64 * cell_w,
+            rows as f64 * cell_h + title_h,
+        );
+        svg.text(
+            self.cols as f64 * cell_w / 2.0,
+            20.0,
+            14.0,
+            "middle",
+            &self.title,
+        );
+        for (i, chart) in self.charts.iter().enumerate() {
+            let row = i / self.cols;
+            let col = i % self.cols;
+            let cell = chart.render(cell_w, cell_h);
+            svg.embed(&cell, col as f64 * cell_w, title_h + row as f64 * cell_h);
+        }
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::{Series, SeriesStyle, YAxis, COMM_COLOR};
+
+    fn tiny_chart(title: &str) -> DualAxisChart {
+        DualAxisChart {
+            title: title.into(),
+            x_label: "n".into(),
+            left_label: "GB/s".into(),
+            right_label: "GB/s".into(),
+            series: vec![Series {
+                label: "s".into(),
+                points: vec![(1.0, 1.0), (2.0, 2.0)],
+                color: COMM_COLOR.into(),
+                style: SeriesStyle::Line,
+                axis: YAxis::Left,
+            }],
+            highlighted: false,
+            legend: false,
+        }
+    }
+
+    #[test]
+    fn four_cell_grid_renders() {
+        let grid = ChartGrid {
+            title: "henri (INTEL, INFINIBAND)".into(),
+            charts: (0..4).map(|i| tiny_chart(&format!("cell{i}"))).collect(),
+            cols: 2,
+        };
+        assert_eq!(grid.rows(), 2);
+        let out = grid.render(200.0, 150.0).render();
+        assert!(out.contains("cell0"));
+        assert!(out.contains("cell3"));
+        assert!(out.contains("henri (INTEL, INFINIBAND)"));
+        assert_eq!(out.matches("translate(").count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_grid_panics() {
+        let grid = ChartGrid {
+            title: "x".into(),
+            charts: (0..3).map(|i| tiny_chart(&format!("c{i}"))).collect(),
+            cols: 2,
+        };
+        grid.rows();
+    }
+}

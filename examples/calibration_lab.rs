@@ -1,0 +1,73 @@
+//! Calibration lab: everything around *getting* the model parameters —
+//! the sparse sweep protocol of the paper's footnote 2, parameter
+//! stability across repeated runs (§IV-C: "higher prediction errors come
+//! most often from unstable input data"), and the averaging mitigation.
+//!
+//! ```text
+//! cargo run --release --example calibration_lab
+//! ```
+
+use memory_contention::model::{
+    average_params, calibrate, calibrate_all, calibrate_sparse, param_spread,
+};
+use memory_contention::prelude::*;
+
+fn main() {
+    let platform = platforms::henri_subnuma();
+    println!("{}\n", platform.topology.summary());
+    let numa = NumaId::new(0);
+
+    // --- Footnote 2: the sparse sweep -------------------------------
+    let runner = BenchRunner::new(&platform, BenchConfig::default());
+    let sparse = calibrate_sparse(&runner, numa, numa).expect("sparse calibration succeeds");
+    let full = calibrate(&runner.run_placement(numa, numa)).expect("full calibration succeeds");
+    println!(
+        "sparse sweep measured {} of {} core counts ({:.0} % of runs saved)",
+        sparse.measured_cores.len(),
+        sparse.full_cores,
+        100.0 * sparse.savings()
+    );
+    println!("  sparse: {}", sparse.params);
+    println!("  full  : {full}\n");
+
+    // --- Stability across noise realisations ------------------------
+    let sweeps: Vec<_> = (0..10)
+        .map(|i| {
+            let mut p = platform.clone();
+            p.behavior.noise.seed = 0xE2 + i; // ten different "days"
+            BenchRunner::new(&p, BenchConfig::default()).run_placement(numa, numa)
+        })
+        .collect();
+    let params = calibrate_all(&sweeps).expect("all runs calibrate");
+    let spread = param_spread(&params);
+    println!("parameter stability over {} runs (mean ± std):", spread.runs);
+    let show = |name: &str, s: memory_contention::model::Spread| {
+        println!(
+            "  {name:<12} {:>8.2} ± {:>5.3}  (cv {:.2} %)",
+            s.mean,
+            s.std,
+            100.0 * s.cv()
+        );
+    };
+    show("Bcomp_seq", spread.b_comp_seq);
+    show("Bcomm_seq", spread.b_comm_seq);
+    show("Tmax_par", spread.t_max_par);
+    show("alpha", spread.alpha);
+    show("Nmax_seq", spread.n_max_seq);
+
+    // --- The averaging mitigation ------------------------------------
+    let averaged = average_params(&params);
+    println!("\naveraged parameters: {averaged}");
+    println!(
+        "(a single run's Bcomm_seq can be {:.2}..{:.2}; the average pins it to {:.2})",
+        params
+            .iter()
+            .map(|p| p.b_comm_seq)
+            .fold(f64::INFINITY, f64::min),
+        params
+            .iter()
+            .map(|p| p.b_comm_seq)
+            .fold(f64::NEG_INFINITY, f64::max),
+        averaged.b_comm_seq
+    );
+}

@@ -1,0 +1,71 @@
+//! Model *your* machine: describe a custom cluster node with
+//! `PlatformBuilder`, run the two-sweep calibration against it, verify the
+//! model's accuracy on every placement, and ask the advisor where to put
+//! the data — the full workflow a downstream user follows for hardware
+//! that is not in the paper's testbed.
+//!
+//! ```text
+//! cargo run --release --example custom_platform
+//! ```
+
+use memory_contention::prelude::*;
+use memory_contention::topology::builder::{InterconnectKind, PlatformBuilder};
+use memory_contention::topology::NetworkTech;
+
+fn main() {
+    // A hypothetical dual-socket Sapphire-Rapids-like node with HDR200.
+    let platform = PlatformBuilder::new("sapphire")
+        .processor("Hypothetical CPU 8460", 48)
+        .sockets(2)
+        .numa_per_socket(2)
+        .memory_gb(512)
+        .memory_controller(62.0, 11, 0.5)
+        // Sub-NUMA mesh slices: keep the socket-level path close to one
+        // controller's worth so off-diagonal placements behave like the
+        // calibrated diagonal ones (see henri-subnuma).
+        .mesh_capacity(66.0)
+        .core_stream(6.0, 4.8)
+        .interconnect(InterconnectKind::Upi, 48.0, 34.0)
+        .nic(NetworkTech::InfinibandHdr, 0)
+        .arbitration(0.35, 2.3)
+        .noise(0.008, 0.01, 0xCAFE)
+        .build()
+        .expect("platform description is consistent");
+    println!("{}\n", platform.topology.summary());
+
+    // Calibrate from the two sample placements…
+    let (local, remote) = calibration_sweeps(&platform, BenchConfig::default());
+    let model = ContentionModel::calibrate(&platform.topology, &local, &remote)
+        .expect("calibration succeeds");
+    println!("M_local : {}", model.local().params());
+    println!("M_remote: {}\n", model.remote().params());
+
+    // …and check the predictions against a full measurement of all 16
+    // placements (which a real user could skip — that is the point).
+    let sweep = sweep_platform_parallel(&platform, BenchConfig::default());
+    let samples = [
+        (local.m_comp, local.m_comm),
+        (remote.m_comp, remote.m_comm),
+    ];
+    let errors = evaluate(&model, &sweep, &samples);
+    println!(
+        "prediction error over all {} placements: comm {:.2} %, comp {:.2} %, avg {:.2} %\n",
+        sweep.sweeps.len(),
+        errors.comm_all,
+        errors.comp_all,
+        errors.average
+    );
+
+    // Where should a 100 GB-compute / 20 GB-receive phase run?
+    let phase = PhaseProfile {
+        compute_bytes: 100e9,
+        comm_bytes: 20e9,
+        max_cores: platform.max_compute_cores(),
+    };
+    let best = recommend(&model, &phase).expect("a configuration exists");
+    println!(
+        "advisor: use {} cores, computation data on {}, receive buffers on {} \
+         -> estimated {:.3} s",
+        best.n_cores, best.m_comp, best.m_comm, best.makespan
+    );
+}

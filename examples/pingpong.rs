@@ -1,0 +1,74 @@
+//! Ping-pong curves: characterise each platform's network with the classic
+//! message-size ladder, and show the NIC-locality effect on diablo
+//! (≈ 22 GB/s into the NIC-local NUMA node, ≈ 12 GB/s across Infinity
+//! Fabric) — §IV-B c.
+//!
+//! ```text
+//! cargo run --release --example pingpong
+//! ```
+
+use memory_contention::netsim::{pingpong_curve, size_ladder, ProtocolConfig};
+use memory_contention::prelude::*;
+use memory_contention::viz;
+
+fn main() {
+    println!(
+        "{:<15} {:<16} {:>14} {:>16}",
+        "platform", "network", "latency (us)", "peak bw (GB/s)"
+    );
+    for platform in platforms::all() {
+        let fabric = Fabric::new(&platform);
+        let proto = ProtocolConfig::for_tech(platform.topology.nic.tech);
+        let curve = pingpong_curve(
+            &fabric,
+            &proto,
+            platform.topology.nic.closest_numa,
+            &size_ladder(64 << 20),
+        );
+        let first = curve.first().expect("non-empty curve");
+        let last = curve.last().expect("non-empty curve");
+        println!(
+            "{:<15} {:<16} {:>14.2} {:>16.2}",
+            platform.name(),
+            platform.topology.nic.tech.to_string(),
+            first.half_rtt * 1e6,
+            last.bandwidth
+        );
+    }
+
+    // The diablo locality effect.
+    let diablo = platforms::by_name("diablo").expect("diablo exists");
+    let fabric = Fabric::new(&diablo);
+    let proto = ProtocolConfig::for_tech(diablo.topology.nic.tech);
+    let sizes = size_ladder(64 << 20);
+    let near = pingpong_curve(&fabric, &proto, NumaId::new(1), &sizes);
+    let far = pingpong_curve(&fabric, &proto, NumaId::new(0), &sizes);
+
+    let to_pts = |curve: &[memory_contention::netsim::PingPongPoint]| -> Vec<(f64, f64)> {
+        curve
+            .iter()
+            .map(|p| ((p.bytes as f64).log2(), p.bandwidth))
+            .collect()
+    };
+    let near_pts = to_pts(&near);
+    let far_pts = to_pts(&far);
+
+    println!("\ndiablo receive bandwidth (GB/s) vs log2(message size):");
+    print!(
+        "{}",
+        viz::line_plot(
+            &[
+                ("into NUMA node 1 (NIC-local)", &near_pts),
+                ("into NUMA node 0 (across Infinity Fabric)", &far_pts),
+            ],
+            64,
+            14,
+        )
+    );
+    println!(
+        "\n64 MiB messages: {:.1} GB/s NIC-local vs {:.1} GB/s remote ({:.1}x)",
+        near.last().expect("curve").bandwidth,
+        far.last().expect("curve").bandwidth,
+        near.last().expect("curve").bandwidth / far.last().expect("curve").bandwidth
+    );
+}

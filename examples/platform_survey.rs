@@ -1,0 +1,87 @@
+//! Platform survey: the paper's full evaluation loop — measure every
+//! placement on every testbed machine, calibrate the model from the two
+//! samples, report the prediction error, and sketch the worst-contended
+//! placement as an ASCII chart.
+//!
+//! ```text
+//! cargo run --release --example platform_survey
+//! ```
+
+use memory_contention::prelude::*;
+use memory_contention::viz;
+
+fn main() {
+    println!(
+        "{:<15} {:>10} {:>10} {:>9}  worst-contended placement",
+        "platform", "comm err", "comp err", "average"
+    );
+
+    for platform in platforms::all() {
+        let sweep = sweep_platform_parallel(&platform, BenchConfig::default());
+        let ((lc, lm), (rc, rm)) = calibration_placements(&platform);
+        let local = sweep.placement(lc, lm).expect("local sample");
+        let remote = sweep.placement(rc, rm).expect("remote sample");
+        let model = ContentionModel::calibrate(&platform.topology, local, remote)
+            .expect("calibration succeeds");
+        let errors = evaluate(&model, &sweep, &[(lc, lm), (rc, rm)]);
+
+        // Find the placement with the deepest communication squeeze.
+        let worst = sweep
+            .sweeps
+            .iter()
+            .min_by(|a, b| {
+                let ratio = |s: &PlacementSweep| {
+                    let last = s.points.last().expect("non-empty sweep");
+                    last.comm_par / s.comm_alone_mean()
+                };
+                ratio(a).total_cmp(&ratio(b))
+            })
+            .expect("platform has placements");
+
+        println!(
+            "{:<15} {:>9.2}% {:>9.2}% {:>8.2}%  comp@{} comm@{}",
+            platform.name(),
+            errors.comm_all,
+            errors.comp_all,
+            errors.average,
+            worst.m_comp,
+            worst.m_comm
+        );
+    }
+
+    // Detail view for one machine: measured vs predicted on the local
+    // sample of henri.
+    let platform = platforms::henri();
+    let sweep = sweep_platform_parallel(&platform, BenchConfig::default());
+    let ((lc, lm), (rc, rm)) = calibration_placements(&platform);
+    let model = ContentionModel::calibrate(
+        &platform.topology,
+        sweep.placement(lc, lm).expect("local sample"),
+        sweep.placement(rc, rm).expect("remote sample"),
+    )
+    .expect("calibration succeeds");
+
+    let measured: Vec<(f64, f64)> = sweep
+        .placement(lc, lm)
+        .expect("local sample")
+        .points
+        .iter()
+        .map(|p| (p.n_cores as f64, p.comm_par))
+        .collect();
+    let predicted: Vec<(f64, f64)> = (1..=platform.max_compute_cores())
+        .map(|n| (n as f64, model.predict(n, lc, lm).comm))
+        .collect();
+
+    println!("\nhenri, both buffers on numa0 — network bandwidth (GB/s) vs computing cores:");
+    print!(
+        "{}",
+        viz::line_plot(
+            &[
+                ("measured comm (parallel)", &measured),
+                ("model prediction", &predicted),
+            ],
+            60,
+            14,
+        )
+    );
+}

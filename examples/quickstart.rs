@@ -1,0 +1,59 @@
+//! Quickstart: calibrate the contention model on one platform from the two
+//! sample sweeps and predict every placement.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use memory_contention::prelude::*;
+
+fn main() {
+    // Pick a machine from the paper's testbed (Table I).
+    let platform = platforms::henri();
+    println!("{}\n", platform.topology.summary());
+
+    // 1. Run the two calibration benchmarks (§IV-A2): both buffers on the
+    //    first NUMA node of the first socket, then both on the first NUMA
+    //    node of the second socket.
+    let (local, remote) = calibration_sweeps(&platform, BenchConfig::default());
+
+    // 2. Calibrate the model. These ten numbers per locality class are all
+    //    the model needs (§III-A).
+    let model = ContentionModel::calibrate(&platform.topology, &local, &remote)
+        .expect("calibration succeeds");
+    println!("M_local : {}", model.local().params());
+    println!("M_remote: {}\n", model.remote().params());
+
+    // 3. Predict all placements — including the ones never measured.
+    let n = platform.max_compute_cores();
+    println!("predictions with {n} computing cores:");
+    println!(
+        "{:<12} {:<12} {:>18} {:>18}",
+        "comp data", "comm data", "comp bw (GB/s)", "comm bw (GB/s)"
+    );
+    for (m_comp, m_comm) in model.placements() {
+        let pred = model.predict(n, m_comp, m_comm);
+        let tag = if model.is_sample_placement(m_comp, m_comm) {
+            " (calibration sample)"
+        } else {
+            ""
+        };
+        println!(
+            "{:<12} {:<12} {:>18.2} {:>18.2}{tag}",
+            m_comp.to_string(),
+            m_comm.to_string(),
+            pred.comp,
+            pred.comm
+        );
+    }
+
+    // 4. The headline effect: communications are squeezed to their
+    //    guaranteed floor when every stream hammers the same NUMA node.
+    let nominal = model.local().comm_alone();
+    let contended = model.predict(n, NumaId::new(0), NumaId::new(0)).comm;
+    println!(
+        "\ncommunications: {nominal:.2} GB/s alone -> {contended:.2} GB/s under full contention \
+         ({:.0} % kept)",
+        100.0 * contended / nominal
+    );
+}

@@ -1,0 +1,67 @@
+//! # memory-contention
+//!
+//! A Rust reproduction of *Modeling Memory Contention between
+//! Communications and Computations in Distributed HPC Systems* (Denis,
+//! Jeannot, Swartvagher — IPDPS Workshops 2022, hal-03682199).
+//!
+//! When MPI communications are overlapped with memory-bound computations,
+//! both streams share the machine's memory system and contend for
+//! bandwidth. The paper proposes a threshold model that, calibrated from
+//! only two benchmark sweeps, predicts the bandwidth each stream obtains
+//! for *every* NUMA placement of the data — with an average error under
+//! 4 %.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`topology`] — machine model and the six testbed platforms (Table I);
+//! * [`memsim`] — flow-level simulator of the NUMA memory system (the
+//!   substitute for the paper's physical machines);
+//! * [`netsim`] — NIC/DMA/protocol models;
+//! * [`mpisim`] — an MPI-like two-node message layer with tag matching;
+//! * [`membench`] — the paper's benchmarking suite (§IV-A);
+//! * [`model`] — **the paper's contribution**: calibration, equations
+//!   (1)–(8), placement combination, error metrics, baselines, and the
+//!   placement advisor;
+//! * [`viz`] — SVG/ASCII rendering of the paper's figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use memory_contention::prelude::*;
+//!
+//! let platform = platforms::henri();
+//! let (local, remote) = calibration_sweeps(&platform, BenchConfig::default());
+//! let model = ContentionModel::calibrate(&platform.topology, &local, &remote).unwrap();
+//!
+//! // How much bandwidth do 17 cores and the NIC get when they share NUMA
+//! // node 0?
+//! let pred = model.predict(17, NumaId::new(0), NumaId::new(0));
+//! assert!(pred.comm < model.local().comm_alone()); // contention!
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use mc_membench as membench;
+pub use mc_memsim as memsim;
+pub use mc_model as model;
+pub use mc_mpisim as mpisim;
+pub use mc_netsim as netsim;
+pub use mc_topology as topology;
+pub use mc_viz as viz;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mc_membench::{
+        calibration_placements, calibration_sweeps, sweep_platform, sweep_platform_parallel,
+        Backend, BenchConfig, BenchRunner, PlacementSweep, PlatformSweep, SweepPoint,
+    };
+    pub use mc_memsim::{Engine, Fabric, StreamSpec};
+    pub use mc_model::{
+        evaluate, rank, recommend, BandwidthPredictor, ContentionModel, ErrorBreakdown,
+        InstantiatedModel, ModelParams, PhaseProfile, Prediction,
+    };
+    pub use mc_mpisim::{Tag, World};
+    pub use mc_netsim::NicModel;
+    pub use mc_topology::{platforms, MachineTopology, NumaId, Platform, SocketId};
+}

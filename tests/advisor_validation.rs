@@ -1,0 +1,112 @@
+//! Closing the loop: the placement advisor predicts a phase makespan from
+//! the *analytical model*; the MPI-world simulator *executes* the same
+//! phase against the fabric. The two must agree — otherwise the advisor's
+//! recommendations would be fiction.
+
+use memory_contention::prelude::*;
+
+/// Simulate one overlapped phase in the MPI world and return its makespan.
+fn simulate_phase(
+    platform: &Platform,
+    n_cores: usize,
+    m_comp: NumaId,
+    m_comm: NumaId,
+    compute_bytes: f64,
+    comm_bytes: f64,
+) -> f64 {
+    let mut world = World::pair(platform);
+    let per_core = (compute_bytes / n_cores as f64) as u64;
+    let recv = world
+        .irecv(0, 1, m_comm, comm_bytes as u64, Tag(0))
+        .expect("post receive");
+    world
+        .isend(1, 0, m_comm, comm_bytes as u64, Tag(0))
+        .expect("post send");
+    let job = world
+        .start_compute(0, m_comp, n_cores, per_core)
+        .expect("start compute");
+    let t_job = world.wait_job(job).expect("compute completes");
+    let t_recv = world.wait(recv).expect("message arrives");
+    t_job.max(t_recv)
+}
+
+/// Build the calibrated model for a platform.
+fn model_for(platform: &Platform) -> ContentionModel {
+    let (local, remote) = calibration_sweeps(platform, BenchConfig::exact());
+    ContentionModel::calibrate(&platform.topology, &local, &remote).expect("calibration succeeds")
+}
+
+#[test]
+fn advisor_makespans_match_simulated_execution() {
+    let platform = platforms::by_name("henri").unwrap();
+    let model = model_for(&platform);
+    let compute_bytes = 40e9;
+    let comm_bytes = 4e9;
+
+    // Check several configurations spanning no-contention to saturation.
+    for &(n, comp, comm) in &[
+        (4usize, 0u16, 0u16),
+        (10, 0, 0),
+        (17, 0, 0),
+        (17, 0, 1),
+        (12, 1, 0),
+    ] {
+        let pred = model.predict(n, NumaId::new(comp), NumaId::new(comm));
+        let alone = model.predict_alone(n, NumaId::new(comp), NumaId::new(comm));
+        let predicted =
+            memory_contention::model::two_phase_makespan(pred, alone, compute_bytes, comm_bytes);
+        let simulated = simulate_phase(
+            &platform,
+            n,
+            NumaId::new(comp),
+            NumaId::new(comm),
+            compute_bytes,
+            comm_bytes,
+        );
+        let rel = (predicted - simulated).abs() / simulated;
+        // The two-phase estimate captures the post-overlap speed-up; the
+        // residual error is the model's own prediction error plus protocol
+        // overheads the analytic path ignores.
+        assert!(
+            rel < 0.10,
+            "n={n} comp=numa{comp} comm=numa{comm}: predicted {predicted:.3}s vs \
+             simulated {simulated:.3}s ({:.0} % off)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn advisor_ranking_agrees_with_simulation_on_the_winner() {
+    // The configuration the advisor ranks first must actually beat the one
+    // it ranks last, when both are executed in the simulator.
+    let platform = platforms::by_name("henri-subnuma").unwrap();
+    let model = model_for(&platform);
+    let phase = PhaseProfile {
+        compute_bytes: 30e9,
+        comm_bytes: 10e9,
+        max_cores: 17,
+    };
+    let ranked = rank(&model, &phase);
+    let best = &ranked[0];
+    let worst = ranked.last().unwrap();
+
+    let run = |r: &memory_contention::model::Recommendation| {
+        simulate_phase(
+            &platform,
+            r.n_cores,
+            r.m_comp,
+            r.m_comm,
+            phase.compute_bytes,
+            phase.comm_bytes,
+        )
+    };
+    let t_best = run(best);
+    let t_worst = run(worst);
+    assert!(
+        t_best < t_worst,
+        "advisor's best ({:.3}s simulated) must beat its worst ({:.3}s)",
+        t_best,
+        t_worst
+    );
+}

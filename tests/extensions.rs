@@ -1,0 +1,174 @@
+//! Tests of the future-work extensions (§VI of the paper): different
+//! compute kernels, bidirectional communications, the LLC model — and the
+//! key property that the model, *recalibrated* for the new configuration,
+//! keeps its accuracy (the paper scopes its validity to the kernel and
+//! message size used at calibration, §IV-C1).
+
+use memory_contention::membench::{CommPattern, ComputeKernel};
+use memory_contention::memsim::LlcSpec;
+use memory_contention::prelude::*;
+
+/// Full pipeline (measure → calibrate → evaluate) for a configuration.
+fn average_error(platform: &Platform, config: BenchConfig) -> f64 {
+    let sweep = sweep_platform_parallel(platform, config);
+    let (s_local, s_remote) = calibration_placements(platform);
+    let model = ContentionModel::calibrate(
+        &platform.topology,
+        sweep.placement(s_local.0, s_local.1).expect("local sample"),
+        sweep.placement(s_remote.0, s_remote.1).expect("remote sample"),
+    )
+    .expect("calibration succeeds");
+    evaluate(&model, &sweep, &[s_local, s_remote]).average
+}
+
+/// Communication bandwidth kept at full compute load in the local config.
+fn comm_kept_at_full_load(platform: &Platform, config: BenchConfig) -> f64 {
+    let runner = BenchRunner::new(platform, config);
+    let numa = NumaId::new(0);
+    let n = platform.max_compute_cores();
+    let alone = runner.comm_alone(n, numa);
+    let (_, par) = runner.parallel(n, numa, numa);
+    par / alone
+}
+
+#[test]
+fn heavier_kernels_increase_contention() {
+    let p = platforms::by_name("henri").unwrap();
+    let base = BenchConfig::exact();
+    // At a mid-range core count the memset kernel leaves the NIC alone but
+    // the triad kernel already squeezes it.
+    let runner_memset = BenchRunner::new(&p, base);
+    let runner_triad = BenchRunner::new(&p, base.with_kernel(ComputeKernel::triad_nt()));
+    let n = 10;
+    let numa = NumaId::new(0);
+    let (_, comm_memset) = runner_memset.parallel(n, numa, numa);
+    let (_, comm_triad) = runner_triad.parallel(n, numa, numa);
+    assert!(
+        comm_triad < comm_memset,
+        "triad ({comm_triad:.2}) must squeeze comm harder than memset ({comm_memset:.2})"
+    );
+}
+
+#[test]
+fn compute_bound_kernels_remove_contention() {
+    // §IV-C1: "other kernels or message size should produce less
+    // contention". With 4 flops/byte the cores need a fifth of the
+    // bandwidth, so even the full socket cannot threaten the NIC.
+    let p = platforms::by_name("henri").unwrap();
+    let cfg = BenchConfig::exact().with_kernel(ComputeKernel::compute_bound(4.0));
+    let kept = comm_kept_at_full_load(&p, cfg);
+    assert!(kept > 0.95, "comm kept only {kept:.2}");
+}
+
+#[test]
+fn model_recalibrated_for_copy_kernel_stays_accurate() {
+    let p = platforms::by_name("henri").unwrap();
+    let err = average_error(&p, BenchConfig::default().with_kernel(ComputeKernel::copy_nt()));
+    assert!(err < 4.0, "copy-kernel error {err:.2} %");
+}
+
+#[test]
+fn model_recalibrated_for_pingpong_stays_accurate() {
+    let p = platforms::by_name("henri").unwrap();
+    let err = average_error(&p, BenchConfig::default().with_pattern(CommPattern::PingPong));
+    assert!(err < 5.0, "ping-pong error {err:.2} %");
+}
+
+#[test]
+fn pingpong_halves_per_direction_bandwidth() {
+    // Both directions share the NIC wire: each direction of a ping-pong
+    // gets roughly half the unidirectional bandwidth.
+    let p = platforms::by_name("henri").unwrap();
+    let numa = NumaId::new(0);
+    let recv_only = BenchRunner::new(&p, BenchConfig::exact());
+    let pingpong = BenchRunner::new(
+        &p,
+        BenchConfig::exact().with_pattern(CommPattern::PingPong),
+    );
+    let uni = recv_only.comm_alone(1, numa);
+    let bi = pingpong.comm_alone(1, numa);
+    assert!(
+        (bi / uni - 0.5).abs() < 0.1,
+        "per-direction ping-pong {bi:.2} vs unidirectional {uni:.2}"
+    );
+}
+
+#[test]
+fn send_only_mirrors_recv_only_on_symmetric_machines() {
+    let p = platforms::by_name("henri").unwrap();
+    let numa = NumaId::new(0);
+    let recv = BenchRunner::new(&p, BenchConfig::exact()).comm_alone(1, numa);
+    let send = BenchRunner::new(
+        &p,
+        BenchConfig::exact().with_pattern(CommPattern::SendOnly),
+    )
+    .comm_alone(1, numa);
+    assert!((recv - send).abs() / recv < 0.02, "recv {recv:.2} vs send {send:.2}");
+}
+
+#[test]
+fn llc_absorbs_cache_resident_working_sets() {
+    // Cacheable kernel with a per-core working set that fits the LLC:
+    // no memory traffic reaches the controllers, so the NIC keeps its
+    // nominal bandwidth even at full core count.
+    let p = platforms::by_name("henri").unwrap();
+    let mut cfg = BenchConfig::exact()
+        .with_kernel(ComputeKernel::memset_cacheable())
+        .with_llc(LlcSpec::mib(1024.0)); // generous cache
+    cfg.bytes_per_pass = 1 << 20; // 1 MiB per core
+    let kept = comm_kept_at_full_load(&p, cfg);
+    assert!(kept > 0.95, "comm kept only {kept:.2}");
+}
+
+#[test]
+fn llc_does_not_help_oversized_working_sets() {
+    let p = platforms::by_name("henri").unwrap();
+    let with_small_llc = BenchConfig::exact()
+        .with_kernel(ComputeKernel::memset_cacheable())
+        .with_llc(LlcSpec::mib(24.75)); // realistic Skylake LLC, 256 MiB/core WS
+    let kept_cached = comm_kept_at_full_load(&p, with_small_llc);
+    let kept_nt = comm_kept_at_full_load(&p, BenchConfig::exact());
+    // A 24.75 MiB cache is irrelevant against 17 × 256 MiB working sets:
+    // contention is as bad as with non-temporal stores (within a few %).
+    assert!(
+        (kept_cached - kept_nt).abs() < 0.05,
+        "cached {kept_cached:.2} vs nt {kept_nt:.2}"
+    );
+}
+
+#[test]
+fn nt_kernels_ignore_the_llc_entirely() {
+    // The paper's kernel bypasses the cache: adding an LLC model must not
+    // change a single measurement.
+    let p = platforms::by_name("henri").unwrap();
+    let plain = BenchRunner::new(&p, BenchConfig::default());
+    let with_llc = BenchRunner::new(&p, BenchConfig::default().with_llc(LlcSpec::mib(64.0)));
+    let numa = NumaId::new(0);
+    for n in [1usize, 8, 17] {
+        assert_eq!(
+            plain.parallel(n, numa, numa),
+            with_llc.parallel(n, numa, numa)
+        );
+    }
+}
+
+#[test]
+fn kernel_sweep_orders_contention_by_traffic() {
+    // memset < copy < triad in traffic ⇒ comm kept decreases monotonically.
+    let p = platforms::by_name("dahu").unwrap();
+    let kept: Vec<f64> = [
+        ComputeKernel::compute_bound(2.0),
+        ComputeKernel::memset_nt(),
+        ComputeKernel::copy_nt(),
+        ComputeKernel::triad_nt(),
+    ]
+    .into_iter()
+    .map(|k| comm_kept_at_full_load(&p, BenchConfig::exact().with_kernel(k)))
+    .collect();
+    for w in kept.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-9,
+            "contention must grow with kernel traffic: {kept:?}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! The model limitations the paper documents (§IV-C1), demonstrated as
+//! *negative results* on purpose-built configurations. A reproduction that
+//! only shows successes is not a reproduction.
+
+use memory_contention::prelude::*;
+use memory_contention::topology::platforms::grillon_nps4;
+
+fn table2_row(platform: &Platform, config: BenchConfig) -> ErrorBreakdown {
+    let sweep = sweep_platform_parallel(platform, config);
+    let (s_local, s_remote) = calibration_placements(platform);
+    let model = ContentionModel::calibrate(
+        &platform.topology,
+        sweep.placement(s_local.0, s_local.1).expect("local sample"),
+        sweep.placement(s_remote.0, s_remote.1).expect("remote sample"),
+    )
+    .expect("calibration succeeds");
+    evaluate(&model, &sweep, &[s_local, s_remote])
+}
+
+#[test]
+fn many_numa_nodes_break_formula_6() {
+    // "On machines with many NUMA nodes (more than 4), network
+    // performances under memory contention depend on data locality and the
+    // heuristic given by formula 6 is not sufficiently accurate anymore."
+    let grillon = grillon_nps4();
+    assert_eq!(grillon.topology.numa_count(), 8);
+    let e8 = table2_row(&grillon, BenchConfig::default());
+
+    // Calibration still works and computations are still well predicted…
+    assert!(e8.comp_all < 6.0, "{e8:?}");
+    // …but the communication error on unseen placements is far above the
+    // paper's ≈ 4 % headline: the binary local/remote split flattens the
+    // eight-level NIC-distance gradient.
+    assert!(
+        e8.comm_non_samples > 6.0,
+        "expected degraded comm prediction on 8 NUMA nodes, got {e8:?}"
+    );
+
+    // The same hardware exposed as 2 NUMA nodes (diablo-like) predicts
+    // communications much better: the limitation is the node count, not
+    // the machine.
+    let diablo = platforms::by_name("diablo").unwrap();
+    let e2 = table2_row(&diablo, BenchConfig::default());
+    assert!(
+        e8.comm_non_samples > 2.0 * e2.comm_non_samples,
+        "8-NUMA comm error {:.2} vs 2-NUMA {:.2}",
+        e8.comm_non_samples,
+        e2.comm_non_samples
+    );
+}
+
+#[test]
+fn samples_remain_accurate_even_where_the_heuristic_fails() {
+    // The per-instantiation equations (1)-(5) are sound; only the
+    // placement combination degrades. On the calibration placements the
+    // grillon error stays small.
+    let e = table2_row(&grillon_nps4(), BenchConfig::default());
+    assert!(
+        e.comm_samples < e.comm_non_samples / 2.0,
+        "sample error should stay small: {e:?}"
+    );
+}
+
+#[test]
+fn henri_decay_onset_is_predicted_late() {
+    // §IV-B a: "our model reflects the correct impact on communications
+    // too late (the model predicts a decrease starting with 14 computing
+    // cores, while it is 10 in reality)". Our henri reproduces a milder
+    // version of the same flaw: the measured communication bandwidth
+    // starts to drop before the model says it should.
+    let p = platforms::by_name("henri").unwrap();
+    let sweep = sweep_platform_parallel(&p, BenchConfig::exact());
+    let (s_local, s_remote) = calibration_placements(&p);
+    let model = ContentionModel::calibrate(
+        &p.topology,
+        sweep.placement(s_local.0, s_local.1).unwrap(),
+        sweep.placement(s_remote.0, s_remote.1).unwrap(),
+    )
+    .unwrap();
+
+    let local = sweep.placement(s_local.0, s_local.1).unwrap();
+    let nominal = local.comm_alone_mean();
+    let measured_onset = local
+        .points
+        .iter()
+        .find(|pt| pt.comm_par < 0.97 * nominal)
+        .map(|pt| pt.n_cores)
+        .expect("measured comm degrades");
+    let predicted_onset = (1..=p.max_compute_cores())
+        .find(|&n| model.predict(n, s_local.0, s_local.1).comm < 0.97 * nominal)
+        .expect("predicted comm degrades");
+    assert!(
+        measured_onset <= predicted_onset,
+        "measured onset n={measured_onset} vs predicted n={predicted_onset}"
+    );
+}
+
+#[test]
+fn pyxis_nonsample_comm_is_the_worst_case() {
+    // §IV-B e + Table II: the pyxis architecture's locality behaviour is
+    // "more complicated to predict by just relying on the locality of the
+    // data" — its non-sample communication error dwarfs every other
+    // platform's.
+    let cfg = BenchConfig::default();
+    let pyxis = table2_row(&platforms::by_name("pyxis").unwrap(), cfg);
+    for name in ["henri", "henri-subnuma", "dahu", "diablo", "occigen"] {
+        let other = table2_row(&platforms::by_name(name).unwrap(), cfg);
+        assert!(
+            pyxis.comm_non_samples > other.comm_non_samples,
+            "pyxis {:.2} vs {name} {:.2}",
+            pyxis.comm_non_samples,
+            other.comm_non_samples
+        );
+    }
+}

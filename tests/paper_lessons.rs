@@ -1,0 +1,183 @@
+//! The qualitative findings of the paper's §IV-C2 ("Lessons learned") and
+//! §VI, checked against the simulated platforms:
+//!
+//! 1. contention is most severe when computations and communications use
+//!    data on the *same* NUMA node;
+//! 2. the bottleneck is mainly the NUMA node's memory controller, not the
+//!    inter-socket link (henri-subnuma: same remote node hurts much more
+//!    than two different remote nodes);
+//! 3. under contention the system degrades communication bandwidth first,
+//!    but guarantees it a minimum; only then do computations degrade.
+
+use memory_contention::prelude::*;
+
+fn sweep(platform: &Platform) -> PlatformSweep {
+    sweep_platform_parallel(platform, BenchConfig::default())
+}
+
+/// Relative communication bandwidth kept under full compute load.
+fn comm_kept(sweep: &PlatformSweep, m_comp: NumaId, m_comm: NumaId) -> f64 {
+    let s = sweep.placement(m_comp, m_comm).expect("placement measured");
+    let last = s.points.last().expect("non-empty");
+    last.comm_par / s.comm_alone_mean()
+}
+
+/// Mean relative communication bandwidth over the whole core sweep —
+/// captures *when* the squeeze starts, not just how deep it ends.
+fn comm_kept_mean(sweep: &PlatformSweep, m_comp: NumaId, m_comm: NumaId) -> f64 {
+    let s = sweep.placement(m_comp, m_comm).expect("placement measured");
+    let nominal = s.comm_alone_mean();
+    s.points.iter().map(|p| p.comm_par / nominal).sum::<f64>() / s.points.len() as f64
+}
+
+#[test]
+fn same_numa_placements_suffer_most() {
+    let p = platforms::by_name("henri-subnuma").unwrap();
+    let data = sweep(&p);
+    // Average squeeze on the diagonal (same node) vs off-diagonal.
+    let mut diag = Vec::new();
+    let mut off = Vec::new();
+    for (m_comp, m_comm) in p.topology.placement_combinations() {
+        let kept = comm_kept(&data, m_comp, m_comm);
+        if m_comp == m_comm {
+            diag.push(kept);
+        } else {
+            off.push(kept);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&diag) < mean(&off),
+        "diagonal {diag:?} should be squeezed harder than off-diagonal {off:?}"
+    );
+}
+
+#[test]
+fn compute_only_impacted_when_comm_shares_its_node() {
+    let p = platforms::by_name("henri-subnuma").unwrap();
+    let data = sweep(&p);
+    let at = |m_comp: u16, m_comm: u16| {
+        let s = data
+            .placement(NumaId::new(m_comp), NumaId::new(m_comm))
+            .expect("measured");
+        let last = s.points.last().expect("non-empty");
+        last.comp_par / last.comp_alone
+    };
+    // Same node: computations lose bandwidth to the guaranteed DMA floor.
+    let shared = at(0, 0);
+    // Different nodes: computations keep (almost) everything.
+    let apart = at(0, 2);
+    assert!(apart > 0.97, "apart {apart}");
+    assert!(shared < apart, "shared {shared} vs apart {apart}");
+}
+
+#[test]
+fn bottleneck_is_the_memory_controller_not_the_socket_link() {
+    // henri-subnuma, both streams remote: same remote node vs two distinct
+    // remote nodes. Both cross the inter-socket link; only the first
+    // shares a memory controller. The paper: "the place where the most
+    // contention occurs is memory controller, and not the inter-socket
+    // link".
+    let p = platforms::by_name("henri-subnuma").unwrap();
+    let data = sweep(&p);
+    // At full load both placements converge to the guaranteed floor; the
+    // controller's signature is the *earlier onset* of the squeeze, so
+    // compare the mean kept bandwidth over the sweep.
+    let same_remote = comm_kept_mean(&data, NumaId::new(2), NumaId::new(2));
+    let split_remote = comm_kept_mean(&data, NumaId::new(2), NumaId::new(3));
+    assert!(
+        same_remote < split_remote,
+        "same remote node ({same_remote:.3}) must hurt more than split remote nodes \
+         ({split_remote:.3})"
+    );
+}
+
+#[test]
+fn communications_degrade_first_and_keep_a_floor() {
+    let p = platforms::by_name("henri").unwrap();
+    let data = sweep(&p);
+    let s = data
+        .placement(NumaId::new(0), NumaId::new(0))
+        .expect("measured");
+    let nominal_comm = s.comm_alone_mean();
+
+    // Find the first core count where communications are measurably hit,
+    // and the first where computations are.
+    let comm_hit = s
+        .points
+        .iter()
+        .find(|pt| pt.comm_par < 0.9 * nominal_comm)
+        .map(|pt| pt.n_cores)
+        .expect("communications eventually degrade");
+    let comp_hit = s
+        .points
+        .iter()
+        .find(|pt| pt.comp_par < 0.95 * pt.comp_alone)
+        .map(|pt| pt.n_cores)
+        .unwrap_or(usize::MAX);
+    assert!(
+        comm_hit < comp_hit,
+        "comm degrades at n={comm_hit}, before comp at n={comp_hit}"
+    );
+
+    // The floor: even at full load, communications keep a stable minimum.
+    let last = s.points.last().expect("non-empty");
+    assert!(
+        last.comm_par > 0.15 * nominal_comm,
+        "no starvation: {:.2} of {:.2}",
+        last.comm_par,
+        nominal_comm
+    );
+    // And the floor is genuinely flat at the tail: the last three points
+    // agree within noise.
+    let tail: Vec<f64> = s.points.iter().rev().take(3).map(|p| p.comm_par).collect();
+    let spread = (tail.iter().cloned().fold(f64::MIN, f64::max)
+        - tail.iter().cloned().fold(f64::MAX, f64::min))
+        / tail[0];
+    assert!(spread < 0.15, "floor not flat: {tail:?}");
+}
+
+#[test]
+fn occigen_only_computations_are_impacted() {
+    // §IV-B d: "On this ancient platform, only computations are impacted
+    // when computations and communications do both remote memory
+    // accesses."
+    let p = platforms::by_name("occigen").unwrap();
+    let data = sweep(&p);
+    let s = data
+        .placement(NumaId::new(1), NumaId::new(1))
+        .expect("measured");
+    let last = s.points.last().expect("non-empty");
+    // Communications untouched...
+    assert!(last.comm_par > 0.99 * s.comm_alone_mean());
+    // ...while computations lose bandwidth to the DMA stream.
+    assert!(last.comp_par < 0.95 * last.comp_alone);
+}
+
+#[test]
+fn diablo_shows_almost_no_contention() {
+    // §IV-B c: plentiful memory bandwidth → overlap is nearly free.
+    let p = platforms::by_name("diablo").unwrap();
+    let data = sweep(&p);
+    for (m_comp, m_comm) in p.topology.placement_combinations() {
+        let kept = comm_kept(&data, m_comp, m_comm);
+        assert!(kept > 0.75, "placement ({m_comp},{m_comm}) kept only {kept:.2}");
+    }
+}
+
+#[test]
+fn diablo_network_is_locality_sensitive() {
+    // §IV-B c: 12.1 GB/s into node 0 vs 22.4 GB/s into node 1.
+    let p = platforms::by_name("diablo").unwrap();
+    let data = sweep(&p);
+    let slow = data
+        .placement(NumaId::new(0), NumaId::new(0))
+        .unwrap()
+        .comm_alone_mean();
+    let fast = data
+        .placement(NumaId::new(1), NumaId::new(1))
+        .unwrap()
+        .comm_alone_mean();
+    assert!((10.0..14.0).contains(&slow), "slow path {slow:.1} GB/s");
+    assert!((20.0..25.0).contains(&fast), "fast path {fast:.1} GB/s");
+}

@@ -1,0 +1,314 @@
+//! Property-based tests (proptest) on the core invariants:
+//! solver conservation laws, model equation properties, and calibration
+//! robustness under random noise.
+
+use proptest::prelude::*;
+
+use memory_contention::membench::{PlacementSweep, SweepPoint};
+use memory_contention::memsim::{allocate, Fabric, FlowClass, FlowReq, StreamSpec};
+use memory_contention::model::{calibrate, InstantiatedModel, ModelParams};
+use memory_contention::prelude::*;
+
+// ---------------------------------------------------------------- solver
+
+/// Random flow over up to 4 resources.
+fn arb_flow() -> impl Strategy<Value = FlowReq> {
+    (
+        proptest::collection::vec(0usize..4, 1..4),
+        0.0f64..40.0,
+        0.0f64..1.0,
+        prop_oneof![Just(FlowClass::Cpu), Just(FlowClass::Dma)],
+    )
+        .prop_map(|(mut path, demand, floor_frac, class)| {
+            path.sort_unstable();
+            path.dedup();
+            FlowReq {
+                path,
+                demand,
+                floor: if class == FlowClass::Dma {
+                    demand * floor_frac
+                } else {
+                    0.0
+                },
+                class,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_never_overcommits_resources(
+        flows in proptest::collection::vec(arb_flow(), 0..12),
+        caps in proptest::collection::vec(1.0f64..200.0, 4),
+    ) {
+        let alloc = allocate(&caps, &flows);
+        for (load, cap) in alloc.resource_load.iter().zip(&caps) {
+            prop_assert!(*load <= cap + 1e-6, "load {load} > cap {cap}");
+        }
+    }
+
+    #[test]
+    fn solver_never_exceeds_demand_and_never_goes_negative(
+        flows in proptest::collection::vec(arb_flow(), 0..12),
+        caps in proptest::collection::vec(1.0f64..200.0, 4),
+    ) {
+        let alloc = allocate(&caps, &flows);
+        for (rate, flow) in alloc.rates.iter().zip(&flows) {
+            prop_assert!(*rate >= -1e-9);
+            prop_assert!(*rate <= flow.demand + 1e-6, "rate {rate} > demand {}", flow.demand);
+        }
+    }
+
+    #[test]
+    fn solver_honours_feasible_floors(
+        cpu_count in 0usize..10,
+        dma_demand in 1.0f64..20.0,
+        floor_frac in 0.05f64..0.9,
+        cap in 30.0f64..200.0,
+    ) {
+        // One resource; floors are feasible by construction (floor < cap).
+        let floor = dma_demand * floor_frac;
+        let mut flows: Vec<FlowReq> = (0..cpu_count).map(|_| FlowReq::cpu(vec![0], 6.0)).collect();
+        flows.push(FlowReq::dma(vec![0], dma_demand, floor));
+        let alloc = allocate(&[cap], &flows);
+        prop_assert!(
+            alloc.rates[cpu_count] >= floor.min(dma_demand) - 1e-6,
+            "dma got {} < floor {floor}",
+            alloc.rates[cpu_count]
+        );
+    }
+
+    #[test]
+    fn solver_is_monotone_in_capacity(
+        flows in proptest::collection::vec(arb_flow(), 1..8),
+        cap in 10.0f64..100.0,
+    ) {
+        // Growing every capacity must not reduce the total allocation.
+        let caps_small = vec![cap; 4];
+        let caps_big = vec![cap * 1.5; 4];
+        let total = |caps: &[f64]| allocate(caps, &flows).rates.iter().sum::<f64>();
+        prop_assert!(total(&caps_big) >= total(&caps_small) - 1e-6);
+    }
+}
+
+// ----------------------------------------------------------------- model
+
+/// Random but structurally valid model parameters.
+fn arb_params() -> impl Strategy<Value = ModelParams> {
+    (
+        2usize..16,           // n_max_par
+        0usize..6,            // gap to n_max_seq
+        30.0f64..150.0,       // t_max_par
+        0.0f64..2.0,          // delta_l
+        0.0f64..2.0,          // delta_r
+        2.0f64..8.0,          // b_comp_seq
+        4.0f64..25.0,         // b_comm_seq
+        0.05f64..1.0,         // alpha
+    )
+        .prop_map(
+            |(n_max_par, gap, t_max_par, delta_l, delta_r, b_comp_seq, b_comm_seq, alpha)| {
+                let n_max_seq = n_max_par + gap;
+                let t_max2_par = t_max_par - delta_l * gap as f64;
+                ModelParams {
+                    n_max_par,
+                    t_max_par,
+                    n_max_seq,
+                    t_max_seq: (n_max_seq as f64 * b_comp_seq).min(t_max_par),
+                    t_max2_par,
+                    delta_l,
+                    delta_r,
+                    b_comp_seq,
+                    b_comm_seq,
+                    alpha,
+                }
+            },
+        )
+        .prop_filter("positive t_max2_par", |p| p.t_max2_par > 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn model_totals_never_exceed_capacity(params in arb_params(), n in 1usize..40) {
+        params.validate().unwrap();
+        let m = InstantiatedModel::new(params);
+        let pred = m.predict_parallel(n);
+        prop_assert!(pred.comp >= -1e-9);
+        prop_assert!(pred.comm >= -1e-9);
+        prop_assert!(
+            pred.total() <= m.total_capacity(n) + 1e-9,
+            "total {} > T({n}) {}",
+            pred.total(),
+            m.total_capacity(n)
+        );
+    }
+
+    #[test]
+    fn model_comm_bounded_by_nominal_and_floor(params in arb_params(), n in 1usize..40) {
+        let m = InstantiatedModel::new(params);
+        let pred = m.predict_parallel(n);
+        prop_assert!(pred.comm <= params.b_comm_seq + 1e-9);
+        // Once saturated, comm never drops below α·Bcomm_seq — unless the
+        // extrapolated capacity itself is smaller than the floor (far
+        // beyond the calibrated core range).
+        if !m.is_unsaturated(n) {
+            let floor = (params.alpha * params.b_comm_seq).min(m.total_capacity(n));
+            prop_assert!(
+                pred.comm >= floor - 1e-9,
+                "comm {} below floor {floor}", pred.comm
+            );
+        }
+    }
+
+    #[test]
+    fn model_capacity_is_non_increasing(params in arb_params()) {
+        let m = InstantiatedModel::new(params);
+        let mut last = f64::INFINITY;
+        for n in 1..=40 {
+            let t = m.total_capacity(n);
+            prop_assert!(t <= last + 1e-9, "T({n}) = {t} increased");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn model_comm_is_non_increasing_in_cores(params in arb_params()) {
+        let m = InstantiatedModel::new(params);
+        let mut last = f64::INFINITY;
+        for n in 1..=40 {
+            let c = m.predict_parallel(n).comm;
+            prop_assert!(c <= last + 1e-9, "comm({n}) = {c} increased from {last}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn comp_alone_scales_then_saturates(params in arb_params()) {
+        let m = InstantiatedModel::new(params);
+        for n in 1..=40 {
+            let alone = m.comp_alone(n);
+            prop_assert!(alone <= n as f64 * params.b_comp_seq + 1e-9);
+            prop_assert!(alone <= params.t_max_seq + 1e-9);
+        }
+    }
+}
+
+// ----------------------------------------------------------- calibration
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calibration_survives_any_noise_seed(seed in 0u64..10_000) {
+        // Re-seed henri's noise arbitrarily; the pipeline must stay sound
+        // and the parameters must remain in a physical range.
+        let mut p = platforms::henri();
+        p.behavior.noise.seed = seed;
+        let (local, _remote) = calibration_sweeps(&p, BenchConfig::default());
+        let params = calibrate(&local).unwrap();
+        prop_assert!((4.0..8.0).contains(&params.b_comp_seq), "{params}");
+        prop_assert!((9.0..13.0).contains(&params.b_comm_seq), "{params}");
+        prop_assert!(params.n_max_par <= params.n_max_seq);
+        prop_assert!(params.alpha > 0.1 && params.alpha <= 1.0);
+    }
+
+    #[test]
+    fn fabric_solve_conserves_on_random_workloads(
+        n_cores in 0usize..18,
+        comp_numa in 0u16..2,
+        comm_numa in 0u16..2,
+    ) {
+        let p = platforms::henri();
+        let fabric = Fabric::new(&p);
+        let streams = Fabric::benchmark_streams(
+            n_cores,
+            if n_cores > 0 { Some(NumaId::new(comp_numa)) } else { None },
+            Some(NumaId::new(comm_numa)),
+        );
+        let solved = fabric.solve(&streams);
+        for (load, cap) in solved.resource_load.iter().zip(&solved.capacities) {
+            prop_assert!(*load <= *cap + 1e-6);
+        }
+        // The DMA stream always gets something (no starvation).
+        let dma_total: f64 = solved
+            .rates
+            .iter()
+            .zip(&streams)
+            .filter(|(_, s)| matches!(s, StreamSpec::DmaRecv { .. }))
+            .map(|(r, _)| *r)
+            .sum();
+        prop_assert!(dma_total > 0.5, "dma starved: {dma_total}");
+    }
+
+    #[test]
+    fn sweep_points_are_physical(
+        n in 1usize..18,
+        comp_numa in 0u16..2,
+        comm_numa in 0u16..2,
+    ) {
+        let p = platforms::henri();
+        let runner = BenchRunner::new(&p, BenchConfig::default());
+        let pt = runner.measure_point(n, NumaId::new(comp_numa), NumaId::new(comm_numa));
+        prop_assert!(pt.comp_alone > 0.0);
+        prop_assert!(pt.comm_alone > 0.0);
+        prop_assert!(pt.comp_par > 0.0);
+        prop_assert!(pt.comm_par > 0.0);
+        // Parallel can never (beyond noise) beat alone.
+        prop_assert!(pt.comp_par <= pt.comp_alone * 1.1);
+        prop_assert!(pt.comm_par <= pt.comm_alone * 1.1);
+    }
+}
+
+// ------------------------------------------------------------- CSV codec
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_parser_never_panics_on_garbage(text in "\\PC*") {
+        // Any input must produce Ok or a structured error — never a panic.
+        let _ = PlatformSweep::from_csv(&text);
+    }
+
+    #[test]
+    fn csv_parser_never_panics_on_header_plus_garbage(body in "\\PC*") {
+        let text = format!(
+            "platform,m_comp,m_comm,n_cores,a,b,c,d\n{body}"
+        );
+        let _ = PlatformSweep::from_csv(&text);
+    }
+
+    #[test]
+    fn csv_round_trips_arbitrary_sweeps(
+        values in proptest::collection::vec((0.1f64..200.0, 0.1f64..30.0, 0.1f64..200.0, 0.1f64..30.0), 1..20),
+    ) {
+        let sweep = PlatformSweep {
+            platform: "prop".into(),
+            sweeps: vec![PlacementSweep {
+                m_comp: NumaId::new(0),
+                m_comm: NumaId::new(1),
+                points: values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(ca, ma, cp, mp))| SweepPoint {
+                        n_cores: i + 1,
+                        comp_alone: ca,
+                        comm_alone: ma,
+                        comp_par: cp,
+                        comm_par: mp,
+                    })
+                    .collect(),
+            }],
+        };
+        let parsed = PlatformSweep::from_csv(&sweep.to_csv()).unwrap();
+        prop_assert_eq!(parsed.sweeps.len(), 1);
+        prop_assert_eq!(parsed.sweeps[0].points.len(), values.len());
+        for (a, b) in sweep.sweeps[0].points.iter().zip(&parsed.sweeps[0].points) {
+            prop_assert!((a.comp_alone - b.comp_alone).abs() < 1e-4);
+            prop_assert!((a.comm_par - b.comm_par).abs() < 1e-4);
+        }
+    }
+}
