@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mc_bench::tables::evaluate_platform;
-use mc_membench::{calibration_sweeps, BenchConfig, BenchRunner};
+use mc_membench::{calibration_sweeps, sweep_platform_parallel, BenchConfig, BenchRunner};
 use mc_model::ContentionModel;
 use mc_topology::{platforms, NumaId};
 
@@ -33,6 +33,21 @@ fn sweep_and_calibrate(c: &mut Criterion) {
             |b, plat| b.iter(|| evaluate_platform(black_box(plat), BenchConfig::default())),
         );
     }
+
+    // Event-driven sweep through the runner's persistent solve cache: the
+    // workload the memoization tentpole targets.
+    group.bench_function("event_driven_placement_sweep", |b| {
+        let mut cfg = BenchConfig::event_driven();
+        cfg.window = 0.05;
+        cfg.warmup = 0.02;
+        let runner = BenchRunner::new(&p, cfg);
+        b.iter(|| runner.run_placement(black_box(NumaId::new(0)), NumaId::new(0)))
+    });
+
+    // The pooled point-stealing scheduler over a whole platform.
+    group.bench_function("pooled_platform_sweep", |b| {
+        b.iter(|| sweep_platform_parallel(black_box(&p), BenchConfig::default()))
+    });
     group.finish();
 }
 

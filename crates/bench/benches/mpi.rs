@@ -40,12 +40,16 @@ fn collectives(c: &mut Criterion) {
                 black_box(barrier(&mut w, NumaId::new(0)).unwrap())
             })
         });
-        group.bench_with_input(BenchmarkId::new("broadcast_8mib", ranks), &ranks, |b, &p| {
-            b.iter(|| {
-                let mut w = World::homogeneous(&platform, p);
-                black_box(broadcast(&mut w, 0, NumaId::new(0), 8 << 20).unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("broadcast_8mib", ranks),
+            &ranks,
+            |b, &p| {
+                b.iter(|| {
+                    let mut w = World::homogeneous(&platform, p);
+                    black_box(broadcast(&mut w, 0, NumaId::new(0), 8 << 20).unwrap())
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("allreduce_ring_64mib", ranks),
             &ranks,

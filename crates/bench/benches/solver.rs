@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use mc_memsim::fabric::Fabric;
-use mc_memsim::solver::{allocate, FlowReq};
+use mc_memsim::fabric::{Fabric, FabricScratch, SolveResult};
+use mc_memsim::solver::{allocate, allocate_into, Allocation, FlowReq, FlowSet, SolverScratch};
 use mc_topology::{platforms, NumaId};
 
 fn bench_raw_allocate(c: &mut Criterion) {
@@ -16,6 +16,27 @@ fn bench_raw_allocate(c: &mut Criterion) {
         let caps = [80.0, 13.8, 11.3];
         group.bench_with_input(BenchmarkId::from_parameter(n), &flows, |b, flows| {
             b.iter(|| allocate(black_box(&caps), black_box(flows)))
+        });
+    }
+    group.finish();
+}
+
+/// The arena/scratch twin of `bench_raw_allocate`: zero allocations per
+/// solve once the scratch is warm.
+fn bench_arena_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/allocate_into");
+    for &n in &[4usize, 16, 64, 256] {
+        let mut flows: Vec<FlowReq> = (0..n).map(|_| FlowReq::cpu(vec![0], 5.6)).collect();
+        flows.push(FlowReq::dma(vec![0, 1, 2], 11.3, 2.8));
+        let arena = FlowSet::from_reqs(&flows);
+        let caps = [80.0, 13.8, 11.3];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &arena, |b, arena| {
+            let mut scratch = SolverScratch::default();
+            let mut out = Allocation::default();
+            b.iter(|| {
+                allocate_into(black_box(&caps), black_box(arena), &mut scratch, &mut out);
+                out.rates[0]
+            })
         });
     }
     group.finish();
@@ -39,5 +60,38 @@ fn bench_fabric_solve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_raw_allocate, bench_fabric_solve);
+/// `Fabric::solve_into` with caller-held scratch and output buffers — the
+/// path the engine actually runs on a cache miss.
+fn bench_fabric_solve_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/fabric_solve_into");
+    for p in platforms::all() {
+        let fabric = Fabric::new(&p);
+        let streams = Fabric::benchmark_streams(
+            p.max_compute_cores(),
+            Some(NumaId::new(0)),
+            Some(NumaId::new(0)),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(p.name().to_string()),
+            &streams,
+            |b, streams| {
+                let mut scratch = FabricScratch::default();
+                let mut out = SolveResult::default();
+                b.iter(|| {
+                    fabric.solve_into(black_box(streams), 1.0, &mut scratch, &mut out);
+                    out.rates[0]
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_raw_allocate,
+    bench_arena_allocate,
+    bench_fabric_solve,
+    bench_fabric_solve_into
+);
 criterion_main!(benches);

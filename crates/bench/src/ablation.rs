@@ -32,10 +32,8 @@ pub fn ablation_rows(config: BenchConfig) -> Vec<AblationRow> {
             let sweep = sweep_platform_parallel(p, config);
             let model = calibrated_model(p, &sweep);
             let e_model = evaluate_predictor(p, &sweep, &model);
-            let e_none =
-                evaluate_predictor(p, &sweep, &NoContentionBaseline::new(model.clone()));
-            let e_equal =
-                evaluate_predictor(p, &sweep, &EqualShareBaseline::new(model.clone()));
+            let e_none = evaluate_predictor(p, &sweep, &NoContentionBaseline::new(model.clone()));
+            let e_equal = evaluate_predictor(p, &sweep, &EqualShareBaseline::new(model.clone()));
             let e_local = evaluate_predictor(p, &sweep, &LocalOnlyBaseline::new(model));
             AblationRow {
                 platform: p.name().to_string(),
@@ -51,9 +49,8 @@ pub fn ablation_rows(config: BenchConfig) -> Vec<AblationRow> {
 /// Render the ablation table.
 pub fn ablation_table(config: BenchConfig) -> String {
     let rows = ablation_rows(config);
-    let mut out = String::from(
-        "ABLATION — AVERAGE PREDICTION ERROR (MAPE, %) OF THE MODEL VS BASELINES\n",
-    );
+    let mut out =
+        String::from("ABLATION — AVERAGE PREDICTION ERROR (MAPE, %) OF THE MODEL VS BASELINES\n");
     out.push_str(&format!(
         "{:<15} {:>10} {:>15} {:>13} {:>12}\n",
         "Platform", "Model", "No-contention", "Equal-share", "Local-only"
@@ -97,10 +94,7 @@ mod tests {
         // henri-subnuma has the strongest contention: ignoring it must hurt
         // badly there.
         let subnuma = rows.iter().find(|r| r.platform == "henri-subnuma").unwrap();
-        assert!(
-            subnuma.no_contention > 3.0 * subnuma.model,
-            "{subnuma:?}"
-        );
+        assert!(subnuma.no_contention > 3.0 * subnuma.model, "{subnuma:?}");
     }
 
     #[test]

@@ -50,7 +50,11 @@ fn run_figure(fig: u8, config: BenchConfig, out_dir: &Path) {
         &format!("fig{fig}_{name}.svg"),
         &grid.render(cell.0, cell.1).render(),
     );
-    write(out_dir, &format!("fig{fig}_{name}_measured.csv"), &sweep.to_csv());
+    write(
+        out_dir,
+        &format!("fig{fig}_{name}_measured.csv"),
+        &sweep.to_csv(),
+    );
     write(
         out_dir,
         &format!("fig{fig}_{name}_predicted.csv"),
@@ -105,7 +109,11 @@ fn main() -> ExitCode {
     }
     if wants("fig2") {
         let data = figure2(config);
-        write(&out_dir, "fig2_stacked.svg", &data.render(720.0, 460.0).render());
+        write(
+            &out_dir,
+            "fig2_stacked.svg",
+            &data.render(720.0, 460.0).render(),
+        );
         let mut csv = String::from("n_cores,comp_par,comm_par,comp_alone\n");
         for i in 0..data.n_cores.len() {
             csv.push_str(&format!(

@@ -5,10 +5,10 @@
 use mc_membench::{calibration_placements, sweep_platform_parallel, BenchConfig, PlatformSweep};
 use mc_memsim::engine::{Activity, ActivityKind, Engine};
 use mc_memsim::fabric::Fabric;
-use mc_netsim::NicModel;
 use mc_model::ContentionModel;
-use mc_topology::{platforms, Platform};
 use mc_model::Mape;
+use mc_netsim::NicModel;
+use mc_topology::{platforms, Platform};
 use mc_viz::{
     ChartGrid, DualAxisChart, Heatmap, MarkedPoint, Series, SeriesStyle, StackedData,
     TopologySketch, YAxis, COMM_COLOR, COMP_COLOR,
@@ -96,9 +96,7 @@ fn subplot(
     m_comp: mc_topology::NumaId,
     m_comm: mc_topology::NumaId,
 ) -> DualAxisChart {
-    let placement = sweep
-        .placement(m_comp, m_comm)
-        .expect("placement measured");
+    let placement = sweep.placement(m_comp, m_comm).expect("placement measured");
     let xs = |f: &dyn Fn(&mc_membench::SweepPoint) -> f64| -> Vec<(f64, f64)> {
         placement
             .points
@@ -232,7 +230,10 @@ pub fn error_heatmap(platform: &Platform, config: BenchConfig) -> Heatmap {
         values.push(mape.percent());
     }
     Heatmap {
-        title: format!("{} — communication prediction error per placement", platform.name()),
+        title: format!(
+            "{} — communication prediction error per placement",
+            platform.name()
+        ),
         col_labels: (0..nodes).map(|i| format!("comp numa{i}")).collect(),
         row_labels: (0..nodes).map(|i| format!("comm numa{i}")).collect(),
         values,
@@ -360,8 +361,7 @@ pub fn timeline_figure() -> DualAxisChart {
 /// next to the measured-sweep CSV so figures can be re-plotted elsewhere.
 pub fn predictions_csv(platform: &Platform, sweep: &PlatformSweep) -> String {
     let model = calibrated_model(platform, sweep);
-    let mut out =
-        String::from("platform,m_comp,m_comm,n_cores,pred_comp_par,pred_comm_par\n");
+    let mut out = String::from("platform,m_comp,m_comm,n_cores,pred_comp_par,pred_comm_par\n");
     for (m_comp, m_comm) in platform.topology.placement_combinations() {
         for n in 1..=platform.max_compute_cores() {
             let pr = model.predict(n, m_comp, m_comm);

@@ -8,7 +8,7 @@
 
 pub mod ablation;
 pub mod dualsocket;
+pub mod figures;
 pub mod msgsize;
 pub mod sensitivity;
-pub mod figures;
 pub mod tables;

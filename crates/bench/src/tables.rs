@@ -140,7 +140,14 @@ mod tests {
     #[test]
     fn table1_lists_all_platforms() {
         let t = table1();
-        for name in ["henri", "henri-subnuma", "dahu", "diablo", "pyxis", "occigen"] {
+        for name in [
+            "henri",
+            "henri-subnuma",
+            "dahu",
+            "diablo",
+            "pyxis",
+            "occigen",
+        ] {
             assert!(t.contains(name), "missing {name}");
         }
         assert!(t.contains("Omni-Path"));

@@ -67,7 +67,9 @@ impl Args {
         let mut options = BTreeMap::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = iter.next().ok_or_else(|| CliError::MissingValue(key.to_string()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(key.to_string()))?;
                 options.insert(key.to_string(), value);
             } else {
                 return Err(CliError::UnexpectedPositional(arg));
@@ -97,7 +99,11 @@ impl Args {
     }
 
     /// An optional numeric option with a default.
-    pub fn num_or<T: std::str::FromStr>(&self, key: &'static str, default: T) -> Result<T, CliError> {
+    pub fn num_or<T: std::str::FromStr>(
+        &self,
+        key: &'static str,
+        default: T,
+    ) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
             Some(raw) => raw
@@ -143,7 +149,10 @@ mod tests {
     #[test]
     fn missing_required_option_errors() {
         let a = Args::parse(["bench"]).unwrap();
-        assert_eq!(a.require("platform"), Err(CliError::MissingOption("platform")));
+        assert_eq!(
+            a.require("platform"),
+            Err(CliError::MissingOption("platform"))
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use mc_membench::{calibration_placements, calibration_sweeps, sweep_platform_parallel, BenchConfig, BenchRunner};
+use mc_membench::{
+    calibration_placements, calibration_sweeps, sweep_platform_parallel, BenchConfig, BenchRunner,
+};
 use mc_model::{evaluate, model_from_text, model_to_text, rank, ContentionModel, PhaseProfile};
 use mc_topology::{platforms, NumaId, Platform};
 use mc_viz::TopologySketch;
@@ -41,12 +43,12 @@ fn calibrated(platform: &Platform) -> ContentionModel {
 
 /// `topo`: draw one or all machines.
 pub fn topo(args: &Args) -> Result<String, CliError> {
-    let targets = match args.get("platform") {
-        Some(name) => vec![
-            platforms::by_name(name).ok_or_else(|| CliError::UnknownPlatform(name.to_string()))?
-        ],
-        None => platforms::all(),
-    };
+    let targets =
+        match args.get("platform") {
+            Some(name) => vec![platforms::by_name(name)
+                .ok_or_else(|| CliError::UnknownPlatform(name.to_string()))?],
+            None => platforms::all(),
+        };
     let mut out = String::new();
     for p in targets {
         let topo = &p.topology;
@@ -103,10 +105,10 @@ pub fn calibrate_cmd(args: &Args) -> Result<String, CliError> {
         use mc_model::calibrate_sparse;
         let runner = BenchRunner::new(&p, BenchConfig::default());
         let ((lc, lm), (rc, rm)) = calibration_placements(&p);
-        let local = calibrate_sparse(&runner, lc, lm)
-            .map_err(|e| CliError::Model(e.to_string()))?;
-        let remote = calibrate_sparse(&runner, rc, rm)
-            .map_err(|e| CliError::Model(e.to_string()))?;
+        let local =
+            calibrate_sparse(&runner, lc, lm).map_err(|e| CliError::Model(e.to_string()))?;
+        let remote =
+            calibrate_sparse(&runner, rc, rm).map_err(|e| CliError::Model(e.to_string()))?;
         out = format!(
             "{} calibrated with sparse sweeps ({:.0} % / {:.0} % of runs saved)\n",
             p.name(),
@@ -143,9 +145,8 @@ pub fn predict(args: &Args) -> Result<String, CliError> {
     let m_comm = NumaId::new(args.require_num::<u16>("comm-numa")?);
     let par = model.predict(n, m_comp, m_comm);
     let alone = model.predict_alone(n, m_comp, m_comm);
-    let mut out = format!(
-        "{n} cores, computation data on {m_comp}, communication data on {m_comm}\n"
-    );
+    let mut out =
+        format!("{n} cores, computation data on {m_comp}, communication data on {m_comm}\n");
     let _ = writeln!(
         out,
         "computations : {:>8.2} GB/s in parallel ({:>8.2} GB/s alone)",

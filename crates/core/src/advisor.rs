@@ -87,12 +87,7 @@ pub fn rank(model: &ContentionModel, phase: &PhaseProfile) -> Vec<Recommendation
                 m_comm,
                 comp_bw: pred.comp,
                 comm_bw: pred.comm,
-                makespan: two_phase_makespan(
-                    pred,
-                    alone,
-                    phase.compute_bytes,
-                    phase.comm_bytes,
-                ),
+                makespan: two_phase_makespan(pred, alone, phase.compute_bytes, phase.comm_bytes),
             });
         }
     }
@@ -135,8 +130,8 @@ mod tests {
         // With heavy streams on both sides, the recommendation must beat
         // the naive choice of piling everything on node 0 with all cores.
         let naive = m.predict(17, NumaId::new(0), NumaId::new(0));
-        let naive_makespan = (phase.compute_bytes / (naive.comp * 1e9))
-            .max(phase.comm_bytes / (naive.comm * 1e9));
+        let naive_makespan =
+            (phase.compute_bytes / (naive.comp * 1e9)).max(phase.comm_bytes / (naive.comm * 1e9));
         assert!(
             best.makespan < naive_makespan * 0.95,
             "best {} vs naive {naive_makespan}",
@@ -166,8 +161,14 @@ mod tests {
     #[test]
     fn two_phase_makespan_handles_both_orders() {
         use crate::instantiation::Prediction;
-        let par = Prediction { comp: 10.0, comm: 2.0 };
-        let alone = Prediction { comp: 20.0, comm: 10.0 };
+        let par = Prediction {
+            comp: 10.0,
+            comm: 2.0,
+        };
+        let alone = Prediction {
+            comp: 20.0,
+            comm: 10.0,
+        };
         // Compute finishes first: 10 GB / 10 GB/s = 1 s; comm has moved
         // 2 GB, 8 GB left at 10 GB/s -> 0.8 s more.
         let t = two_phase_makespan(par, alone, 10e9, 10e9);

@@ -51,31 +51,31 @@ pub fn calibrate(sweep: &PlacementSweep) -> Result<ModelParams, CalibrationError
         .comp_alone;
 
     // (Nmax_seq, Tmax_seq): peak of the compute-alone curve.
-    let (n_max_seq, t_max_seq) = points
-        .iter()
-        .map(|p| (p.n_cores, p.comp_alone))
-        .fold((1usize, f64::MIN), |best, (n, v)| {
+    let (n_max_seq, t_max_seq) = points.iter().map(|p| (p.n_cores, p.comp_alone)).fold(
+        (1usize, f64::MIN),
+        |best, (n, v)| {
             if v > best.1 {
                 (n, v)
             } else {
                 best
             }
-        });
+        },
+    );
 
     // (Nmax_par, Tmax_par): peak of the stacked parallel curve, constrained
     // to the left of Nmax_seq (the model's shape assumes the parallel peak
     // is reached with fewer cores; measurement noise can move the raw
     // argmax past it).
-    let (mut n_max_par, mut t_max_par) = points
-        .iter()
-        .map(|p| (p.n_cores, p.total_par()))
-        .fold((1usize, f64::MIN), |best, (n, v)| {
+    let (mut n_max_par, mut t_max_par) = points.iter().map(|p| (p.n_cores, p.total_par())).fold(
+        (1usize, f64::MIN),
+        |best, (n, v)| {
             if v > best.1 {
                 (n, v)
             } else {
                 best
             }
-        });
+        },
+    );
     if n_max_par > n_max_seq {
         n_max_par = n_max_seq;
         t_max_par = points
@@ -200,7 +200,11 @@ mod tests {
         let sweep = runner.run_placement(NumaId::new(0), NumaId::new(0));
         let params = calibrate(&sweep).unwrap();
         assert!((params.b_comp_seq - 5.6).abs() < 1e-6);
-        assert!((10.5..12.0).contains(&params.b_comm_seq), "{}", params.b_comm_seq);
+        assert!(
+            (10.5..12.0).contains(&params.b_comm_seq),
+            "{}",
+            params.b_comm_seq
+        );
         assert!((params.alpha - 0.25).abs() < 0.02, "{}", params.alpha);
         assert!(params.n_max_par <= params.n_max_seq);
         assert!(params.t_max_par <= 81.0);
@@ -210,7 +214,8 @@ mod tests {
     fn noisy_calibration_stays_close_to_exact() {
         let p = platforms::henri();
         let exact = calibrate(
-            &BenchRunner::new(&p, BenchConfig::exact()).run_placement(NumaId::new(0), NumaId::new(0)),
+            &BenchRunner::new(&p, BenchConfig::exact())
+                .run_placement(NumaId::new(0), NumaId::new(0)),
         )
         .unwrap();
         let noisy = calibrate(

@@ -122,7 +122,11 @@ mod tests {
             // The estimate uses 64e6 vs the simulation's 64 MiB and ignores
             // ramp effects; agreement within 15 % is the useful bar.
             let rel = (est.time - sim).abs() / sim;
-            assert!(rel < 0.15, "P={ranks}: est {:.4}s vs sim {sim:.4}s", est.time);
+            assert!(
+                rel < 0.15,
+                "P={ranks}: est {:.4}s vs sim {sim:.4}s",
+                est.time
+            );
         }
     }
 
@@ -144,7 +148,11 @@ mod tests {
             let mut w = World::homogeneous(&p, ranks);
             let sim = broadcast(&mut w, 0, NumaId::new(0), 8 << 20).unwrap();
             let rel = (est.time - sim).abs() / sim;
-            assert!(rel < 0.15, "P={ranks}: est {:.5}s vs sim {sim:.5}s", est.time);
+            assert!(
+                rel < 0.15,
+                "P={ranks}: est {:.5}s vs sim {sim:.5}s",
+                est.time
+            );
         }
     }
 

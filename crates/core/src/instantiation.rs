@@ -114,7 +114,8 @@ impl InstantiatedModel {
                 if n > i && p.n_max_seq > i {
                     let c_i = self.comm_unsaturated(i) / p.b_comm_seq;
                     let slope = (c_i - p.alpha) / (p.n_max_seq - i) as f64;
-                    return (c_i - slope * (n - i) as f64).clamp(p.alpha.min(c_i), c_i.max(p.alpha));
+                    return (c_i - slope * (n - i) as f64)
+                        .clamp(p.alpha.min(c_i), c_i.max(p.alpha));
                 }
             }
         }

@@ -41,9 +41,9 @@ pub mod metrics;
 pub mod params;
 pub mod persist;
 pub mod placement;
+pub mod predictor;
 pub mod robustness;
 pub mod sparse;
-pub mod predictor;
 
 pub use advisor::{rank, recommend, two_phase_makespan, PhaseProfile, Recommendation};
 pub use baselines::{EqualShareBaseline, LocalOnlyBaseline, NoContentionBaseline};
@@ -54,6 +54,6 @@ pub use metrics::{evaluate, ErrorBreakdown, Mape};
 pub use params::{ModelParams, ParamError};
 pub use persist::{model_from_text, model_to_text, PersistError};
 pub use placement::ContentionModel;
+pub use predictor::BandwidthPredictor;
 pub use robustness::{average_params, calibrate_all, param_spread, ParamSpread, Spread};
 pub use sparse::{calibrate_sparse, SparseCalibration};
-pub use predictor::BandwidthPredictor;

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn missing_key_is_reported() {
         let text = model_to_text(&model()).replace("alpha = ", "omega = ");
-        assert_eq!(model_from_text(&text), Err(PersistError::MissingKey("alpha")));
+        assert_eq!(
+            model_from_text(&text),
+            Err(PersistError::MissingKey("alpha"))
+        );
     }
 
     #[test]

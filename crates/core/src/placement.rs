@@ -42,11 +42,8 @@ impl ContentionModel {
     ) -> Result<Self, CalibrationError> {
         let local = InstantiatedModel::new(calibrate(local_sweep)?);
         let remote = InstantiatedModel::new(calibrate(remote_sweep)?);
-        let local_remote_comm = InstantiatedModel::new(
-            local
-                .params()
-                .with_b_comm_seq(remote.params().b_comm_seq),
-        );
+        let local_remote_comm =
+            InstantiatedModel::new(local.params().with_b_comm_seq(remote.params().b_comm_seq));
         Ok(ContentionModel {
             local,
             remote,
@@ -68,11 +65,8 @@ impl ContentionModel {
         local_placement: (NumaId, NumaId),
         remote_placement: (NumaId, NumaId),
     ) -> Self {
-        let local_remote_comm = InstantiatedModel::new(
-            local
-                .params()
-                .with_b_comm_seq(remote.params().b_comm_seq),
-        );
+        let local_remote_comm =
+            InstantiatedModel::new(local.params().with_b_comm_seq(remote.params().b_comm_seq));
         ContentionModel {
             local,
             remote,
@@ -215,10 +209,7 @@ mod tests {
         let p = platforms::henri_subnuma();
         let m = model_for(&p);
         assert_eq!(m.placements().len(), 16);
-        assert_eq!(
-            m.placements(),
-            p.topology.placement_combinations()
-        );
+        assert_eq!(m.placements(), p.topology.placement_combinations());
     }
 
     #[test]
@@ -258,7 +249,10 @@ mod tests {
         assert!(b_remote > 1.7 * b_local);
         // comm to node 1 with compute on node 0 (n small → no contention):
         let pred = m.predict_comm(1, NumaId::new(0), NumaId::new(1));
-        assert!((pred - b_remote).abs() / b_remote < 0.05, "{pred} vs {b_remote}");
+        assert!(
+            (pred - b_remote).abs() / b_remote < 0.05,
+            "{pred} vs {b_remote}"
+        );
     }
 
     #[test]

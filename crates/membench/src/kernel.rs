@@ -142,10 +142,9 @@ impl CommPattern {
         match self {
             CommPattern::RecvOnly => vec![StreamSpec::DmaRecv { numa }],
             CommPattern::SendOnly => vec![StreamSpec::DmaSend { numa }],
-            CommPattern::PingPong => vec![
-                StreamSpec::DmaRecv { numa },
-                StreamSpec::DmaSend { numa },
-            ],
+            CommPattern::PingPong => {
+                vec![StreamSpec::DmaRecv { numa }, StreamSpec::DmaSend { numa }]
+            }
         }
     }
 

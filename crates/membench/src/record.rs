@@ -128,10 +128,8 @@ impl PlatformSweep {
             if fields.len() != 8 {
                 return Err(CsvError::BadRow(lineno + 2));
             }
-            let parse_f =
-                |s: &str| s.parse::<f64>().map_err(|_| CsvError::BadRow(lineno + 2));
-            let parse_u =
-                |s: &str| s.parse::<u64>().map_err(|_| CsvError::BadRow(lineno + 2));
+            let parse_f = |s: &str| s.parse::<f64>().map_err(|_| CsvError::BadRow(lineno + 2));
+            let parse_u = |s: &str| s.parse::<u64>().map_err(|_| CsvError::BadRow(lineno + 2));
             if platform.is_empty() {
                 platform = fields[0].to_string();
             } else if platform != fields[0] {
@@ -264,10 +262,7 @@ mod tests {
         let text = "platform,m_comp,m_comm,n_cores,a,b,c,d\n\
                     henri,0,0,1,1,2,3,4\n\
                     dahu,0,0,1,1,2,3,4\n";
-        assert_eq!(
-            PlatformSweep::from_csv(text),
-            Err(CsvError::MixedPlatforms)
-        );
+        assert_eq!(PlatformSweep::from_csv(text), Err(CsvError::MixedPlatforms));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! platform, through either the analytic solver or full event-driven runs,
 //! and applies the platform's deterministic measurement noise.
 
-use mc_memsim::engine::{Activity, ActivityKind, Engine};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use mc_memsim::engine::{Activity, ActivityKind, Engine, SolveCache, SolverStats};
 use mc_memsim::fabric::{Fabric, StreamSpec};
 use mc_memsim::noise::Noise;
 use mc_netsim::nic_model::NicModel;
@@ -25,32 +28,54 @@ mod phase {
 }
 
 /// Measures bandwidths on one simulated platform.
+///
+/// The runner keeps one [`SolveCache`] for its lifetime: every engine run
+/// it performs (any phase, any core count) shares it, so a placement sweep
+/// re-solves each distinct machine state only once.
 #[derive(Debug, Clone)]
 pub struct BenchRunner {
-    platform: Platform,
+    platform: Arc<Platform>,
     fabric: Fabric,
     nic: NicModel,
     config: BenchConfig,
     noise: Noise,
+    solve_cache: RefCell<SolveCache>,
 }
 
 impl BenchRunner {
-    /// Create a runner for a platform with the given configuration.
+    /// Create a runner for a platform with the given configuration
+    /// (clones the platform once; use [`BenchRunner::from_arc`] to share
+    /// an existing handle).
     pub fn new(platform: &Platform, config: BenchConfig) -> Self {
-        let fabric = Fabric::new(platform);
+        Self::from_arc(Arc::new(platform.clone()), config)
+    }
+
+    /// Create a runner around a shared platform without cloning it — the
+    /// runner and its fabric both hold the same [`Arc`].
+    pub fn from_arc(platform: Arc<Platform>, config: BenchConfig) -> Self {
+        let fabric = Fabric::from_arc(Arc::clone(&platform));
         let nic = NicModel::new(&fabric);
+        let noise = Noise::new(platform.behavior.noise.seed);
         BenchRunner {
-            platform: platform.clone(),
+            platform,
             fabric,
             nic,
             config,
-            noise: Noise::new(platform.behavior.noise.seed),
+            noise,
+            solve_cache: RefCell::new(SolveCache::new()),
         }
     }
 
     /// The platform under measurement.
     pub fn platform(&self) -> &Platform {
         &self.platform
+    }
+
+    /// Cumulative solver counters over every engine run this runner has
+    /// performed (how many solves actually ran vs were answered from the
+    /// memoization cache).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solve_cache.borrow().stats()
     }
 
     /// The benchmark configuration.
@@ -223,7 +248,9 @@ impl BenchRunner {
 
     fn comm_activities(&self, m_comm: NumaId) -> Vec<Activity> {
         use crate::kernel::CommPattern;
-        let recv = self.nic.receive_activity(m_comm, self.config.msg_bytes, 0.0);
+        let recv = self
+            .nic
+            .receive_activity(m_comm, self.config.msg_bytes, 0.0);
         let send = match recv.kind.clone() {
             ActivityKind::CommRecv {
                 numa,
@@ -249,11 +276,13 @@ impl BenchRunner {
     }
 
     fn engine_run(&self, acts: &[Activity], n: usize) -> mc_memsim::engine::RunReport {
-        Engine::with_cpu_scale(&self.fabric, self.cpu_scale(n)).run(
-            acts,
-            self.config.warmup,
-            self.config.warmup + self.config.window,
-        )
+        Engine::with_cpu_scale(&self.fabric, self.cpu_scale(n))
+            .with_solve_cache(&self.solve_cache)
+            .run(
+                acts,
+                self.config.warmup,
+                self.config.warmup + self.config.window,
+            )
     }
 }
 

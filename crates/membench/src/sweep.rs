@@ -1,13 +1,23 @@
 //! Platform-wide sweeps: every placement combination, optionally measured
-//! in parallel worker threads.
+//! by a bounded pool of worker threads.
+//!
+//! The parallel driver schedules individual `(placement, n_cores)` points,
+//! not whole placements: placements differ wildly in cost (a 17-core
+//! placement sweep solves an order of magnitude more events than a 1-core
+//! one), so point-level work stealing load-balances where
+//! one-thread-per-placement cannot. Determinism is preserved because the
+//! measurement noise is *stateless* (a pure function of `(seed, tags)`,
+//! see `mc_memsim::noise`) and every point writes to its own
+//! pre-assigned slot — results are bit-identical to the sequential path
+//! regardless of which worker measures which point in which order.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use mc_topology::{NumaId, Platform, SocketId};
 
 use crate::config::BenchConfig;
-use crate::record::{PlacementSweep, PlatformSweep};
+use crate::record::{PlacementSweep, PlatformSweep, SweepPoint};
 use crate::runner::BenchRunner;
 
 /// The two placement configurations used to *instantiate* the model
@@ -46,31 +56,73 @@ pub fn sweep_platform(platform: &Platform, config: BenchConfig) -> PlatformSweep
     }
 }
 
-/// Measure every placement combination using one worker thread per
-/// placement (the sweeps are independent; the noise source is stateless,
-/// so results are identical to the sequential path).
+/// Measure every placement combination with a bounded pool of workers
+/// stealing individual `(placement, n_cores)` points.
+///
+/// Uses up to [`std::thread::available_parallelism`] workers (capped by
+/// the number of points). Results are bit-identical to
+/// [`sweep_platform`]: the noise source is stateless and each point lands
+/// in its pre-assigned slot, so scheduling order is unobservable.
 pub fn sweep_platform_parallel(platform: &Platform, config: BenchConfig) -> PlatformSweep {
     let combos = platform.topology.placement_combinations();
-    let results: Mutex<Vec<Option<PlacementSweep>>> = Mutex::new(vec![None; combos.len()]);
-    thread::scope(|s| {
-        for (idx, &(m_comp, m_comm)) in combos.iter().enumerate() {
-            let results = &results;
-            let platform = &platform;
-            s.spawn(move |_| {
-                let runner = BenchRunner::new(platform, config);
-                let sweep = runner.run_placement(m_comp, m_comm);
-                results.lock()[idx] = Some(sweep);
+    let max_n = platform.max_compute_cores();
+    let total = combos.len() * max_n;
+    if total == 0 {
+        return PlatformSweep {
+            platform: platform.name().to_string(),
+            sweeps: Vec::new(),
+        };
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(total);
+
+    let shared_platform = Arc::new(platform.clone());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepPoint>>> = (0..total).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            let combos = &combos;
+            let config = &config;
+            let shared_platform = &shared_platform;
+            s.spawn(move || {
+                // One runner per worker: its solve cache persists over all
+                // the points this worker measures.
+                let runner = BenchRunner::from_arc(Arc::clone(shared_platform), *config);
+                loop {
+                    let item = next.fetch_add(1, Ordering::Relaxed);
+                    if item >= total {
+                        break;
+                    }
+                    let (combo, n) = (item / max_n, item % max_n + 1);
+                    let (m_comp, m_comm) = combos[combo];
+                    let point = runner.measure_point(n, m_comp, m_comm);
+                    *slots[item].lock().expect("sweep slot poisoned") = Some(point);
+                }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
+
+    let mut points = slots.into_iter().map(|slot| {
+        slot.into_inner()
+            .expect("sweep slot poisoned")
+            .expect("every point measured")
+    });
+    let sweeps = combos
+        .iter()
+        .map(|&(m_comp, m_comm)| PlacementSweep {
+            m_comp,
+            m_comm,
+            points: points.by_ref().take(max_n).collect(),
+        })
+        .collect();
     PlatformSweep {
         platform: platform.name().to_string(),
-        sweeps: results
-            .into_inner()
-            .into_iter()
-            .map(|s| s.expect("every placement measured"))
-            .collect(),
+        sweeps,
     }
 }
 
@@ -104,6 +156,34 @@ mod tests {
     fn parallel_sweep_equals_sequential() {
         let p = platforms::henri();
         let cfg = BenchConfig::default(); // noisy: exercises determinism too
+        let seq = sweep_platform(&p, cfg);
+        let par = sweep_platform_parallel(&p, cfg);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn pooled_sweep_is_deterministic_on_four_numa_platform() {
+        // 16 placements × 17 core counts on henri-subnuma: enough points
+        // that the pooled scheduler interleaves placements arbitrarily.
+        // The stateless noise keeps every point bit-identical to the
+        // sequential sweep, and repeated pooled runs agree exactly.
+        let p = platforms::henri_subnuma();
+        let cfg = BenchConfig::default();
+        let seq = sweep_platform(&p, cfg);
+        let par1 = sweep_platform_parallel(&p, cfg);
+        let par2 = sweep_platform_parallel(&p, cfg);
+        assert_eq!(seq, par1);
+        assert_eq!(par1, par2);
+    }
+
+    #[test]
+    fn pooled_sweep_matches_sequential_event_driven() {
+        // The event-driven backend exercises the memoized engine inside
+        // pooled workers; results must still be bit-identical.
+        let p = platforms::henri();
+        let mut cfg = BenchConfig::event_driven();
+        cfg.window = 0.05;
+        cfg.warmup = 0.02;
         let seq = sweep_platform(&p, cfg);
         let par = sweep_platform_parallel(&p, cfg);
         assert_eq!(seq, par);

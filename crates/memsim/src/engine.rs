@@ -16,10 +16,14 @@
 //! state").
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use mc_topology::NumaId;
 
-use crate::fabric::{Fabric, StreamSpec};
+use crate::fabric::{Fabric, FabricScratch, SolveResult, StreamSpec};
 
 /// What an activity does.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -116,11 +120,7 @@ impl ActState {
             (ActivityKind::Compute { bytes_per_pass, .. }, Phase::TimedUntil(_), _) => {
                 self.phase = Phase::Streaming(*bytes_per_pass);
             }
-            (
-                ActivityKind::Compute { pass_overhead, .. },
-                Phase::Streaming(_),
-                _,
-            ) => {
+            (ActivityKind::Compute { pass_overhead, .. }, Phase::Streaming(_), _) => {
                 self.units_done += 1;
                 self.phase = Phase::TimedUntil(now + *pass_overhead);
                 self.tag = TimedTag::Overhead;
@@ -167,15 +167,99 @@ pub struct ActivityReport {
     pub units_done: u64,
 }
 
+/// Counters of solver work: actual progressive-filling runs vs solves
+/// answered from the memoization cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Times the tiered max-min solver actually ran.
+    pub invocations: u64,
+    /// Times a solve was answered from the cache without running the
+    /// solver.
+    pub cache_hits: u64,
+}
+
+/// Memoized steady-state solves.
+///
+/// Keyed on the canonical (sorted) stream multiset plus the `cpu_scale`
+/// bits: progressive filling is symmetric, so identical [`StreamSpec`]s
+/// always receive identical rates and the solution is a pure function of
+/// the multiset. Cached rates are therefore exact — bit-identical to an
+/// uncached solve — which the engine property tests assert.
+///
+/// A cache is only valid for the [`Fabric`] whose solves populated it;
+/// share one across [`Engine`]s (via [`Engine::with_solve_cache`]) only
+/// when they wrap the same fabric.
+#[derive(Debug, Clone, Default)]
+pub struct SolveCache {
+    map: HashMap<u64, Vec<CacheEntry>>,
+    invocations: u64,
+    hits: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// The canonical key: the stream multiset, sorted.
+    specs: Box<[StreamSpec]>,
+    scale_bits: u64,
+    /// Rate per *sorted* position; equal specs hold equal rates, so a
+    /// binary search by spec recovers the rate of any original position.
+    rates: Box<[f64]>,
+}
+
+impl SolveCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct (stream multiset, cpu_scale) states cached.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative solver counters since the cache was created.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            invocations: self.invocations,
+            cache_hits: self.hits,
+        }
+    }
+
+    /// Drop all entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// Result of an engine run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `PartialEq` deliberately ignores [`RunReport::stats`]: two physically
+/// identical runs may split solver work between fresh solves and cache
+/// hits differently depending on what ran before them, while everything
+/// the run *measured* must still match bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Per-activity reports, same order as the input.
     pub activities: Vec<ActivityReport>,
-    /// Number of solver invocations (events) during the run.
+    /// Number of events (rate re-evaluations) during the run.
     pub events: u64,
     /// The measurement window used, seconds.
     pub window: (f64, f64),
+    /// Solver work performed during this run.
+    pub stats: SolverStats,
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.activities == other.activities
+            && self.events == other.events
+            && self.window == other.window
+    }
 }
 
 impl RunReport {
@@ -248,23 +332,166 @@ const EPS: f64 = 1e-12;
 pub struct Engine<'f> {
     fabric: &'f Fabric,
     cpu_scale: f64,
+    memoize: bool,
+    cache: CacheSlot<'f>,
+    scratch: RefCell<EngineScratch>,
+}
+
+/// The engine either owns its solve cache or borrows one that outlives it
+/// (letting callers persist memoized solves across many runs/engines).
+enum CacheSlot<'f> {
+    Owned(RefCell<SolveCache>),
+    Shared(&'f RefCell<SolveCache>),
+}
+
+/// Buffers reused across events and runs: after warmup an event that hits
+/// the solve cache allocates nothing at all.
+#[derive(Debug, Default)]
+struct EngineScratch {
+    /// Indices of the currently streaming activities.
+    streaming: Vec<usize>,
+    /// Their stream specs, same order.
+    specs: Vec<StreamSpec>,
+    /// `specs`, sorted — the canonical cache key.
+    sorted: Vec<StreamSpec>,
+    /// (spec, rate) pairs staged while inserting a cache entry.
+    pairs: Vec<(StreamSpec, f64)>,
+    /// Rate per streaming activity, same order as `streaming`.
+    rates: Vec<f64>,
+    fabric: FabricScratch,
+    solve: SolveResult,
 }
 
 impl<'f> Engine<'f> {
     /// Create an engine over a fabric (non-temporal `memset` kernels:
     /// unit CPU demand scale).
     pub fn new(fabric: &'f Fabric) -> Self {
-        Engine {
-            fabric,
-            cpu_scale: 1.0,
-        }
+        Self::with_cpu_scale(fabric, 1.0)
     }
 
     /// Create an engine whose compute activities issue `cpu_scale` times
     /// the memory traffic of a non-temporal `memset` kernel.
     pub fn with_cpu_scale(fabric: &'f Fabric, cpu_scale: f64) -> Self {
         assert!(cpu_scale > 0.0, "cpu_scale must be positive");
-        Engine { fabric, cpu_scale }
+        Engine {
+            fabric,
+            cpu_scale,
+            memoize: true,
+            cache: CacheSlot::Owned(RefCell::new(SolveCache::new())),
+            scratch: RefCell::new(EngineScratch::default()),
+        }
+    }
+
+    /// Use a caller-owned solve cache instead of the engine's private one,
+    /// so memoized solves persist across engines (e.g. one per core count)
+    /// over the same fabric. The cache must only ever be used with this
+    /// engine's fabric.
+    pub fn with_solve_cache(mut self, cache: &'f RefCell<SolveCache>) -> Self {
+        self.cache = CacheSlot::Shared(cache);
+        self
+    }
+
+    /// Disable solve memoization: every event runs the solver. The
+    /// reference behaviour memoized runs are property-tested against.
+    pub fn uncached(mut self) -> Self {
+        self.memoize = false;
+        self
+    }
+
+    /// Cumulative solver counters of the engine's cache (owned or shared).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.with_cache(|c| c.stats())
+    }
+
+    fn with_cache<R>(&self, f: impl FnOnce(&mut SolveCache) -> R) -> R {
+        match &self.cache {
+            CacheSlot::Owned(c) => f(&mut c.borrow_mut()),
+            CacheSlot::Shared(c) => f(&mut c.borrow_mut()),
+        }
+    }
+
+    /// Fill `scratch.rates` with the steady-state rate of each spec in
+    /// `scratch.specs`, via the solve cache when memoization is on.
+    fn solve_rates(&self, scratch: &mut EngineScratch) {
+        if !self.memoize {
+            self.with_cache(|c| c.invocations += 1);
+            self.fabric.solve_into(
+                &scratch.specs,
+                self.cpu_scale,
+                &mut scratch.fabric,
+                &mut scratch.solve,
+            );
+            scratch.rates.clear();
+            scratch.rates.extend_from_slice(&scratch.solve.rates);
+            return;
+        }
+
+        // Canonical key: the sorted multiset plus the scale bits.
+        scratch.sorted.clear();
+        scratch.sorted.extend_from_slice(&scratch.specs);
+        scratch.sorted.sort_unstable();
+        let scale_bits = self.cpu_scale.to_bits();
+        let mut hasher = DefaultHasher::new();
+        scratch.sorted.hash(&mut hasher);
+        scale_bits.hash(&mut hasher);
+        let key = hasher.finish();
+
+        let sorted = &scratch.sorted;
+        let specs = &scratch.specs;
+        let rates = &mut scratch.rates;
+        let hit = self.with_cache(|cache| {
+            if let Some(bucket) = cache.map.get(&key) {
+                for entry in bucket {
+                    if entry.scale_bits == scale_bits && entry.specs[..] == sorted[..] {
+                        cache.hits += 1;
+                        rates.clear();
+                        for s in specs {
+                            let j = entry
+                                .specs
+                                .binary_search(s)
+                                .expect("looked-up spec is part of the cached key");
+                            rates.push(entry.rates[j]);
+                        }
+                        return true;
+                    }
+                }
+            }
+            false
+        });
+        if hit {
+            return;
+        }
+
+        self.fabric.solve_into(
+            &scratch.specs,
+            self.cpu_scale,
+            &mut scratch.fabric,
+            &mut scratch.solve,
+        );
+        scratch.rates.clear();
+        scratch.rates.extend_from_slice(&scratch.solve.rates);
+
+        // Stage the entry's rates in sorted-spec order. Equal specs get
+        // equal rates (solver symmetry), so sorting the pairs by spec
+        // alone is enough.
+        scratch.pairs.clear();
+        scratch.pairs.extend(
+            scratch
+                .specs
+                .iter()
+                .copied()
+                .zip(scratch.rates.iter().copied()),
+        );
+        scratch.pairs.sort_unstable_by_key(|p| p.0);
+        let entry = CacheEntry {
+            specs: scratch.sorted.as_slice().into(),
+            scale_bits,
+            rates: scratch.pairs.iter().map(|p| p.1).collect(),
+        };
+        self.with_cache(|cache| {
+            cache.invocations += 1;
+            cache.map.entry(key).or_default().push(entry);
+        });
     }
 
     /// Run `activities` repeatedly from t = 0 to `horizon`, measuring
@@ -320,21 +547,29 @@ impl<'f> Engine<'f> {
 
         let mut now = 0.0_f64;
         let mut events = 0_u64;
+        let stats_before = self.solver_stats();
+        let scratch = &mut *self.scratch.borrow_mut();
 
         while now < horizon - EPS {
-            // Active streaming set → solve rates.
-            let streaming: Vec<usize> = states
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| matches!(s.phase, Phase::Streaming(_)))
-                .map(|(i, _)| i)
-                .collect();
-            let specs: Vec<StreamSpec> = streaming.iter().map(|&i| states[i].stream_spec()).collect();
-            let rates = if specs.is_empty() {
-                Vec::new()
+            // Active streaming set → solve rates (reusing the scratch
+            // buffers; memoized when the set was seen before).
+            scratch.streaming.clear();
+            for (i, s) in states.iter().enumerate() {
+                if matches!(s.phase, Phase::Streaming(_)) {
+                    scratch.streaming.push(i);
+                }
+            }
+            scratch.specs.clear();
+            scratch
+                .specs
+                .extend(scratch.streaming.iter().map(|&i| states[i].stream_spec()));
+            if scratch.specs.is_empty() {
+                scratch.rates.clear();
             } else {
-                self.fabric.solve_with(&specs, self.cpu_scale).rates
-            };
+                self.solve_rates(scratch);
+            }
+            let streaming = &scratch.streaming;
+            let rates = &scratch.rates;
             events += 1;
             if let Some(trace) = trace.as_deref_mut() {
                 let mut compute = 0.0;
@@ -401,6 +636,7 @@ impl<'f> Engine<'f> {
             }
         }
 
+        let stats_after = self.solver_stats();
         let window = horizon - measure_start;
         RunReport {
             activities: states
@@ -414,6 +650,10 @@ impl<'f> Engine<'f> {
                 .collect(),
             events,
             window: (measure_start, horizon),
+            stats: SolverStats {
+                invocations: stats_after.invocations - stats_before.invocations,
+                cache_hits: stats_after.cache_hits - stats_before.cache_hits,
+            },
         }
     }
 }
@@ -466,7 +706,10 @@ mod tests {
         let report = Engine::new(&f).run(&[comm_act(0)], 0.02, 0.2);
         let demand = f.dma_demand(NumaId::new(0));
         let bw = report.activities[0].bandwidth;
-        assert!(bw < demand, "handshake gaps must cost a little: {bw} vs {demand}");
+        assert!(
+            bw < demand,
+            "handshake gaps must cost a little: {bw} vs {demand}"
+        );
         assert!(bw > demand * 0.98, "but not much: {bw} vs {demand}");
     }
 
@@ -486,7 +729,10 @@ mod tests {
             demand * 0.25
         );
         let comp_bw = report.compute_bandwidth(&acts);
-        assert!(comp_bw > 60.0, "compute should keep most of the bus: {comp_bw}");
+        assert!(
+            comp_bw > 60.0,
+            "compute should keep most of the bus: {comp_bw}"
+        );
     }
 
     #[test]
@@ -511,7 +757,9 @@ mod tests {
         let aligned: Vec<Activity> = (0..8).map(|_| compute_act(0, 0.0)).collect();
         let staggered: Vec<Activity> = (0..8).map(|i| compute_act(0, i as f64 * 3e-5)).collect();
         let a = engine.run(&aligned, 0.05, 0.3).compute_bandwidth(&aligned);
-        let b = engine.run(&staggered, 0.05, 0.3).compute_bandwidth(&staggered);
+        let b = engine
+            .run(&staggered, 0.05, 0.3)
+            .compute_bandwidth(&staggered);
         assert!((a - b).abs() / a < 0.01, "a={a}, b={b}");
     }
 
@@ -561,6 +809,32 @@ mod tests {
         let max_active = trace.iter().map(|s| s.active).max().unwrap_or(0);
         assert!(max_active > first_active);
         assert_eq!(max_active, 6);
+    }
+
+    #[test]
+    fn steady_state_memoization_slashes_solver_invocations() {
+        // The steady state revisits a tiny set of machine states, so the
+        // solve cache answers almost every event; physical results do not
+        // change. (The ≥10× drop is a headline acceptance criterion.)
+        let p = platforms::henri();
+        let f = Fabric::new(&p);
+        let mut acts: Vec<Activity> = (0..17).map(|i| compute_act(0, i as f64 * 1.3e-5)).collect();
+        acts.push(comm_act(0));
+        let engine = Engine::new(&f);
+        let uncached = Engine::new(&f).uncached().run(&acts, 0.05, 0.3);
+        let memoized = engine.run(&acts, 0.05, 0.3);
+        assert_eq!(memoized, uncached, "memoization must not change results");
+        assert_eq!(uncached.stats.cache_hits, 0);
+        assert!(
+            uncached.stats.invocations >= 10 * memoized.stats.invocations,
+            "expected a >= 10x drop: uncached {} vs memoized {}",
+            uncached.stats.invocations,
+            memoized.stats.invocations
+        );
+        // A repeat run on the warm engine never invokes the solver.
+        let again = engine.run(&acts, 0.05, 0.3);
+        assert_eq!(again.stats.invocations, 0);
+        assert_eq!(again, uncached);
     }
 
     #[test]

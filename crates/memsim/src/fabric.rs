@@ -7,11 +7,13 @@
 //! tiered max-min solver to obtain every stream's instantaneous rate.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mc_topology::{NumaId, Platform, SocketId};
 
-use crate::solver::{allocate, Allocation, FlowClass, FlowReq};
+use crate::solver::{allocate_into, Allocation, FlowClass, FlowSet, SolverScratch};
 
 /// What kind of hardware component a resource index denotes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,7 +34,11 @@ pub enum ResourceKind {
 }
 
 /// One active stream, as seen by the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The derived ordering is what the engine's solve cache sorts by to
+/// canonicalise a stream multiset — any total order works, it only has to
+/// be consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum StreamSpec {
     /// One computing core on socket 0 issuing non-temporal stores to
     /// `numa`. The benchmark always computes on the first socket (§II-B:
@@ -79,7 +85,10 @@ impl StreamSpec {
 
     /// Whether this is a DMA stream.
     pub fn is_dma(&self) -> bool {
-        matches!(self, StreamSpec::DmaRecv { .. } | StreamSpec::DmaSend { .. })
+        matches!(
+            self,
+            StreamSpec::DmaRecv { .. } | StreamSpec::DmaSend { .. }
+        )
     }
 
     /// Source socket of a CPU stream (`None` for DMA streams).
@@ -93,7 +102,7 @@ impl StreamSpec {
 }
 
 /// Result of solving the rates of a set of streams.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SolveResult {
     /// Rate of each stream in GB/s, same order as the input.
     pub rates: Vec<f64>,
@@ -126,17 +135,88 @@ impl SolveResult {
     }
 }
 
+/// A flow path as stored in the precomputed path table: at most four
+/// resource indices (NIC wire, PCIe, memory controller, inter-socket
+/// link), inline so lookups touch no heap.
+#[derive(Debug, Clone, Copy, Default)]
+struct SmallPath {
+    len: u8,
+    idx: [u32; 4],
+}
+
+impl SmallPath {
+    fn push(&mut self, i: usize) {
+        self.idx[usize::from(self.len)] = i as u32;
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.idx[..usize::from(self.len)]
+    }
+}
+
+/// Every flow path the fabric can ever hand to the solver, precomputed at
+/// [`Fabric::new`] per `(StreamSpec kind, source socket, target NUMA)`.
+/// Replaces the per-solve `HashMap<ResourceKind, usize>` lookups of the
+/// old path builders.
+#[derive(Debug, Clone)]
+struct PathTable {
+    n_numa: usize,
+    /// Memory-controller resource index per NUMA node.
+    ctrl: Vec<u32>,
+    /// CPU write path per `(source socket, target NUMA)`, indexed by
+    /// `socket.index() * n_numa + numa.index()`.
+    cpu: Vec<SmallPath>,
+    /// NIC DMA receive path per target NUMA node.
+    dma_recv: Vec<SmallPath>,
+    /// NIC DMA send (NIC read) path per source NUMA node.
+    dma_send: Vec<SmallPath>,
+}
+
+impl PathTable {
+    fn cpu(&self, socket: SocketId, numa: NumaId) -> &[u32] {
+        self.cpu[socket.index() * self.n_numa + numa.index()].as_slice()
+    }
+
+    fn dma_recv(&self, numa: NumaId) -> &[u32] {
+        self.dma_recv[numa.index()].as_slice()
+    }
+
+    fn dma_send(&self, numa: NumaId) -> &[u32] {
+        self.dma_send[numa.index()].as_slice()
+    }
+}
+
+/// Reusable buffers for [`Fabric::solve_into`]. Holding one per thread (or
+/// per engine) makes repeated solves allocation-free after warmup.
+#[derive(Debug, Clone, Default)]
+pub struct FabricScratch {
+    caps: Vec<f64>,
+    cpu_on: Vec<u32>,
+    dma_on: Vec<u32>,
+    flows: FlowSet,
+    solver: SolverScratch,
+    alloc: Allocation,
+}
+
 /// The simulated memory/IO fabric of one platform.
 #[derive(Debug, Clone)]
 pub struct Fabric {
-    platform: Platform,
+    platform: Arc<Platform>,
     kinds: Vec<ResourceKind>,
     index: HashMap<ResourceKind, usize>,
+    paths: PathTable,
 }
 
 impl Fabric {
-    /// Build the fabric for a platform.
+    /// Build the fabric for a platform (clones it once into an
+    /// [`Arc`]; use [`Fabric::from_arc`] to share an existing one).
     pub fn new(platform: &Platform) -> Self {
+        Self::from_arc(Arc::new(platform.clone()))
+    }
+
+    /// Build the fabric around a shared platform without cloning it.
+    pub fn from_arc(platform: Arc<Platform>) -> Self {
         let topo = &platform.topology;
         let mut kinds = Vec::new();
         for n in topo.numa_ids() {
@@ -154,16 +234,76 @@ impl Fabric {
         }
         kinds.push(ResourceKind::Pcie(topo.nic.socket));
         kinds.push(ResourceKind::NicWire);
-        let index = kinds.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+        let index: HashMap<ResourceKind, usize> =
+            kinds.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+
+        // Precompute every path the solver can ever see. Path element
+        // order matches the historical builders (controller first for CPU
+        // writes; wire, PCIe, controller, then link for DMA) so solves
+        // stay bit-identical.
+        let n_numa = topo.numa_ids().count();
+        let n_sockets = topo.sockets.len();
+        let nic_socket = topo.nic.socket;
+        let link_dir = |from: SocketId, to: SocketId| -> usize {
+            *index
+                .get(&ResourceKind::LinkDir { from, to })
+                .expect("missing inter-socket link resource")
+        };
+        let mut ctrl = Vec::with_capacity(n_numa);
+        let mut dma_recv = Vec::with_capacity(n_numa);
+        let mut dma_send = Vec::with_capacity(n_numa);
+        let mut cpu = vec![SmallPath::default(); n_sockets * n_numa];
+        for numa in topo.numa_ids() {
+            let ctrl_idx = index[&ResourceKind::MemCtrl(numa)];
+            ctrl.push(ctrl_idx as u32);
+            let target_socket = topo.socket_of_numa(numa);
+            for s in 0..n_sockets {
+                let src = SocketId::new(s as u16);
+                let slot = &mut cpu[src.index() * n_numa + numa.index()];
+                slot.push(ctrl_idx);
+                if target_socket != src {
+                    slot.push(link_dir(src, target_socket));
+                }
+            }
+            let mut recv = SmallPath::default();
+            recv.push(index[&ResourceKind::NicWire]);
+            recv.push(index[&ResourceKind::Pcie(nic_socket)]);
+            recv.push(ctrl_idx);
+            if target_socket != nic_socket {
+                recv.push(link_dir(nic_socket, target_socket));
+            }
+            dma_recv.push(recv);
+            let mut send = SmallPath::default();
+            send.push(index[&ResourceKind::NicWire]);
+            send.push(index[&ResourceKind::Pcie(nic_socket)]);
+            send.push(ctrl_idx);
+            if target_socket != nic_socket {
+                send.push(link_dir(target_socket, nic_socket));
+            }
+            dma_send.push(send);
+        }
+
         Fabric {
-            platform: platform.clone(),
+            platform,
             kinds,
             index,
+            paths: PathTable {
+                n_numa,
+                ctrl,
+                cpu,
+                dma_recv,
+                dma_send,
+            },
         }
     }
 
     /// The platform this fabric simulates.
     pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The shared handle to the platform (cheap to clone).
+    pub fn platform_arc(&self) -> &Arc<Platform> {
         &self.platform
     }
 
@@ -201,82 +341,31 @@ impl Fabric {
         demand
     }
 
-    /// Path of a CPU write stream from `src` to `numa`.
-    fn cpu_path(&self, src: SocketId, numa: NumaId) -> Vec<usize> {
-        let topo = &self.platform.topology;
-        let mut path = vec![self.index[&ResourceKind::MemCtrl(numa)]];
-        let target_socket = topo.socket_of_numa(numa);
-        if target_socket != src {
-            path.push(
-                self.index[&ResourceKind::LinkDir {
-                    from: src,
-                    to: target_socket,
-                }],
-            );
-        }
-        path
-    }
-
-    /// Path of a DMA receive stream into `numa`.
-    fn dma_path(&self, numa: NumaId) -> Vec<usize> {
-        let topo = &self.platform.topology;
-        let nic_socket = topo.nic.socket;
-        let mut path = vec![
-            self.index[&ResourceKind::NicWire],
-            self.index[&ResourceKind::Pcie(nic_socket)],
-            self.index[&ResourceKind::MemCtrl(numa)],
-        ];
-        let target_socket = topo.socket_of_numa(numa);
-        if target_socket != nic_socket {
-            path.push(
-                self.index[&ResourceKind::LinkDir {
-                    from: nic_socket,
-                    to: target_socket,
-                }],
-            );
-        }
-        path
-    }
-
-    /// Path of a DMA send (NIC read) stream from `numa`: the same
-    /// components as a receive, but the inter-socket hop runs towards the
-    /// NIC.
-    fn dma_send_path(&self, numa: NumaId) -> Vec<usize> {
-        let topo = &self.platform.topology;
-        let nic_socket = topo.nic.socket;
-        let mut path = vec![
-            self.index[&ResourceKind::NicWire],
-            self.index[&ResourceKind::Pcie(nic_socket)],
-            self.index[&ResourceKind::MemCtrl(numa)],
-        ];
-        let source_socket = topo.socket_of_numa(numa);
-        if source_socket != nic_socket {
-            path.push(
-                self.index[&ResourceKind::LinkDir {
-                    from: source_socket,
-                    to: nic_socket,
-                }],
-            );
-        }
-        path
-    }
-
-    /// Effective capacities given the current accessor population.
-    fn capacities(&self, streams: &[StreamSpec]) -> Vec<f64> {
+    /// Effective capacities given the current accessor population, written
+    /// into `scratch.caps` (with per-NUMA accessor counts staged in
+    /// `scratch.cpu_on` / `scratch.dma_on`).
+    fn capacities_into(&self, streams: &[StreamSpec], scratch: &mut FabricScratch) {
         let topo = &self.platform.topology;
         let behavior = &self.platform.behavior;
-        let mut caps = Vec::with_capacity(self.kinds.len());
+        let n_numa = self.paths.n_numa;
+        scratch.cpu_on.clear();
+        scratch.cpu_on.resize(n_numa, 0);
+        scratch.dma_on.clear();
+        scratch.dma_on.resize(n_numa, 0);
+        for s in streams {
+            let n = s.numa().index();
+            if s.is_dma() {
+                scratch.dma_on[n] += 1;
+            } else {
+                scratch.cpu_on[n] += 1;
+            }
+        }
+        scratch.caps.clear();
         for &kind in &self.kinds {
             let cap = match kind {
                 ResourceKind::MemCtrl(n) => {
-                    let cpu_accessors = streams
-                        .iter()
-                        .filter(|s| !s.is_dma() && s.numa() == n)
-                        .count() as f64;
-                    let dma_accessors = streams
-                        .iter()
-                        .filter(|s| s.is_dma() && s.numa() == n)
-                        .count() as f64;
+                    let cpu_accessors = f64::from(scratch.cpu_on[n.index()]);
+                    let dma_accessors = f64::from(scratch.dma_on[n.index()]);
                     let slots =
                         cpu_accessors + dma_accessors * behavior.arbitration.dma_accessor_weight;
                     behavior.mem_ctrl.effective_capacity(slots)
@@ -293,51 +382,68 @@ impl Fabric {
                     topo.nic.tech.wire_rate() * topo.nic.tech.protocol_efficiency()
                 }
             };
-            caps.push(cap);
+            scratch.caps.push(cap);
         }
-        caps
     }
 
-    /// Build the solver flows for a set of streams. `cpu_scale` scales the
-    /// per-core demand uniformly — the knob compute kernels other than
-    /// non-temporal `memset` use (a copy kernel moves more bytes per
-    /// element, a compute-bound kernel far fewer).
-    fn flows(&self, streams: &[StreamSpec], capacities: &[f64], cpu_scale: f64) -> Vec<FlowReq> {
+    /// Build the solver flows for a set of streams into `scratch.flows`
+    /// (reading the capacities staged in `scratch.caps`). `cpu_scale`
+    /// scales the per-core demand uniformly — the knob compute kernels
+    /// other than non-temporal `memset` use (a copy kernel moves more
+    /// bytes per element, a compute-bound kernel far fewer).
+    fn flows_into(&self, streams: &[StreamSpec], cpu_scale: f64, scratch: &mut FabricScratch) {
         let behavior = &self.platform.behavior;
         let topo = &self.platform.topology;
         // Per-core demand depends on how many cores stream together
         // (imperfect-scaling quirk) and on locality.
         let n_cpu = streams.iter().filter(|s| !s.is_dma()).count();
+        let caps = &scratch.caps;
+        let flows = &mut scratch.flows;
+        flows.clear();
 
-        streams
-            .iter()
-            .map(|s| match *s {
+        for s in streams {
+            match *s {
                 StreamSpec::CpuWrite { numa } => {
                     let local = topo.is_local(SocketId::new(0), numa);
                     let demand = behavior.core_stream.demand(n_cpu, local) * cpu_scale;
-                    FlowReq::cpu(self.cpu_path(SocketId::new(0), numa), demand)
+                    flows.push(
+                        FlowClass::Cpu,
+                        demand,
+                        0.0,
+                        self.paths.cpu(SocketId::new(0), numa),
+                    );
                 }
                 StreamSpec::CpuWriteFrom { socket, numa } => {
                     let local = topo.is_local(socket, numa);
                     let demand = behavior.core_stream.demand(n_cpu, local) * cpu_scale;
-                    FlowReq::cpu(self.cpu_path(socket, numa), demand)
+                    flows.push(FlowClass::Cpu, demand, 0.0, self.paths.cpu(socket, numa));
                 }
                 StreamSpec::DmaRecv { numa } => {
                     let demand = self.dma_demand(numa);
                     let floor = behavior.arbitration.dma_floor_fraction * demand;
                     let capped =
-                        self.dma_pressure_cap(streams, capacities, numa, demand, floor, cpu_scale);
-                    FlowReq::dma(self.dma_path(numa), capped, floor.min(capped))
+                        self.dma_pressure_cap(streams, caps, numa, demand, floor, cpu_scale);
+                    flows.push(
+                        FlowClass::Dma,
+                        capped,
+                        floor.min(capped),
+                        self.paths.dma_recv(numa),
+                    );
                 }
                 StreamSpec::DmaSend { numa } => {
                     let demand = self.dma_demand(numa);
                     let floor = behavior.arbitration.dma_floor_fraction * demand;
                     let capped =
-                        self.dma_pressure_cap(streams, capacities, numa, demand, floor, cpu_scale);
-                    FlowReq::dma(self.dma_send_path(numa), capped, floor.min(capped))
+                        self.dma_pressure_cap(streams, caps, numa, demand, floor, cpu_scale);
+                    flows.push(
+                        FlowClass::Dma,
+                        capped,
+                        floor.min(capped),
+                        self.paths.dma_send(numa),
+                    );
                 }
-            })
-            .collect()
+            }
+        }
     }
 
     /// Throttle the DMA demand according to CPU *issue pressure* on the
@@ -412,30 +518,35 @@ impl Fabric {
             total
         };
 
-        // (capacity, cpu pressure) per domain.
-        let mut domains: Vec<(f64, f64)> = Vec::with_capacity(3);
+        // (capacity, cpu pressure) per domain — at most three, held inline
+        // so a solve allocates nothing.
+        let mut domains = [(0.0_f64, 0.0_f64); 3];
+        let mut n_domains = 0;
         // Target memory controller: pressure from CPU streams writing to
         // the same node, delivery-capped when they cross the link.
-        let ctrl = self.index[&ResourceKind::MemCtrl(numa)];
+        let ctrl = self.paths.ctrl[numa.index()] as usize;
         let mc_pressure = grouped_pressure(target_socket, &|s| s.numa() == numa);
-        domains.push((capacities[ctrl], mc_pressure * cross_factor));
+        domains[n_domains] = (capacities[ctrl], mc_pressure * cross_factor);
+        n_domains += 1;
         // Socket meshes the DMA occupies: entry (NIC socket) and landing
         // (target socket). A CPU stream occupies its source socket's mesh
         // (at issue rate — stalled requests queue there) and its target
         // socket's mesh (delivery-capped by the link).
-        let mut mesh_sockets = vec![nic_socket];
-        if target_socket != nic_socket {
-            mesh_sockets.push(target_socket);
-        }
-        for mesh in mesh_sockets {
+        let mesh_sockets = if target_socket != nic_socket {
+            [Some(nic_socket), Some(target_socket)]
+        } else {
+            [Some(nic_socket), None]
+        };
+        for mesh in mesh_sockets.into_iter().flatten() {
             let pressure = grouped_pressure(mesh, &|s| {
                 s.cpu_socket() == Some(mesh) || topo.socket_of_numa(s.numa()) == mesh
             });
-            domains.push((behavior.mesh_capacity, pressure * cross_factor));
+            domains[n_domains] = (behavior.mesh_capacity, pressure * cross_factor);
+            n_domains += 1;
         }
 
         let mut cap = demand;
-        for (c, pressure) in domains {
+        for &(c, pressure) in &domains[..n_domains] {
             if c <= 0.0 {
                 return floor;
             }
@@ -459,19 +570,51 @@ impl Fabric {
     /// Solve with an explicit CPU demand scale — the per-core traffic of
     /// the compute kernel relative to a non-temporal `memset` (e.g. ≈ 1.15
     /// for a copy kernel, well below 1 for compute-bound kernels).
+    ///
+    /// Convenience wrapper around [`Fabric::solve_into`] using a
+    /// thread-local scratch, so repeated calls only allocate the returned
+    /// `SolveResult`.
     pub fn solve_with(&self, streams: &[StreamSpec], cpu_scale: f64) -> SolveResult {
-        assert!(cpu_scale > 0.0, "cpu_scale must be positive");
-        let capacities = self.capacities(streams);
-        let flows = self.flows(streams, &capacities, cpu_scale);
-        let Allocation {
-            rates,
-            resource_load,
-        } = allocate(&capacities, &flows);
-        SolveResult {
-            rates,
-            resource_load,
-            capacities,
+        thread_local! {
+            static SCRATCH: RefCell<FabricScratch> = RefCell::new(FabricScratch::default());
         }
+        let mut out = SolveResult {
+            rates: Vec::new(),
+            resource_load: Vec::new(),
+            capacities: Vec::new(),
+        };
+        SCRATCH.with(|s| self.solve_into(streams, cpu_scale, &mut s.borrow_mut(), &mut out));
+        out
+    }
+
+    /// Solve the steady-state rates of a set of streams into `out`,
+    /// reusing `scratch` — the allocation-free core behind
+    /// [`Fabric::solve`] / [`Fabric::solve_with`]. After the scratch and
+    /// output buffers have warmed up to the platform's sizes, a call
+    /// performs no heap allocation.
+    pub fn solve_into(
+        &self,
+        streams: &[StreamSpec],
+        cpu_scale: f64,
+        scratch: &mut FabricScratch,
+        out: &mut SolveResult,
+    ) {
+        assert!(cpu_scale > 0.0, "cpu_scale must be positive");
+        self.capacities_into(streams, scratch);
+        self.flows_into(streams, cpu_scale, scratch);
+        allocate_into(
+            &scratch.caps,
+            &scratch.flows,
+            &mut scratch.solver,
+            &mut scratch.alloc,
+        );
+        out.rates.clear();
+        out.rates.extend_from_slice(&scratch.alloc.rates);
+        out.resource_load.clear();
+        out.resource_load
+            .extend_from_slice(&scratch.alloc.resource_load);
+        out.capacities.clear();
+        out.capacities.extend_from_slice(&scratch.caps);
     }
 
     /// Convenience: streams for `n` computing cores writing to `m_comp`,
@@ -536,7 +679,10 @@ mod tests {
         let p = platforms::henri();
         let f = Fabric::new(&p);
         let one = f.solve(&Fabric::benchmark_streams(1, Some(NumaId::new(0)), None));
-        assert!((one.cpu_total(&Fabric::benchmark_streams(1, Some(NumaId::new(0)), None)) - 5.6).abs() < 1e-9);
+        assert!(
+            (one.cpu_total(&Fabric::benchmark_streams(1, Some(NumaId::new(0)), None)) - 5.6).abs()
+                < 1e-9
+        );
         let s10 = Fabric::benchmark_streams(10, Some(NumaId::new(0)), None);
         let r10 = f.solve(&s10);
         assert!((r10.cpu_total(&s10) - 56.0).abs() < 1e-9);
@@ -555,7 +701,9 @@ mod tests {
         for n in 1..=17 {
             let s = Fabric::benchmark_streams(n, Some(NumaId::new(0)), Some(NumaId::new(0)));
             let r = f.solve(&s);
-            let ctrl = f.resource_index(ResourceKind::MemCtrl(NumaId::new(0))).unwrap();
+            let ctrl = f
+                .resource_index(ResourceKind::MemCtrl(NumaId::new(0)))
+                .unwrap();
             assert!(
                 r.resource_load[ctrl] <= r.capacities[ctrl] + 1e-6,
                 "n={n}: {} > {}",
@@ -706,7 +854,9 @@ mod tests {
         }));
         let solved = f.solve(&streams);
         let total = solved.cpu_total(&streams);
-        let ctrl = f.resource_index(ResourceKind::MemCtrl(NumaId::new(0))).unwrap();
+        let ctrl = f
+            .resource_index(ResourceKind::MemCtrl(NumaId::new(0)))
+            .unwrap();
         assert!(total <= solved.capacities[ctrl] + 1e-9);
         // The remote half cannot exceed the inter-socket link.
         let remote_total: f64 = solved.rates[9..].iter().sum();
@@ -733,7 +883,9 @@ mod tests {
             socket: SocketId::new(1),
             numa: NumaId::new(0),
         }));
-        streams.push(StreamSpec::DmaRecv { numa: NumaId::new(0) });
+        streams.push(StreamSpec::DmaRecv {
+            numa: NumaId::new(0),
+        });
         let solved = f.solve(&streams);
         let comm = solved.dma_total(&streams);
         let demand = f.dma_demand(NumaId::new(0));
@@ -745,11 +897,15 @@ mod tests {
     #[test]
     fn class_of_matches_stream_kind() {
         assert_eq!(
-            class_of(&StreamSpec::CpuWrite { numa: NumaId::new(0) }),
+            class_of(&StreamSpec::CpuWrite {
+                numa: NumaId::new(0)
+            }),
             FlowClass::Cpu
         );
         assert_eq!(
-            class_of(&StreamSpec::DmaRecv { numa: NumaId::new(0) }),
+            class_of(&StreamSpec::DmaRecv {
+                numa: NumaId::new(0)
+            }),
             FlowClass::Dma
         );
     }

@@ -44,7 +44,9 @@ pub mod noise;
 pub mod solver;
 
 pub use cache::LlcSpec;
-pub use engine::{Activity, ActivityKind, ActivityReport, Engine, RunReport, TraceSample};
-pub use fabric::{Fabric, ResourceKind, SolveResult, StreamSpec};
+pub use engine::{
+    Activity, ActivityKind, ActivityReport, Engine, RunReport, SolveCache, SolverStats, TraceSample,
+};
+pub use fabric::{Fabric, FabricScratch, ResourceKind, SolveResult, StreamSpec};
 pub use noise::Noise;
-pub use solver::{allocate, Allocation, FlowClass, FlowReq};
+pub use solver::{allocate, allocate_into, Allocation, FlowClass, FlowReq, FlowSet, SolverScratch};

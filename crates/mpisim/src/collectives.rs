@@ -91,12 +91,7 @@ pub fn barrier(world: &mut World, numa: NumaId) -> Result<f64, MpiError> {
 
 /// Binomial-tree broadcast from `root`: ⌈log₂ P⌉ rounds, each doubling the
 /// set of ranks holding the payload. Returns the completion time.
-pub fn broadcast(
-    world: &mut World,
-    root: Rank,
-    numa: NumaId,
-    bytes: u64,
-) -> Result<f64, MpiError> {
+pub fn broadcast(world: &mut World, root: Rank, numa: NumaId, bytes: u64) -> Result<f64, MpiError> {
     let p = world.size();
     // Work in a rotated space where the root is rank 0.
     let abs = |v: usize| (v + root) % p;
@@ -124,12 +119,7 @@ pub fn broadcast(
 /// Flat gather to `root`: every other rank sends its `bytes` to the root.
 /// All receives are posted up front (the root's NIC serialises them on its
 /// wire). Returns the completion time.
-pub fn gather(
-    world: &mut World,
-    root: Rank,
-    numa: NumaId,
-    bytes: u64,
-) -> Result<f64, MpiError> {
+pub fn gather(world: &mut World, root: Rank, numa: NumaId, bytes: u64) -> Result<f64, MpiError> {
     let p = world.size();
     let mut reqs = Vec::with_capacity(2 * (p - 1));
     for r in 0..p {
@@ -144,12 +134,7 @@ pub fn gather(
 
 /// Flat scatter from `root`: the root sends a distinct `bytes`-sized chunk
 /// to every other rank. Returns the completion time.
-pub fn scatter(
-    world: &mut World,
-    root: Rank,
-    numa: NumaId,
-    bytes: u64,
-) -> Result<f64, MpiError> {
+pub fn scatter(world: &mut World, root: Rank, numa: NumaId, bytes: u64) -> Result<f64, MpiError> {
     let p = world.size();
     let mut reqs = Vec::with_capacity(2 * (p - 1));
     for r in 0..p {
@@ -357,7 +342,7 @@ mod tests {
         let mut w = World::homogeneous(&p, 4);
         let t_ag = allgather_ring(&mut w, n0(), bytes / 4).unwrap();
         let mut w = World::homogeneous(&p, 4);
-        let t_ar = allreduce_ring(&mut w, n0(), bytes).unwrap() ;
+        let t_ar = allreduce_ring(&mut w, n0(), bytes).unwrap();
         assert!((t_ar / t_ag - 2.0).abs() < 0.3, "ag={t_ag}, ar={t_ar}");
     }
 
@@ -374,6 +359,9 @@ mod tests {
             w.start_compute(1, n0(), 17, 8 << 30).unwrap();
             broadcast(&mut w, 0, n0(), 64 << 20).unwrap()
         };
-        assert!(contended > 1.5 * quiet, "quiet={quiet}, contended={contended}");
+        assert!(
+            contended > 1.5 * quiet,
+            "quiet={quiet}, contended={contended}"
+        );
     }
 }

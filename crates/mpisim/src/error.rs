@@ -45,7 +45,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(MpiError::InvalidRank(7).to_string().contains('7'));
-        assert!(MpiError::Deadlock(RequestId(1)).to_string().contains("req1"));
+        assert!(MpiError::Deadlock(RequestId(1))
+            .to_string()
+            .contains("req1"));
     }
 
     #[test]

@@ -456,11 +456,7 @@ impl World {
                 StreamRef::TransferOut(i) => t_out[i] = rate,
             }
         }
-        let transfer_rates = t_in
-            .into_iter()
-            .zip(t_out)
-            .map(|(i, o)| i.min(o))
-            .collect();
+        let transfer_rates = t_in.into_iter().zip(t_out).map(|(i, o)| i.min(o)).collect();
         (job_rates, transfer_rates)
     }
 
@@ -552,11 +548,8 @@ impl World {
             self.transfer_history[idx].finished_at = Some(now);
         }
         if !finished.is_empty() {
-            self.transfers.retain(|tr| {
-                !finished
-                    .iter()
-                    .any(|&(s, _)| s == tr.send_req)
-            });
+            self.transfers
+                .retain(|tr| !finished.iter().any(|&(s, _)| s == tr.send_req));
             for (s, r) in finished {
                 self.statuses.insert(s, RequestStatus::Complete(now));
                 self.statuses.insert(r, RequestStatus::Complete(now));
@@ -650,7 +643,10 @@ mod tests {
         let job = w.start_compute(0, n0(), 4, per_core).unwrap();
         let t = w.wait_job(job).unwrap();
         let expected = per_core as f64 / (5.6e9);
-        assert!((t - expected).abs() / expected < 0.01, "t={t}, exp={expected}");
+        assert!(
+            (t - expected).abs() / expected < 0.01,
+            "t={t}, exp={expected}"
+        );
     }
 
     #[test]

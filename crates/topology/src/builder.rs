@@ -284,9 +284,15 @@ mod tests {
     fn default_mesh_tracks_controller_capacity() {
         let one = PlatformBuilder::new("a").build().unwrap();
         assert!((one.behavior.mesh_capacity - 75.0).abs() < 1e-9);
-        let two = PlatformBuilder::new("b").numa_per_socket(2).build().unwrap();
+        let two = PlatformBuilder::new("b")
+            .numa_per_socket(2)
+            .build()
+            .unwrap();
         assert!((two.behavior.mesh_capacity - 150.0).abs() < 1e-9);
-        let explicit = PlatformBuilder::new("c").mesh_capacity(99.0).build().unwrap();
+        let explicit = PlatformBuilder::new("c")
+            .mesh_capacity(99.0)
+            .build()
+            .unwrap();
         assert_eq!(explicit.behavior.mesh_capacity, 99.0);
     }
 }

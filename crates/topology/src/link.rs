@@ -139,7 +139,10 @@ mod tests {
 
     #[test]
     fn tech_display() {
-        assert_eq!(InterSocketTech::InfinityFabric.to_string(), "Infinity Fabric");
+        assert_eq!(
+            InterSocketTech::InfinityFabric.to_string(),
+            "Infinity Fabric"
+        );
         assert_eq!(PcieGen::GEN3_X16.to_string(), "PCIe 3.0 x16");
     }
 }

@@ -185,7 +185,9 @@ impl MachineTopology {
             .get(self.nic.closest_numa.index())
             .ok_or(TopologyError::DanglingReference("nic numa"))?;
         if nic_node.socket != self.nic.socket {
-            return Err(TopologyError::DanglingReference("nic numa not on nic socket"));
+            return Err(TopologyError::DanglingReference(
+                "nic numa not on nic socket",
+            ));
         }
         Ok(())
     }

@@ -99,8 +99,7 @@ impl Nic {
     /// closest NUMA node: wire rate × protocol efficiency, capped by the
     /// PCIe attachment.
     pub fn peak_receive_bandwidth(&self) -> f64 {
-        (self.tech.wire_rate() * self.tech.protocol_efficiency())
-            .min(self.pcie.usable_bandwidth())
+        (self.tech.wire_rate() * self.tech.protocol_efficiency()).min(self.pcie.usable_bandwidth())
     }
 }
 

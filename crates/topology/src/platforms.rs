@@ -452,7 +452,14 @@ mod tests {
         let names: Vec<_> = all().iter().map(|p| p.name().to_string()).collect();
         assert_eq!(
             names,
-            ["henri", "henri-subnuma", "dahu", "diablo", "pyxis", "occigen"]
+            [
+                "henri",
+                "henri-subnuma",
+                "dahu",
+                "diablo",
+                "pyxis",
+                "occigen"
+            ]
         );
     }
 

@@ -64,7 +64,11 @@ pub fn line_plot(series: &[(&str, &[(f64, f64)])], width: usize, height: usize) 
     out.push_str("         └");
     out.push_str(&"─".repeat(width));
     out.push('\n');
-    out.push_str(&format!("          {xmin:<8.0}{:>w$.0}\n", xmax, w = width - 8));
+    out.push_str(&format!(
+        "          {xmin:<8.0}{:>w$.0}\n",
+        xmax,
+        w = width - 8
+    ));
     for (si, (label, _)) in series.iter().enumerate() {
         out.push_str(&format!("  {} {label}\n", glyphs[si % glyphs.len()]));
     }

@@ -128,13 +128,7 @@ impl DualAxisChart {
             let entry_h = 13.0;
             let box_w = 6.0
                 + 22.0
-                + self
-                    .series
-                    .iter()
-                    .map(|s| s.label.len())
-                    .max()
-                    .unwrap_or(0) as f64
-                    * 5.6;
+                + self.series.iter().map(|s| s.label.len()).max().unwrap_or(0) as f64 * 5.6;
             let box_h = 6.0 + self.series.len() as f64 * entry_h;
             let (bx, by) = (x0 + 8.0, y1 + 8.0);
             svg.rect(bx, by, box_w, box_h, "#aaa", "white", 0.7);
@@ -158,8 +152,11 @@ impl DualAxisChart {
                 YAxis::Left => &ls,
                 YAxis::Right => &rs,
             };
-            let px: Vec<(f64, f64)> =
-                s.points.iter().map(|&(x, y)| (xs.map(x), ys.map(y))).collect();
+            let px: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .map(|&(x, y)| (xs.map(x), ys.map(y)))
+                .collect();
             match s.style {
                 SeriesStyle::Line => svg.polyline(&px, &s.color, 1.8, false),
                 SeriesStyle::DashedLine => svg.polyline(&px, &s.color, 1.4, true),

@@ -73,7 +73,15 @@ impl Gantt {
             for bar in &row.bars {
                 let x0 = xs.map(bar.t0);
                 let x1 = xs.map(bar.t1);
-                svg.rect(x0, y + 5.0, (x1 - x0).max(1.0), row_h - 10.0, "#555", &bar.color, 0.5);
+                svg.rect(
+                    x0,
+                    y + 5.0,
+                    (x1 - x0).max(1.0),
+                    row_h - 10.0,
+                    "#555",
+                    &bar.color,
+                    0.5,
+                );
                 if x1 - x0 > 8.0 * bar.label.len() as f64 * 0.6 {
                     svg.text(
                         (x0 + x1) / 2.0,

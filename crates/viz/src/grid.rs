@@ -34,10 +34,7 @@ impl ChartGrid {
     pub fn render(&self, cell_w: f64, cell_h: f64) -> Svg {
         let rows = self.rows();
         let title_h = 30.0;
-        let mut svg = Svg::new(
-            self.cols as f64 * cell_w,
-            rows as f64 * cell_h + title_h,
-        );
+        let mut svg = Svg::new(self.cols as f64 * cell_w, rows as f64 * cell_h + title_h);
         svg.text(
             self.cols as f64 * cell_w / 2.0,
             20.0,

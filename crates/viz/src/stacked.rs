@@ -118,7 +118,12 @@ impl StackedData {
             "middle",
             "Number of computing cores",
         );
-        svg.vtext(14.0, (y0 + y1) / 2.0, 10.5, "Stacked memory bandwidth (GB/s)");
+        svg.vtext(
+            14.0,
+            (y0 + y1) / 2.0,
+            10.5,
+            "Stacked memory bandwidth (GB/s)",
+        );
         svg.text((x0 + x1) / 2.0, 16.0, 12.0, "middle", &self.title);
 
         // Calibration marks.
@@ -140,7 +145,9 @@ mod tests {
             title: "henri-subnuma, local placement".into(),
             n_cores: (1..=17).map(|n| n as f64).collect(),
             comp_par: (1..=17).map(|n| (n as f64 * 5.6).min(40.0)).collect(),
-            comm_par: (1..=17).map(|n| (42.0 - n as f64 * 5.6).clamp(2.8, 11.3)).collect(),
+            comm_par: (1..=17)
+                .map(|n| (42.0 - n as f64 * 5.6).clamp(2.8, 11.3))
+                .collect(),
             comp_alone: (1..=17).map(|n| (n as f64 * 5.6).min(42.0)).collect(),
             marks: vec![MarkedPoint {
                 n: 1.0,

@@ -96,11 +96,7 @@ impl Svg {
     /// A downward triangle marker (the paper's ▼ for parallel-phase
     /// measurements).
     pub fn triangle_down(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
-        let pts = [
-            (cx - r, cy - r * 0.8),
-            (cx + r, cy - r * 0.8),
-            (cx, cy + r),
-        ];
+        let pts = [(cx - r, cy - r * 0.8), (cx + r, cy - r * 0.8), (cx, cy + r)];
         self.polygon(&pts, fill, 1.0);
     }
 

@@ -40,7 +40,10 @@ fn main() {
         .collect();
     let params = calibrate_all(&sweeps).expect("all runs calibrate");
     let spread = param_spread(&params);
-    println!("parameter stability over {} runs (mean ± std):", spread.runs);
+    println!(
+        "parameter stability over {} runs (mean ± std):",
+        spread.runs
+    );
     let show = |name: &str, s: memory_contention::model::Spread| {
         println!(
             "  {name:<12} {:>8.2} ± {:>5.3}  (cv {:.2} %)",

@@ -43,10 +43,7 @@ fn main() {
     // …and check the predictions against a full measurement of all 16
     // placements (which a real user could skip — that is the point).
     let sweep = sweep_platform_parallel(&platform, BenchConfig::default());
-    let samples = [
-        (local.m_comp, local.m_comm),
-        (remote.m_comp, remote.m_comm),
-    ];
+    let samples = [(local.m_comp, local.m_comm), (remote.m_comp, remote.m_comm)];
     let errors = evaluate(&model, &sweep, &samples);
     println!(
         "prediction error over all {} placements: comm {:.2} %, comp {:.2} %, avg {:.2} %\n",

@@ -1,0 +1,525 @@
+//! Offline shim standing in for the real `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the *subset* of proptest the repository's property tests
+//! use: the [`proptest!`] macro, range/tuple/`Just`/string strategies,
+//! `prop_map` / `prop_filter` combinators, [`collection::vec`],
+//! [`prop_oneof!`], `prop_assert!` / `prop_assert_eq!`, and
+//! [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs but is
+//!   not minimised;
+//! * **deterministic seeding** — the RNG is seeded from the test name, so
+//!   failures reproduce across runs without a regression file;
+//! * string strategies ignore the regex pattern and generate arbitrary
+//!   printable text (the repo only uses `"\\PC*"`, i.e. "any chars").
+//!
+//! The API is source-compatible for this repository: swapping back to the
+//! crates.io proptest requires only the workspace `Cargo.toml` change.
+
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::ops::Range;
+
+// --------------------------------------------------------------- RNG
+
+/// SplitMix64 — small, fast, deterministic; quality is ample for test-case
+/// generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create an RNG from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in [0, bound) (bound > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of a string — used to derive per-test seeds.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// --------------------------------------------------------------- errors
+
+/// A failed property inside a test case (carries the formatted message).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type the generated test bodies return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ------------------------------------------------------------- strategy
+
+/// A generator of values of one type. Unlike real proptest there is no
+/// value tree: `generate` directly yields a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard values failing `pred`, regenerating (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Box the strategy (object form used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe boxed strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy yielding one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 10000 candidates", self.whence);
+    }
+}
+
+/// Union of same-typed strategies; picks one uniformly (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union from boxed options (non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+// Numeric ranges as strategies (half-open, like real proptest).
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// String literals act as regex strategies in real proptest. The shim
+/// ignores the pattern and generates arbitrary printable text (ASCII plus
+/// some multi-byte code points), which matches the repo's only usage,
+/// `"\\PC*"` ("any printable characters").
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(80);
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.below(8) {
+                // Mostly ASCII printable, sprinkled with separators and
+                // multi-byte characters to stress parsers.
+                0..=4 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+                5 => ',',
+                6 => char::from_u32(0x00C0 + rng.below(0x100) as u32).unwrap_or('é'),
+                _ => char::from_u32(0x4E00 + rng.below(0x200) as u32).unwrap_or('中'),
+            };
+            s.push(c);
+        }
+        s
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident/$idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7, I/8, J/9)
+}
+
+// ----------------------------------------------------------- collection
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length specification: exact or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + if span > 1 { rng.below(span) } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// --------------------------------------------------------------- config
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// `proptest::test_runner` namespace for source compatibility.
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+}
+
+// --------------------------------------------------------------- macros
+
+/// Assert inside a proptest body; failure aborts the case with context
+/// instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Choose between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Generation-only re-implementation of proptest's entry macro. Supports
+/// an optional leading `#![proptest_config(..)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    (@tests ($cfg:expr)) => {};
+    (@tests ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::new($crate::seed_from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            let _ = &mut rng;
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                // Render the inputs before the body can consume them.
+                let inputs = ::std::format!("{:#?}", ($(&$arg,)*));
+                let outcome: $crate::TestCaseResult = (|| {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let u = Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&u));
+            let f = Strategy::generate(&(1.5f64..2.5), &mut rng);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = crate::TestRng::new(2);
+        for _ in 0..200 {
+            let v = Strategy::generate(&collection::vec(0u8..5, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = crate::TestRng::new(7);
+        let mut b = crate::TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_roundtrip(x in 0usize..10, v in collection::vec(0.0f64..1.0, 0..4)) {
+            prop_assert!(x < 10);
+            for e in &v {
+                prop_assert!((0.0..1.0).contains(e), "{e} out of range");
+            }
+        }
+    }
+}

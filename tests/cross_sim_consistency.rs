@@ -11,7 +11,12 @@ const MB64: u64 = 64 << 20;
 
 /// Receive time of one 64 MiB message in the MPI world while `cores` cores
 /// stream to `comp_numa` on the receiver.
-fn mpi_receive_time(platform: &Platform, cores: usize, comp_numa: NumaId, comm_numa: NumaId) -> f64 {
+fn mpi_receive_time(
+    platform: &Platform,
+    cores: usize,
+    comp_numa: NumaId,
+    comm_numa: NumaId,
+) -> f64 {
     let mut world = World::pair(platform);
     if cores > 0 {
         world
@@ -21,7 +26,9 @@ fn mpi_receive_time(platform: &Platform, cores: usize, comp_numa: NumaId, comm_n
     let recv = world
         .irecv(0, 1, comm_numa, MB64, Tag(0))
         .expect("post recv");
-    world.isend(1, 0, comm_numa, MB64, Tag(0)).expect("post send");
+    world
+        .isend(1, 0, comm_numa, MB64, Tag(0))
+        .expect("post send");
     let start = world.now();
     world.wait(recv).expect("message arrives") - start
 }
@@ -31,8 +38,7 @@ fn mpi_world_matches_solver_rates_under_contention() {
     let platform = platforms::henri();
     let fabric = Fabric::new(&platform);
     for &cores in &[0usize, 8, 17] {
-        let streams =
-            Fabric::benchmark_streams(cores, Some(NumaId::new(0)), Some(NumaId::new(0)));
+        let streams = Fabric::benchmark_streams(cores, Some(NumaId::new(0)), Some(NumaId::new(0)));
         let solved = fabric.solve(&streams);
         let dma_rate = solved.dma_total(&streams); // GB/s
 
@@ -52,8 +58,7 @@ fn engine_matches_solver_in_steady_state() {
     let fabric = Fabric::new(&platform);
     let nic = NicModel::new(&fabric);
     for &cores in &[1usize, 10, 15] {
-        let streams =
-            Fabric::benchmark_streams(cores, Some(NumaId::new(0)), Some(NumaId::new(0)));
+        let streams = Fabric::benchmark_streams(cores, Some(NumaId::new(0)), Some(NumaId::new(0)));
         let solved = fabric.solve(&streams);
 
         let mut acts: Vec<_> = (0..cores)

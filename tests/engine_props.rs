@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 
-use memory_contention::memsim::{Activity, ActivityKind, Engine, Fabric};
+use memory_contention::memsim::{
+    allocate, allocate_into, Activity, ActivityKind, Allocation, Engine, Fabric, FlowReq, FlowSet,
+    SolverScratch,
+};
 use memory_contention::prelude::*;
 
 fn compute_activity(numa: u16, bytes_per_pass: f64, start: f64) -> Activity {
@@ -86,6 +89,82 @@ proptest! {
         let a = engine.run(&acts, 0.01, 0.05);
         let b = engine.run(&acts, 0.01, 0.05);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arena_solver_matches_reference_allocate(
+        caps in proptest::collection::vec(0.5f64..120.0, 6),
+        flow_data in proptest::collection::vec(
+            (0u8..2, 0.1f64..60.0, 0.0f64..1.0, proptest::collection::vec(0usize..6, 0..4)),
+            0..10,
+        ),
+    ) {
+        // The arena/scratch solver must return the reference allocation
+        // bit-for-bit — the engine's solve memoization depends on it.
+        let flows: Vec<FlowReq> = flow_data
+            .iter()
+            .map(|(class, demand, floor_frac, path)| {
+                if *class == 0 {
+                    FlowReq::cpu(path.clone(), *demand)
+                } else {
+                    FlowReq::dma(path.clone(), *demand, demand * floor_frac)
+                }
+            })
+            .collect();
+        let reference = allocate(&caps, &flows);
+        let arena = FlowSet::from_reqs(&flows);
+        let mut scratch = SolverScratch::default();
+        let mut out = Allocation::default();
+        // Twice through the same scratch: cold and warm must both agree.
+        for pass in 0..2 {
+            allocate_into(&caps, &arena, &mut scratch, &mut out);
+            prop_assert_eq!(reference.rates.len(), out.rates.len());
+            for (a, b) in reference.rates.iter().zip(&out.rates) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "rate differs on pass {}", pass);
+            }
+            for (a, b) in reference.resource_load.iter().zip(&out.resource_load) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "load differs on pass {}", pass);
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_engine_run_equals_uncached(
+        n_compute in 0usize..10,
+        comp_numa in 0u16..2,
+        comm_numa in 0u16..2,
+        msg_mb in 1u64..32,
+        scale_pct in 50u32..150,
+    ) {
+        let platform = platforms::henri();
+        let fabric = Fabric::new(&platform);
+        let mut acts: Vec<Activity> = (0..n_compute)
+            .map(|i| compute_activity(comp_numa, 1e8, i as f64 * 1e-5))
+            .collect();
+        acts.push(comm_activity(comm_numa, (msg_mb << 20) as f64));
+        let scale = scale_pct as f64 / 100.0;
+        let memoized = Engine::with_cpu_scale(&fabric, scale);
+        let uncached = Engine::with_cpu_scale(&fabric, scale).uncached();
+        let a = memoized.run(&acts, 0.01, 0.06);
+        let b = uncached.run(&acts, 0.01, 0.06);
+        // Identical measurements, bit-for-bit.
+        prop_assert_eq!(a.activities.len(), b.activities.len());
+        for (x, y) in a.activities.iter().zip(&b.activities) {
+            prop_assert_eq!(x.measured_bytes.to_bits(), y.measured_bytes.to_bits());
+            prop_assert_eq!(x.total_bytes.to_bits(), y.total_bytes.to_bits());
+            prop_assert_eq!(x.bandwidth.to_bits(), y.bandwidth.to_bits());
+            prop_assert_eq!(x.units_done, y.units_done);
+        }
+        prop_assert_eq!(a.events, b.events);
+        // The uncached engine never consults the cache; the memoized one
+        // never does more solver work than it.
+        prop_assert_eq!(b.stats.cache_hits, 0);
+        prop_assert!(a.stats.invocations <= b.stats.invocations);
+        // Repeating the run on the memoized engine is answered from the
+        // cache alone and still matches.
+        let c = memoized.run(&acts, 0.01, 0.06);
+        prop_assert_eq!(c.stats.invocations, 0);
+        prop_assert_eq!(&a, &c);
     }
 
     #[test]

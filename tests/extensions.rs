@@ -15,7 +15,9 @@ fn average_error(platform: &Platform, config: BenchConfig) -> f64 {
     let model = ContentionModel::calibrate(
         &platform.topology,
         sweep.placement(s_local.0, s_local.1).expect("local sample"),
-        sweep.placement(s_remote.0, s_remote.1).expect("remote sample"),
+        sweep
+            .placement(s_remote.0, s_remote.1)
+            .expect("remote sample"),
     )
     .expect("calibration succeeds");
     evaluate(&model, &sweep, &[s_local, s_remote]).average
@@ -63,14 +65,20 @@ fn compute_bound_kernels_remove_contention() {
 #[test]
 fn model_recalibrated_for_copy_kernel_stays_accurate() {
     let p = platforms::by_name("henri").unwrap();
-    let err = average_error(&p, BenchConfig::default().with_kernel(ComputeKernel::copy_nt()));
+    let err = average_error(
+        &p,
+        BenchConfig::default().with_kernel(ComputeKernel::copy_nt()),
+    );
     assert!(err < 4.0, "copy-kernel error {err:.2} %");
 }
 
 #[test]
 fn model_recalibrated_for_pingpong_stays_accurate() {
     let p = platforms::by_name("henri").unwrap();
-    let err = average_error(&p, BenchConfig::default().with_pattern(CommPattern::PingPong));
+    let err = average_error(
+        &p,
+        BenchConfig::default().with_pattern(CommPattern::PingPong),
+    );
     assert!(err < 5.0, "ping-pong error {err:.2} %");
 }
 
@@ -81,10 +89,7 @@ fn pingpong_halves_per_direction_bandwidth() {
     let p = platforms::by_name("henri").unwrap();
     let numa = NumaId::new(0);
     let recv_only = BenchRunner::new(&p, BenchConfig::exact());
-    let pingpong = BenchRunner::new(
-        &p,
-        BenchConfig::exact().with_pattern(CommPattern::PingPong),
-    );
+    let pingpong = BenchRunner::new(&p, BenchConfig::exact().with_pattern(CommPattern::PingPong));
     let uni = recv_only.comm_alone(1, numa);
     let bi = pingpong.comm_alone(1, numa);
     assert!(
@@ -98,12 +103,12 @@ fn send_only_mirrors_recv_only_on_symmetric_machines() {
     let p = platforms::by_name("henri").unwrap();
     let numa = NumaId::new(0);
     let recv = BenchRunner::new(&p, BenchConfig::exact()).comm_alone(1, numa);
-    let send = BenchRunner::new(
-        &p,
-        BenchConfig::exact().with_pattern(CommPattern::SendOnly),
-    )
-    .comm_alone(1, numa);
-    assert!((recv - send).abs() / recv < 0.02, "recv {recv:.2} vs send {send:.2}");
+    let send = BenchRunner::new(&p, BenchConfig::exact().with_pattern(CommPattern::SendOnly))
+        .comm_alone(1, numa);
+    assert!(
+        (recv - send).abs() / recv < 0.02,
+        "recv {recv:.2} vs send {send:.2}"
+    );
 }
 
 #[test]

@@ -11,7 +11,9 @@ fn table2_row(platform: &Platform, config: BenchConfig) -> ErrorBreakdown {
     let model = ContentionModel::calibrate(
         &platform.topology,
         sweep.placement(s_local.0, s_local.1).expect("local sample"),
-        sweep.placement(s_remote.0, s_remote.1).expect("remote sample"),
+        sweep
+            .placement(s_remote.0, s_remote.1)
+            .expect("remote sample"),
     )
     .expect("calibration succeeds");
     evaluate(&model, &sweep, &[s_local, s_remote])

@@ -161,7 +161,10 @@ fn diablo_shows_almost_no_contention() {
     let data = sweep(&p);
     for (m_comp, m_comm) in p.topology.placement_combinations() {
         let kept = comm_kept(&data, m_comp, m_comm);
-        assert!(kept > 0.75, "placement ({m_comp},{m_comm}) kept only {kept:.2}");
+        assert!(
+            kept > 0.75,
+            "placement ({m_comp},{m_comm}) kept only {kept:.2}"
+        );
     }
 }
 

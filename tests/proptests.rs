@@ -98,14 +98,14 @@ proptest! {
 /// Random but structurally valid model parameters.
 fn arb_params() -> impl Strategy<Value = ModelParams> {
     (
-        2usize..16,           // n_max_par
-        0usize..6,            // gap to n_max_seq
-        30.0f64..150.0,       // t_max_par
-        0.0f64..2.0,          // delta_l
-        0.0f64..2.0,          // delta_r
-        2.0f64..8.0,          // b_comp_seq
-        4.0f64..25.0,         // b_comm_seq
-        0.05f64..1.0,         // alpha
+        2usize..16,     // n_max_par
+        0usize..6,      // gap to n_max_seq
+        30.0f64..150.0, // t_max_par
+        0.0f64..2.0,    // delta_l
+        0.0f64..2.0,    // delta_r
+        2.0f64..8.0,    // b_comp_seq
+        4.0f64..25.0,   // b_comm_seq
+        0.05f64..1.0,   // alpha
     )
         .prop_map(
             |(n_max_par, gap, t_max_par, delta_l, delta_r, b_comp_seq, b_comm_seq, alpha)| {
