@@ -227,7 +227,7 @@ pub fn error_heatmap(platform: &Platform, config: BenchConfig) -> Heatmap {
         for pt in &placement.points {
             mape.add(pt.comm_par, model.predict(pt.n_cores, m_comp, m_comm).comm);
         }
-        values.push(mape.percent());
+        values.push(mape.percent_or_nan());
     }
     Heatmap {
         title: format!(

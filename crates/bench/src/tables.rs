@@ -2,7 +2,7 @@
 //! (model errors per platform).
 
 use mc_membench::{calibration_placements, sweep_platform_parallel, BenchConfig};
-use mc_model::{evaluate, BandwidthPredictor, ContentionModel, ErrorBreakdown};
+use mc_model::{evaluate, format_percent, BandwidthPredictor, ContentionModel, ErrorBreakdown};
 use mc_topology::{platforms, Platform};
 
 /// Render Table I: one row per platform, matching the paper's columns.
@@ -120,16 +120,17 @@ pub fn table2(config: BenchConfig) -> String {
 }
 
 fn format_row(name: &str, e: &ErrorBreakdown) -> String {
+    // NaN cells (an empty MAPE bucket) render as "n/a", not as 0.00 %.
     format!(
-        "{:<15} {:>11.2}% {:>15.2}% {:>7.2}% {:>11.2}% {:>15.2}% {:>7.2}% {:>8.2}%\n",
+        "{:<15} {}% {}% {}% {}% {}% {}% {}%\n",
         name,
-        e.comm_samples,
-        e.comm_non_samples,
-        e.comm_all,
-        e.comp_samples,
-        e.comp_non_samples,
-        e.comp_all,
-        e.average
+        format_percent(e.comm_samples, 11),
+        format_percent(e.comm_non_samples, 15),
+        format_percent(e.comm_all, 7),
+        format_percent(e.comp_samples, 11),
+        format_percent(e.comp_non_samples, 15),
+        format_percent(e.comp_all, 7),
+        format_percent(e.average, 8)
     )
 }
 

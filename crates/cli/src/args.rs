@@ -5,6 +5,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use mc_model::{ErrorCategory, McError};
+
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
@@ -14,8 +16,9 @@ pub struct Args {
     pub options: BTreeMap<String, String>,
 }
 
-/// CLI errors.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// CLI errors: usage mistakes plus everything the model pipeline can
+/// report ([`McError`]), with a distinct exit code per class.
+#[derive(Debug, Clone, PartialEq)]
 pub enum CliError {
     /// No subcommand given.
     NoCommand,
@@ -29,10 +32,49 @@ pub enum CliError {
     BadValue(&'static str, String),
     /// Unknown platform name.
     UnknownPlatform(String),
-    /// Reading or parsing a model file failed.
-    Model(String),
+    /// A NUMA-node option points past the platform's nodes.
+    NumaOutOfRange {
+        /// The offending option name.
+        option: &'static str,
+        /// The value given.
+        numa: u16,
+        /// Number of NUMA nodes the platform has.
+        count: usize,
+    },
+    /// An option that must be at least one was zero.
+    NonPositive(&'static str),
     /// Unexpected positional argument.
     UnexpectedPositional(String),
+    /// The model pipeline failed (bad data or I/O).
+    Data(McError),
+}
+
+/// Exit code for command-line usage errors.
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code for invalid or degenerate input data.
+pub const EXIT_INVALID_DATA: u8 = 3;
+/// Exit code for file I/O failures.
+pub const EXIT_IO: u8 = 4;
+
+impl CliError {
+    /// The process exit code for this error: [`EXIT_USAGE`] for usage
+    /// mistakes, [`EXIT_INVALID_DATA`] for degenerate or invalid data,
+    /// [`EXIT_IO`] for file I/O failures.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Data(e) => match e.category() {
+                ErrorCategory::InvalidData => EXIT_INVALID_DATA,
+                ErrorCategory::Io => EXIT_IO,
+            },
+            _ => EXIT_USAGE,
+        }
+    }
+
+    /// Whether printing the usage text alongside the error helps (true
+    /// exactly for usage errors).
+    pub fn is_usage(&self) -> bool {
+        self.exit_code() == EXIT_USAGE
+    }
 }
 
 impl fmt::Display for CliError {
@@ -44,13 +86,36 @@ impl fmt::Display for CliError {
             CliError::MissingOption(k) => write!(f, "missing required option --{k}"),
             CliError::BadValue(k, v) => write!(f, "cannot parse --{k} value '{v}'"),
             CliError::UnknownPlatform(p) => write!(f, "unknown platform '{p}'"),
-            CliError::Model(e) => write!(f, "model file: {e}"),
+            CliError::NumaOutOfRange {
+                option,
+                numa,
+                count,
+            } => write!(
+                f,
+                "--{option} {numa} is out of range: the platform has {count} NUMA nodes (0..={})",
+                count.saturating_sub(1)
+            ),
+            CliError::NonPositive(k) => write!(f, "--{k} must be at least 1"),
             CliError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+            CliError::Data(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for CliError {}
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<McError> for CliError {
+    fn from(e: McError) -> Self {
+        CliError::Data(e)
+    }
+}
 
 impl Args {
     /// Parse an `argv`-style iterator (without the program name).
@@ -175,5 +240,31 @@ mod tests {
         assert!(CliError::MissingOption("platform")
             .to_string()
             .contains("--platform"));
+        let e = CliError::NumaOutOfRange {
+            option: "comp-numa",
+            numa: 7,
+            count: 2,
+        };
+        assert!(e.to_string().contains("--comp-numa 7"));
+        assert!(e.to_string().contains("2 NUMA nodes"));
+    }
+
+    #[test]
+    fn exit_codes_split_usage_data_and_io() {
+        use mc_model::{CalibrationError, McError};
+        assert_eq!(CliError::NoCommand.exit_code(), EXIT_USAGE);
+        assert_eq!(CliError::NonPositive("cores").exit_code(), EXIT_USAGE);
+        assert_eq!(
+            CliError::UnknownPlatform("zzz".into()).exit_code(),
+            EXIT_USAGE
+        );
+        let data = CliError::from(McError::from(CalibrationError::EmptySweep));
+        assert_eq!(data.exit_code(), EXIT_INVALID_DATA);
+        assert!(!data.is_usage());
+        let io = CliError::Data(McError::Io {
+            path: "model.txt".into(),
+            message: "no such file".into(),
+        });
+        assert_eq!(io.exit_code(), EXIT_IO);
     }
 }

@@ -1,8 +1,22 @@
 //! `memcontend` binary: parse argv, dispatch, print.
+//!
+//! Exit codes: 0 success, 2 usage error (bad flags, unknown command or
+//! platform, out-of-range NUMA node), 3 invalid or degenerate input data
+//! (a sweep that cannot calibrate, a malformed model file), 4 file I/O
+//! failure.
 
 use std::process::ExitCode;
 
 use mc_cli::{run, Args, CliError};
+
+fn fail(e: &CliError) -> ExitCode {
+    if e.is_usage() {
+        eprintln!("error: {e}\n\n{}", mc_cli::commands::USAGE);
+    } else {
+        eprintln!("error: {e}");
+    }
+    ExitCode::from(e.exit_code())
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -12,23 +26,13 @@ fn main() -> ExitCode {
     }
     let args = match Args::parse(argv) {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", mc_cli::commands::USAGE);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&e),
     };
     match run(&args) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(e @ CliError::UnknownCommand(_)) => {
-            eprintln!("error: {e}\n\n{}", mc_cli::commands::USAGE);
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        Err(e) => fail(&e),
     }
 }

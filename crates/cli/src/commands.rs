@@ -7,7 +7,10 @@ use std::fs;
 use mc_membench::{
     calibration_placements, calibration_sweeps, sweep_platform_parallel, BenchConfig, BenchRunner,
 };
-use mc_model::{evaluate, model_from_text, model_to_text, rank, ContentionModel, PhaseProfile};
+use mc_model::{
+    evaluate, format_percent, model_from_text, model_to_text, rank, ContentionModel, McError,
+    PhaseProfile,
+};
 use mc_topology::{platforms, NumaId, Platform};
 use mc_viz::TopologySketch;
 
@@ -28,6 +31,9 @@ usage:
   memcontend evaluate  --platform NAME
 
 platforms: henri, henri-subnuma, dahu, diablo, pyxis, occigen, grillon
+
+exit codes: 0 success, 2 usage error, 3 invalid or degenerate input data,
+            4 file I/O failure
 ";
 
 fn platform(args: &Args) -> Result<Platform, CliError> {
@@ -35,10 +41,26 @@ fn platform(args: &Args) -> Result<Platform, CliError> {
     platforms::by_name(name).ok_or_else(|| CliError::UnknownPlatform(name.to_string()))
 }
 
-fn calibrated(platform: &Platform) -> ContentionModel {
+/// Parse a NUMA-node option (default 0) and range-check it against the
+/// platform.
+fn numa_arg(args: &Args, key: &'static str, platform: &Platform) -> Result<NumaId, CliError> {
+    let raw = args.num_or(key, 0u16)?;
+    let count = platform.topology.numa_count();
+    if (raw as usize) >= count {
+        return Err(CliError::NumaOutOfRange {
+            option: key,
+            numa: raw,
+            count,
+        });
+    }
+    Ok(NumaId::new(raw))
+}
+
+fn calibrated(platform: &Platform) -> Result<ContentionModel, CliError> {
     let (local, remote) = calibration_sweeps(platform, BenchConfig::default());
     ContentionModel::calibrate(&platform.topology, &local, &remote)
-        .expect("calibration on measured sweeps succeeds")
+        .map_err(McError::from)
+        .map_err(CliError::from)
 }
 
 /// `topo`: draw one or all machines.
@@ -70,8 +92,8 @@ pub fn topo(args: &Args) -> Result<String, CliError> {
 /// `bench`: run one placement sweep and print the bandwidth table.
 pub fn bench(args: &Args) -> Result<String, CliError> {
     let p = platform(args)?;
-    let m_comp = NumaId::new(args.num_or("comp-numa", 0u16)?);
-    let m_comm = NumaId::new(args.num_or("comm-numa", 0u16)?);
+    let m_comp = numa_arg(args, "comp-numa", &p)?;
+    let m_comm = numa_arg(args, "comm-numa", &p)?;
     let runner = BenchRunner::new(&p, BenchConfig::default());
     let sweep = runner.run_placement(m_comp, m_comm);
     let mut out = format!(
@@ -105,10 +127,8 @@ pub fn calibrate_cmd(args: &Args) -> Result<String, CliError> {
         use mc_model::calibrate_sparse;
         let runner = BenchRunner::new(&p, BenchConfig::default());
         let ((lc, lm), (rc, rm)) = calibration_placements(&p);
-        let local =
-            calibrate_sparse(&runner, lc, lm).map_err(|e| CliError::Model(e.to_string()))?;
-        let remote =
-            calibrate_sparse(&runner, rc, rm).map_err(|e| CliError::Model(e.to_string()))?;
+        let local = calibrate_sparse(&runner, lc, lm).map_err(McError::from)?;
+        let remote = calibrate_sparse(&runner, rc, rm).map_err(McError::from)?;
         out = format!(
             "{} calibrated with sparse sweeps ({:.0} % / {:.0} % of runs saved)\n",
             p.name(),
@@ -116,15 +136,15 @@ pub fn calibrate_cmd(args: &Args) -> Result<String, CliError> {
             100.0 * remote.savings()
         );
         ContentionModel::calibrate(&p.topology, &local.sweep, &remote.sweep)
-            .map_err(|e| CliError::Model(e.to_string()))?
+            .map_err(McError::from)?
     } else {
         out = format!("{} calibrated from two placement sweeps\n", p.name());
-        calibrated(&p)
+        calibrated(&p)?
     };
     let _ = writeln!(out, "M_local : {}", model.local().params());
     let _ = writeln!(out, "M_remote: {}", model.remote().params());
     if let Some(path) = args.get("save") {
-        fs::write(path, model_to_text(&model)).map_err(|e| CliError::Model(e.to_string()))?;
+        fs::write(path, model_to_text(&model)).map_err(|e| McError::io(path, e))?;
         let _ = writeln!(out, "model saved to {path}");
     }
     Ok(out)
@@ -135,12 +155,15 @@ pub fn calibrate_cmd(args: &Args) -> Result<String, CliError> {
 pub fn predict(args: &Args) -> Result<String, CliError> {
     let model = match args.get("model") {
         Some(path) => {
-            let text = fs::read_to_string(path).map_err(|e| CliError::Model(e.to_string()))?;
-            model_from_text(&text).map_err(|e| CliError::Model(e.to_string()))?
+            let text = fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
+            model_from_text(&text).map_err(McError::from)?
         }
-        None => calibrated(&platform(args)?),
+        None => calibrated(&platform(args)?)?,
     };
     let n: usize = args.require_num("cores")?;
+    if n == 0 {
+        return Err(CliError::NonPositive("cores"));
+    }
     let m_comp = NumaId::new(args.require_num::<u16>("comp-numa")?);
     let m_comm = NumaId::new(args.require_num::<u16>("comm-numa")?);
     let par = model.predict(n, m_comp, m_comm);
@@ -172,7 +195,10 @@ pub fn advise(args: &Args) -> Result<String, CliError> {
     let compute_gb: f64 = args.require_num("compute-gb")?;
     let comm_gb: f64 = args.require_num("comm-gb")?;
     let max_cores = args.num_or("max-cores", p.max_compute_cores())?;
-    let model = calibrated(&p);
+    if max_cores == 0 {
+        return Err(CliError::NonPositive("max-cores"));
+    }
+    let model = calibrated(&p)?;
     let phase = PhaseProfile {
         compute_bytes: compute_gb * 1e9,
         comm_bytes: comm_gb * 1e9,
@@ -208,30 +234,34 @@ pub fn evaluate_cmd(args: &Args) -> Result<String, CliError> {
     let p = platform(args)?;
     let sweep = sweep_platform_parallel(&p, BenchConfig::default());
     let (s_local, s_remote) = calibration_placements(&p);
-    let model = ContentionModel::calibrate(
-        &p.topology,
-        sweep
-            .placement(s_local.0, s_local.1)
-            .expect("local sample measured"),
-        sweep
-            .placement(s_remote.0, s_remote.1)
-            .expect("remote sample measured"),
-    )
-    .expect("calibration succeeds");
+    let local = sweep
+        .placement(s_local.0, s_local.1)
+        .ok_or(McError::MissingPlacement {
+            m_comp: s_local.0,
+            m_comm: s_local.1,
+        })?;
+    let remote = sweep
+        .placement(s_remote.0, s_remote.1)
+        .ok_or(McError::MissingPlacement {
+            m_comp: s_remote.0,
+            m_comm: s_remote.1,
+        })?;
+    let model = ContentionModel::calibrate(&p.topology, local, remote).map_err(McError::from)?;
     let e = evaluate(&model, &sweep, &[s_local, s_remote]);
+    let pc = |v: f64| format_percent(v, 0);
     Ok(format!(
         "{} — prediction error (MAPE)\n\
-         communications: {:.2} % samples, {:.2} % non-samples, {:.2} % all\n\
-         computations  : {:.2} % samples, {:.2} % non-samples, {:.2} % all\n\
-         average       : {:.2} %\n",
+         communications: {} % samples, {} % non-samples, {} % all\n\
+         computations  : {} % samples, {} % non-samples, {} % all\n\
+         average       : {} %\n",
         p.name(),
-        e.comm_samples,
-        e.comm_non_samples,
-        e.comm_all,
-        e.comp_samples,
-        e.comp_non_samples,
-        e.comp_all,
-        e.average
+        pc(e.comm_samples),
+        pc(e.comm_non_samples),
+        pc(e.comm_all),
+        pc(e.comp_samples),
+        pc(e.comp_non_samples),
+        pc(e.comp_all),
+        pc(e.average)
     ))
 }
 

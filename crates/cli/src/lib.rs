@@ -20,5 +20,5 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{Args, CliError};
+pub use args::{Args, CliError, EXIT_INVALID_DATA, EXIT_IO, EXIT_USAGE};
 pub use commands::run;

@@ -70,9 +70,11 @@ pub fn two_phase_makespan(
 
 /// Score every configuration and return them sorted by makespan
 /// (best first). Ties break towards fewer cores (cheaper) and lower NUMA
-/// indexes (deterministic output).
+/// indexes (deterministic output). A phase with `max_cores == 0` has no
+/// feasible configuration and ranks to an empty list (callers that treat
+/// zero cores as a usage error should validate before ranking, as the CLI
+/// does).
 pub fn rank(model: &ContentionModel, phase: &PhaseProfile) -> Vec<Recommendation> {
-    assert!(phase.max_cores >= 1, "need at least one core");
     let mut out = Vec::new();
     for (m_comp, m_comm) in model.placements() {
         for n in 1..=phase.max_cores {
@@ -209,17 +211,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "need at least one core")]
-    fn zero_cores_panics() {
+    fn zero_cores_ranks_to_nothing() {
         let p = platforms::henri();
         let m = model_for(&p);
-        rank(
-            &m,
-            &PhaseProfile {
-                compute_bytes: 1.0,
-                comm_bytes: 1.0,
-                max_cores: 0,
-            },
-        );
+        let phase = PhaseProfile {
+            compute_bytes: 1.0,
+            comm_bytes: 1.0,
+            max_cores: 0,
+        };
+        assert!(rank(&m, &phase).is_empty());
+        assert_eq!(recommend(&m, &phase), None);
     }
 }

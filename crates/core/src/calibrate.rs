@@ -5,17 +5,50 @@
 //! analyzed (it mostly looks for minima and maxima) and the parameters of
 //! the model […] are computed."
 
-use mc_membench::record::PlacementSweep;
+use mc_membench::record::{PlacementSweep, SweepColumn};
 
 use crate::params::{ModelParams, ParamError};
 
-/// Errors during calibration.
+/// Floor applied to the extracted `α` when the parallel communication
+/// bandwidth measured as (numerically) zero: the model stays valid and
+/// predicts a starved-but-alive NIC instead of rejecting the sweep.
+/// Documented fallback — see DESIGN.md §9.
+const ALPHA_FLOOR: f64 = 1e-6;
+
+/// Errors during calibration. Every degenerate-sweep shape maps to its own
+/// variant so callers (and CLI users) can tell *which* way the input data
+/// was broken.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CalibrationError {
     /// The sweep has no points.
     EmptySweep,
+    /// The sweep has fewer than two distinct core counts — no slope or
+    /// peak structure can be extracted.
+    TooFewPoints {
+        /// Distinct core counts present.
+        got: usize,
+    },
     /// The sweep lacks the single-core measurement needed for `Bcomp_seq`.
     MissingSingleCore,
+    /// A measurement is NaN or infinite.
+    NonFinite {
+        /// The offending bandwidth column.
+        column: SweepColumn,
+        /// Core count of the offending point.
+        n_cores: usize,
+    },
+    /// The communications-alone column averages to a non-positive
+    /// bandwidth (`Bcomm_seq <= 0`), so `α = comm_par / Bcomm_seq` is
+    /// undefined.
+    NoCommBandwidth {
+        /// The degenerate mean.
+        b_comm_seq: f64,
+    },
+    /// Two points share a core count but disagree on the measured values.
+    DuplicateCores {
+        /// The conflicting core count.
+        n_cores: usize,
+    },
     /// The extracted parameters are structurally invalid.
     Invalid(ParamError),
 }
@@ -24,25 +57,89 @@ impl std::fmt::Display for CalibrationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CalibrationError::EmptySweep => write!(f, "cannot calibrate from an empty sweep"),
+            CalibrationError::TooFewPoints { got } => write!(
+                f,
+                "sweep has only {got} distinct core count(s); calibration needs at least 2"
+            ),
             CalibrationError::MissingSingleCore => {
                 write!(f, "sweep lacks the n = 1 point needed for Bcomp_seq")
             }
+            CalibrationError::NonFinite { column, n_cores } => {
+                write!(f, "non-finite {column} measurement at n = {n_cores} cores")
+            }
+            CalibrationError::NoCommBandwidth { b_comm_seq } => write!(
+                f,
+                "communications-alone bandwidth is degenerate (Bcomm_seq = {b_comm_seq}); \
+                 alpha would be undefined"
+            ),
+            CalibrationError::DuplicateCores { n_cores } => write!(
+                f,
+                "conflicting duplicate measurements at n = {n_cores} cores"
+            ),
             CalibrationError::Invalid(e) => write!(f, "extracted parameters invalid: {e}"),
         }
     }
 }
 
-impl std::error::Error for CalibrationError {}
+impl std::error::Error for CalibrationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CalibrationError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Validate and normalise a sweep's points for calibration.
+///
+/// Repairs (documented fallbacks):
+/// - out-of-order points are sorted by core count (producers may emit rows
+///   in any order);
+/// - *identical* duplicate points are collapsed to one.
+///
+/// Rejections: empty sweeps, NaN/infinite measurements, conflicting
+/// duplicates, and fewer than two distinct core counts.
+fn checked_points(
+    sweep: &PlacementSweep,
+) -> Result<Vec<mc_membench::record::SweepPoint>, CalibrationError> {
+    if sweep.points.is_empty() {
+        return Err(CalibrationError::EmptySweep);
+    }
+    for p in &sweep.points {
+        for column in SweepColumn::ALL {
+            if !column.get(p).is_finite() {
+                return Err(CalibrationError::NonFinite {
+                    column,
+                    n_cores: p.n_cores,
+                });
+            }
+        }
+    }
+    let mut points = sweep.points.clone();
+    points.sort_by_key(|p| p.n_cores);
+    let mut deduped: Vec<mc_membench::record::SweepPoint> = Vec::with_capacity(points.len());
+    for p in points {
+        match deduped.last() {
+            Some(prev) if prev.n_cores == p.n_cores => {
+                if *prev != p {
+                    return Err(CalibrationError::DuplicateCores { n_cores: p.n_cores });
+                }
+                // Identical duplicate: keep one copy.
+            }
+            _ => deduped.push(p),
+        }
+    }
+    if deduped.len() < 2 {
+        return Err(CalibrationError::TooFewPoints { got: deduped.len() });
+    }
+    Ok(deduped)
+}
 
 /// Extract the model parameters from one placement sweep (the placement
 /// must be one of the two calibration configurations — both buffers on the
 /// same NUMA node — for the parameters to mean what the model expects).
 pub fn calibrate(sweep: &PlacementSweep) -> Result<ModelParams, CalibrationError> {
-    if sweep.points.is_empty() {
-        return Err(CalibrationError::EmptySweep);
-    }
-    let mut points = sweep.points.clone();
-    points.sort_by_key(|p| p.n_cores);
+    let points = checked_points(sweep)?;
 
     let b_comp_seq = points
         .iter()
@@ -99,20 +196,27 @@ pub fn calibrate(sweep: &PlacementSweep) -> Result<ModelParams, CalibrationError
     } else {
         0.0
     };
-    let last = points.last().expect("non-empty");
+    let last = points[points.len() - 1];
     let delta_r = if last.n_cores > n_max_seq {
         ((t_max2_par - last.total_par()) / (last.n_cores - n_max_seq) as f64).max(0.0)
     } else {
         0.0
     };
 
-    // Nominal and worst-case communication bandwidth.
-    let b_comm_seq = sweep.comm_alone_mean();
+    // Nominal and worst-case communication bandwidth. `Bcomm_seq` must be
+    // strictly positive before `alpha = comm_par / Bcomm_seq` is formed:
+    // a zeroed comm_alone column would otherwise yield NaN/∞ ratios that
+    // the clamp silently masks.
+    let b_comm_seq = points.iter().map(|p| p.comm_alone).sum::<f64>() / points.len() as f64;
+    // (NaN means were rejected by the finiteness scan above.)
+    if b_comm_seq <= 0.0 {
+        return Err(CalibrationError::NoCommBandwidth { b_comm_seq });
+    }
     let alpha = points
         .iter()
         .map(|p| p.comm_par / b_comm_seq)
         .fold(f64::INFINITY, f64::min)
-        .clamp(1e-6, 1.0);
+        .clamp(ALPHA_FLOOR, 1.0);
 
     let params = ModelParams {
         n_max_par,
@@ -252,6 +356,120 @@ mod tests {
         sweep.points.reverse();
         let got = calibrate(&sweep).unwrap();
         assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn single_point_sweep_is_rejected() {
+        let mut sweep = synthetic_sweep(reference_params(), 17);
+        sweep.points.truncate(1);
+        assert_eq!(
+            calibrate(&sweep),
+            Err(CalibrationError::TooFewPoints { got: 1 })
+        );
+    }
+
+    #[test]
+    fn nan_poisoned_sweep_is_rejected_with_location() {
+        let mut sweep = synthetic_sweep(reference_params(), 17);
+        sweep.points[4].comp_par = f64::NAN;
+        assert_eq!(
+            calibrate(&sweep),
+            Err(CalibrationError::NonFinite {
+                column: mc_membench::SweepColumn::CompPar,
+                n_cores: 5,
+            })
+        );
+        let mut sweep = synthetic_sweep(reference_params(), 17);
+        sweep.points[0].comm_alone = f64::INFINITY;
+        assert_eq!(
+            calibrate(&sweep),
+            Err(CalibrationError::NonFinite {
+                column: mc_membench::SweepColumn::CommAlone,
+                n_cores: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn all_nan_compute_column_is_rejected_not_folded() {
+        // Before the finiteness scan, an all-NaN comp_alone column slid
+        // through the f64::MIN fold and produced garbage peaks.
+        let mut sweep = synthetic_sweep(reference_params(), 17);
+        for p in &mut sweep.points {
+            p.comp_alone = f64::NAN;
+        }
+        assert!(matches!(
+            calibrate(&sweep),
+            Err(CalibrationError::NonFinite {
+                column: mc_membench::SweepColumn::CompAlone,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn zeroed_comm_column_is_rejected_before_alpha() {
+        let mut sweep = synthetic_sweep(reference_params(), 17);
+        for p in &mut sweep.points {
+            p.comm_alone = 0.0;
+        }
+        assert_eq!(
+            calibrate(&sweep),
+            Err(CalibrationError::NoCommBandwidth { b_comm_seq: 0.0 })
+        );
+    }
+
+    #[test]
+    fn zeroed_compute_column_yields_invalid_params() {
+        let mut sweep = synthetic_sweep(reference_params(), 17);
+        for p in &mut sweep.points {
+            p.comp_alone = 0.0;
+        }
+        assert!(matches!(
+            calibrate(&sweep),
+            Err(CalibrationError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn conflicting_duplicates_are_rejected() {
+        let mut sweep = synthetic_sweep(reference_params(), 17);
+        let mut dup = sweep.points[5];
+        dup.comp_alone *= 1.5;
+        sweep.points.push(dup);
+        assert_eq!(
+            calibrate(&sweep),
+            Err(CalibrationError::DuplicateCores { n_cores: 6 })
+        );
+    }
+
+    #[test]
+    fn identical_duplicates_are_collapsed() {
+        let clean = synthetic_sweep(reference_params(), 17);
+        let expected = calibrate(&clean).unwrap();
+        let mut sweep = clean.clone();
+        sweep.points.push(sweep.points[5]);
+        sweep.points.push(sweep.points[9]);
+        assert_eq!(calibrate(&sweep), Ok(expected));
+    }
+
+    #[test]
+    fn every_degenerate_error_has_a_distinct_message() {
+        let errors = [
+            CalibrationError::EmptySweep,
+            CalibrationError::TooFewPoints { got: 1 },
+            CalibrationError::MissingSingleCore,
+            CalibrationError::NonFinite {
+                column: mc_membench::SweepColumn::CompPar,
+                n_cores: 5,
+            },
+            CalibrationError::NoCommBandwidth { b_comm_seq: 0.0 },
+            CalibrationError::DuplicateCores { n_cores: 6 },
+            CalibrationError::Invalid(crate::params::ParamError::NonPositive("t_max_seq")),
+        ];
+        let messages: std::collections::BTreeSet<String> =
+            errors.iter().map(|e| e.to_string()).collect();
+        assert_eq!(messages.len(), errors.len());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! The unified model-pipeline error.
+//!
+//! Every fallible stage of the calibrate → persist → predict → evaluate
+//! pipeline has its own typed error ([`CalibrationError`], [`ParamError`],
+//! [`PersistError`], [`CsvError`], [`RobustnessError`]). [`McError`] is the
+//! sum of all of them plus I/O, so callers — the CLI in particular — can
+//! thread *one* error type end-to-end, print a human-readable diagnostic,
+//! and map the failure to an exit code by [`ErrorCategory`] without
+//! pattern-matching every leaf.
+
+use std::fmt;
+
+use mc_membench::record::CsvError;
+use mc_topology::NumaId;
+
+use crate::calibrate::CalibrationError;
+use crate::params::ParamError;
+use crate::persist::PersistError;
+use crate::robustness::RobustnessError;
+
+/// Coarse classification of an [`McError`], used for CLI exit codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCategory {
+    /// The input data (sweep, parameter set, model file content) is
+    /// invalid or degenerate.
+    InvalidData,
+    /// Reading or writing a file failed.
+    Io,
+}
+
+/// Unified error for the whole model pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McError {
+    /// A sweep failed to calibrate.
+    Calibration(CalibrationError),
+    /// A parameter set failed validation.
+    Param(ParamError),
+    /// A persisted model failed to parse.
+    Persist(PersistError),
+    /// A sweep CSV failed to parse.
+    Csv(CsvError),
+    /// A robustness aggregation was fed no data.
+    Robustness(RobustnessError),
+    /// A platform sweep lacks the placement a caller needs (e.g. one of
+    /// the two calibration configurations).
+    MissingPlacement {
+        /// Computation-data NUMA node of the missing placement.
+        m_comp: NumaId,
+        /// Communication-data NUMA node of the missing placement.
+        m_comm: NumaId,
+    },
+    /// A file operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl McError {
+    /// Which coarse failure class this error belongs to.
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            McError::Io { .. } => ErrorCategory::Io,
+            _ => ErrorCategory::InvalidData,
+        }
+    }
+
+    /// Wrap an [`std::io::Error`] with the path it concerned.
+    pub fn io(path: impl Into<String>, err: std::io::Error) -> McError {
+        McError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::Calibration(e) => write!(f, "calibration failed: {e}"),
+            McError::Param(e) => write!(f, "invalid model parameters: {e}"),
+            McError::Persist(e) => write!(f, "model file: {e}"),
+            McError::Csv(e) => write!(f, "sweep CSV: {e}"),
+            McError::Robustness(e) => write!(f, "robustness aggregation: {e}"),
+            McError::MissingPlacement { m_comp, m_comm } => write!(
+                f,
+                "sweep lacks the ({m_comp}, {m_comm}) placement needed here"
+            ),
+            McError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for McError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McError::Calibration(e) => Some(e),
+            McError::Param(e) => Some(e),
+            McError::Persist(e) => Some(e),
+            McError::Csv(e) => Some(e),
+            McError::Robustness(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CalibrationError> for McError {
+    fn from(e: CalibrationError) -> Self {
+        McError::Calibration(e)
+    }
+}
+
+impl From<ParamError> for McError {
+    fn from(e: ParamError) -> Self {
+        McError::Param(e)
+    }
+}
+
+impl From<PersistError> for McError {
+    fn from(e: PersistError) -> Self {
+        McError::Persist(e)
+    }
+}
+
+impl From<CsvError> for McError {
+    fn from(e: CsvError) -> Self {
+        McError::Csv(e)
+    }
+}
+
+impl From<RobustnessError> for McError {
+    fn from(e: RobustnessError) -> Self {
+        McError::Robustness(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_split_io_from_data() {
+        assert_eq!(
+            McError::from(CalibrationError::EmptySweep).category(),
+            ErrorCategory::InvalidData
+        );
+        assert_eq!(
+            McError::Io {
+                path: "x".into(),
+                message: "nope".into()
+            }
+            .category(),
+            ErrorCategory::Io
+        );
+    }
+
+    #[test]
+    fn display_preserves_the_leaf_diagnostic() {
+        let e = McError::from(CalibrationError::EmptySweep);
+        assert!(e.to_string().contains("empty sweep"));
+        let e = McError::from(PersistError::MissingKey("alpha"));
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn source_chains_to_the_leaf() {
+        use std::error::Error as _;
+        let e = McError::from(ParamError::NonPositive("t_max_seq"));
+        assert!(e.source().unwrap().to_string().contains("t_max_seq"));
+    }
+
+    #[test]
+    fn missing_placement_names_the_nodes() {
+        let e = McError::MissingPlacement {
+            m_comp: NumaId::new(2),
+            m_comm: NumaId::new(3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("numa2") || s.contains('2'), "{s}");
+    }
+}

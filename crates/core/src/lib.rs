@@ -36,6 +36,7 @@ pub mod advisor;
 pub mod baselines;
 pub mod calibrate;
 pub mod collective_time;
+pub mod error;
 pub mod instantiation;
 pub mod metrics;
 pub mod params;
@@ -49,11 +50,15 @@ pub use advisor::{rank, recommend, two_phase_makespan, PhaseProfile, Recommendat
 pub use baselines::{EqualShareBaseline, LocalOnlyBaseline, NoContentionBaseline};
 pub use calibrate::{calibrate, CalibrationError};
 pub use collective_time::{estimate_collective, Collective, CollectiveEstimate};
+pub use error::{ErrorCategory, McError};
 pub use instantiation::{InstantiatedModel, Prediction};
-pub use metrics::{evaluate, ErrorBreakdown, Mape};
+pub use metrics::{evaluate, format_percent, ErrorBreakdown, Mape};
 pub use params::{ModelParams, ParamError};
 pub use persist::{model_from_text, model_to_text, PersistError};
 pub use placement::ContentionModel;
 pub use predictor::BandwidthPredictor;
-pub use robustness::{average_params, calibrate_all, param_spread, ParamSpread, Spread};
+pub use robustness::{
+    average_params, calibrate_all, fault_spread, param_spread, FaultSpreadReport, ParamSpread,
+    RobustnessError, Spread,
+};
 pub use sparse::{calibrate_sparse, SparseCalibration};

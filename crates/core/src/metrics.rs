@@ -35,18 +35,37 @@ impl Mape {
         self.count += other.count;
     }
 
-    /// The error in percent (0 if no pairs were added).
-    pub fn percent(&self) -> f64 {
+    /// The error in percent; `None` if no pairs were added (an empty
+    /// accumulator has no error, not a perfect score of 0 %).
+    pub fn percent(&self) -> Option<f64> {
         if self.count == 0 {
-            0.0
+            None
         } else {
-            100.0 * self.sum / self.count as f64
+            Some(100.0 * self.sum / self.count as f64)
         }
+    }
+
+    /// Like [`Mape::percent`], with NaN marking the empty accumulator —
+    /// for table cells, where NaN is rendered as "n/a" (see
+    /// [`format_percent`]).
+    pub fn percent_or_nan(&self) -> f64 {
+        self.percent().unwrap_or(f64::NAN)
     }
 
     /// Number of pairs accumulated.
     pub fn count(&self) -> usize {
         self.count
+    }
+}
+
+/// Render a percentage cell: `{value:>width$.2}`, with NaN (an empty MAPE
+/// bucket) shown as `n/a` so a missing measurement can never masquerade as
+/// a 0.00 % error.
+pub fn format_percent(value: f64, width: usize) -> String {
+    if value.is_nan() {
+        format!("{:>width$}", "n/a")
+    } else {
+        format!("{value:>width$.2}")
     }
 }
 
@@ -105,13 +124,13 @@ pub fn evaluate(
     comp_all.merge(comp_ns);
 
     ErrorBreakdown {
-        comm_samples: comm_s.percent(),
-        comm_non_samples: comm_ns.percent(),
-        comm_all: comm_all.percent(),
-        comp_samples: comp_s.percent(),
-        comp_non_samples: comp_ns.percent(),
-        comp_all: comp_all.percent(),
-        average: (comm_all.percent() + comp_all.percent()) / 2.0,
+        comm_samples: comm_s.percent_or_nan(),
+        comm_non_samples: comm_ns.percent_or_nan(),
+        comm_all: comm_all.percent_or_nan(),
+        comp_samples: comp_s.percent_or_nan(),
+        comp_non_samples: comp_ns.percent_or_nan(),
+        comp_all: comp_all.percent_or_nan(),
+        average: (comm_all.percent_or_nan() + comp_all.percent_or_nan()) / 2.0,
     }
 }
 
@@ -199,10 +218,14 @@ mod tests {
         let sweep = flat_sweep(10.0, 5.0);
         // Only the (0,0) placement is a sample; predict badly there only is
         // impossible with a constant predictor, so check the counts via an
-        // asymmetric check: declare no samples — sample buckets stay 0.
+        // asymmetric check: declare no samples — sample buckets are empty
+        // and report n/a (NaN), never a fake perfect 0 %.
         let e = evaluate(&Perfect(9.0, 5.0), &sweep, &[]);
-        assert_eq!(e.comp_samples, 0.0);
+        assert!(e.comp_samples.is_nan());
+        assert!(e.comm_samples.is_nan());
         assert!((e.comp_non_samples - 10.0).abs() < 1e-9);
+        // The all-placements buckets are non-empty, so the average is real.
+        assert!(!e.average.is_nan());
     }
 
     #[test]
@@ -210,10 +233,23 @@ mod tests {
         let mut m = Mape::default();
         m.add(0.0, 5.0);
         assert_eq!(m.count(), 0);
-        assert_eq!(m.percent(), 0.0);
+        assert_eq!(m.percent(), None);
         m.add(10.0, 5.0);
         assert_eq!(m.count(), 1);
-        assert!((m.percent() - 50.0).abs() < 1e-9);
+        assert!((m.percent().unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_mape_is_not_a_perfect_score() {
+        let m = Mape::default();
+        assert_eq!(m.percent(), None);
+        assert!(m.percent_or_nan().is_nan());
+    }
+
+    #[test]
+    fn format_percent_renders_nan_as_na() {
+        assert_eq!(format_percent(f64::NAN, 6), "   n/a");
+        assert_eq!(format_percent(12.345, 6), " 12.35");
     }
 
     #[test]
@@ -224,6 +260,6 @@ mod tests {
         b.add(10.0, 7.0);
         a.merge(b);
         assert_eq!(a.count(), 2);
-        assert!((a.percent() - 20.0).abs() < 1e-9);
+        assert!((a.percent().unwrap() - 20.0).abs() < 1e-9);
     }
 }

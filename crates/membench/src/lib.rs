@@ -27,14 +27,16 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod faults;
 pub mod kernel;
 pub mod record;
 pub mod runner;
 pub mod sweep;
 
 pub use config::{Backend, BenchConfig};
+pub use faults::{Fault, FaultInjector};
 pub use kernel::{CommPattern, ComputeKernel};
-pub use record::{CsvError, PlacementSweep, PlatformSweep, SweepPoint};
+pub use record::{CsvError, PlacementSweep, PlatformSweep, SweepColumn, SweepPoint};
 pub use runner::BenchRunner;
 pub use sweep::{
     calibration_placements, calibration_sweeps, sweep_platform, sweep_platform_parallel,

@@ -13,6 +13,62 @@ use serde::{Deserialize, Serialize};
 
 use mc_topology::NumaId;
 
+/// One of the four bandwidth columns of a [`SweepPoint`] — used by sweep
+/// validation (to report *which* measurement is broken) and by the fault
+/// injector (to choose *what* to perturb).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SweepColumn {
+    /// Computations-alone bandwidth.
+    CompAlone,
+    /// Communications-alone bandwidth.
+    CommAlone,
+    /// Computation bandwidth of the parallel phase.
+    CompPar,
+    /// Communication bandwidth of the parallel phase.
+    CommPar,
+}
+
+impl SweepColumn {
+    /// Every column, in record order.
+    pub const ALL: [SweepColumn; 4] = [
+        SweepColumn::CompAlone,
+        SweepColumn::CommAlone,
+        SweepColumn::CompPar,
+        SweepColumn::CommPar,
+    ];
+
+    /// Read this column of a point.
+    pub fn get(self, point: &SweepPoint) -> f64 {
+        match self {
+            SweepColumn::CompAlone => point.comp_alone,
+            SweepColumn::CommAlone => point.comm_alone,
+            SweepColumn::CompPar => point.comp_par,
+            SweepColumn::CommPar => point.comm_par,
+        }
+    }
+
+    /// Overwrite this column of a point.
+    pub fn set(self, point: &mut SweepPoint, value: f64) {
+        match self {
+            SweepColumn::CompAlone => point.comp_alone = value,
+            SweepColumn::CommAlone => point.comm_alone = value,
+            SweepColumn::CompPar => point.comp_par = value,
+            SweepColumn::CommPar => point.comm_par = value,
+        }
+    }
+}
+
+impl std::fmt::Display for SweepColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SweepColumn::CompAlone => "comp_alone",
+            SweepColumn::CommAlone => "comm_alone",
+            SweepColumn::CompPar => "comp_par",
+            SweepColumn::CommPar => "comm_par",
+        })
+    }
+}
+
 /// Bandwidths measured for one number of computing cores.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {

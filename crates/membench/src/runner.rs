@@ -251,23 +251,7 @@ impl BenchRunner {
         let recv = self
             .nic
             .receive_activity(m_comm, self.config.msg_bytes, 0.0);
-        let send = match recv.kind.clone() {
-            ActivityKind::CommRecv {
-                numa,
-                msg_bytes,
-                handshake,
-                gap,
-            } => Activity {
-                kind: ActivityKind::CommSend {
-                    numa,
-                    msg_bytes,
-                    handshake,
-                    gap,
-                },
-                start: 0.0,
-            },
-            _ => unreachable!("receive_activity builds a CommRecv"),
-        };
+        let send = self.nic.send_activity(m_comm, self.config.msg_bytes, 0.0);
         match self.config.comm_pattern {
             CommPattern::RecvOnly => vec![recv],
             CommPattern::SendOnly => vec![send],

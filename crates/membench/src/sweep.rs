@@ -80,38 +80,56 @@ pub fn sweep_platform_parallel(platform: &Platform, config: BenchConfig) -> Plat
 
     let shared_platform = Arc::new(platform.clone());
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<SweepPoint>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    let results: Mutex<Vec<(usize, SweepPoint)>> = Mutex::new(Vec::with_capacity(total));
 
     std::thread::scope(|s| {
         for _ in 0..workers {
             let next = &next;
-            let slots = &slots;
+            let results = &results;
             let combos = &combos;
             let config = &config;
             let shared_platform = &shared_platform;
             s.spawn(move || {
-                // One runner per worker: its solve cache persists over all
-                // the points this worker measures.
-                let runner = BenchRunner::from_arc(Arc::clone(shared_platform), *config);
-                loop {
-                    let item = next.fetch_add(1, Ordering::Relaxed);
-                    if item >= total {
-                        break;
+                // Catch panics inside the worker: an escaped panic would
+                // re-raise from the scope join and take the caller down
+                // with it. A dead worker instead leaves its points
+                // unmeasured, which the caller detects and repairs.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // One runner per worker: its solve cache persists over
+                    // all the points this worker measures.
+                    let runner = BenchRunner::from_arc(Arc::clone(shared_platform), *config);
+                    loop {
+                        let item = next.fetch_add(1, Ordering::Relaxed);
+                        if item >= total {
+                            break;
+                        }
+                        let (combo, n) = (item / max_n, item % max_n + 1);
+                        let (m_comp, m_comm) = combos[combo];
+                        let point = runner.measure_point(n, m_comp, m_comm);
+                        // Measurement data is plain-old-data: a mutex
+                        // poisoned by some other worker's panic cannot hold
+                        // a broken invariant, so recover the Vec and go on.
+                        results
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .push((item, point));
                     }
-                    let (combo, n) = (item / max_n, item % max_n + 1);
-                    let (m_comp, m_comm) = combos[combo];
-                    let point = runner.measure_point(n, m_comp, m_comm);
-                    *slots[item].lock().expect("sweep slot poisoned") = Some(point);
-                }
+                }));
             });
         }
     });
 
-    let mut points = slots.into_iter().map(|slot| {
-        slot.into_inner()
-            .expect("sweep slot poisoned")
-            .expect("every point measured")
-    });
+    let mut measured = results
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if measured.len() < total {
+        // A worker died before covering its share (it panicked inside a
+        // measurement). Degrade gracefully: measure the whole platform
+        // sequentially rather than return a truncated sweep.
+        return sweep_platform(platform, config);
+    }
+    measured.sort_unstable_by_key(|&(item, _)| item);
+    let mut points = measured.into_iter().map(|(_, point)| point);
     let sweeps = combos
         .iter()
         .map(|&(m_comp, m_comm)| PlacementSweep {

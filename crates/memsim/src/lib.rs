@@ -40,6 +40,7 @@
 pub mod cache;
 pub mod engine;
 pub mod fabric;
+pub mod faults;
 pub mod noise;
 pub mod solver;
 
@@ -48,5 +49,6 @@ pub use engine::{
     Activity, ActivityKind, ActivityReport, Engine, RunReport, SolveCache, SolverStats, TraceSample,
 };
 pub use fabric::{Fabric, FabricScratch, ResourceKind, SolveResult, StreamSpec};
+pub use faults::{inject, inject_all, EngineFault};
 pub use noise::Noise;
 pub use solver::{allocate, allocate_into, Allocation, FlowClass, FlowReq, FlowSet, SolverScratch};

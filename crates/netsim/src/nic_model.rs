@@ -63,6 +63,23 @@ impl NicModel {
         }
     }
 
+    /// Build the engine activity for sending `msg_bytes`-sized messages
+    /// back to back out of `numa` (the NIC reads the payload from memory),
+    /// starting at `start`. Timings mirror [`NicModel::receive_activity`]:
+    /// the rendezvous handshake and inter-message gap are symmetric.
+    pub fn send_activity(&self, numa: NumaId, msg_bytes: u64, start: f64) -> Activity {
+        let plan = self.protocol.plan(msg_bytes);
+        Activity {
+            kind: ActivityKind::CommSend {
+                numa,
+                msg_bytes: plan.payload as f64,
+                handshake: plan.pre_transfer,
+                gap: plan.post_transfer,
+            },
+            start,
+        }
+    }
+
     /// Nominal (contention-free) receive behaviour into `numa`.
     pub fn nominal_receive(&self, fabric: &Fabric, numa: NumaId, msg_bytes: u64) -> NominalReceive {
         let payload_rate = fabric.dma_demand(numa);
@@ -97,6 +114,36 @@ mod tests {
                 assert!(gap > 0.0);
             }
             _ => panic!("wrong activity kind"),
+        }
+    }
+
+    #[test]
+    fn send_activity_mirrors_receive_timings() {
+        let f = Fabric::new(&platforms::henri());
+        let nic = NicModel::new(&f);
+        let recv = nic.receive_activity(NumaId::new(0), 64 << 20, 0.0);
+        let send = nic.send_activity(NumaId::new(0), 64 << 20, 0.0);
+        match (recv.kind, send.kind) {
+            (
+                ActivityKind::CommRecv {
+                    msg_bytes: rb,
+                    handshake: rh,
+                    gap: rg,
+                    numa: rn,
+                },
+                ActivityKind::CommSend {
+                    msg_bytes: sb,
+                    handshake: sh,
+                    gap: sg,
+                    numa: sn,
+                },
+            ) => {
+                assert_eq!(rb, sb);
+                assert_eq!(rh, sh);
+                assert_eq!(rg, sg);
+                assert_eq!(rn, sn);
+            }
+            _ => panic!("wrong activity kinds"),
         }
     }
 

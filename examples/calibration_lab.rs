@@ -39,7 +39,7 @@ fn main() {
         })
         .collect();
     let params = calibrate_all(&sweeps).expect("all runs calibrate");
-    let spread = param_spread(&params);
+    let spread = param_spread(&params).expect("ten calibrations to aggregate");
     println!(
         "parameter stability over {} runs (mean ± std):",
         spread.runs
@@ -59,7 +59,7 @@ fn main() {
     show("Nmax_seq", spread.n_max_seq);
 
     // --- The averaging mitigation ------------------------------------
-    let averaged = average_params(&params);
+    let averaged = average_params(&params).expect("ten calibrations to average");
     println!("\naveraged parameters: {averaged}");
     println!(
         "(a single run's Bcomm_seq can be {:.2}..{:.2}; the average pins it to {:.2})",

@@ -1,0 +1,265 @@
+//! Degenerate-sweep matrix: every broken input shape must surface as a
+//! *typed* error — never a panic — through the whole stack: `calibrate`,
+//! `ContentionModel::calibrate`, and the CLI command layer (asserted by
+//! exit code, not by message text).
+
+use memory_contention::membench::record::{PlacementSweep, SweepColumn, SweepPoint};
+use memory_contention::membench::{calibration_sweeps, BenchConfig};
+use memory_contention::model::{calibrate, CalibrationError, ContentionModel};
+use memory_contention::topology::{platforms, NumaId, Platform};
+
+use mc_cli::{run, Args, CliError, EXIT_INVALID_DATA, EXIT_IO, EXIT_USAGE};
+
+fn henri() -> Platform {
+    platforms::henri()
+}
+
+fn henri_sweeps() -> (PlacementSweep, PlacementSweep) {
+    calibration_sweeps(&henri(), BenchConfig::default())
+}
+
+fn local_sweep() -> PlacementSweep {
+    henri_sweeps().0
+}
+
+fn empty_sweep() -> PlacementSweep {
+    PlacementSweep {
+        m_comp: NumaId::new(0),
+        m_comm: NumaId::new(0),
+        points: vec![],
+    }
+}
+
+// ---- calibrate() ------------------------------------------------------
+
+#[test]
+fn empty_sweep_is_rejected() {
+    assert_eq!(calibrate(&empty_sweep()), Err(CalibrationError::EmptySweep));
+}
+
+#[test]
+fn single_point_sweep_is_rejected() {
+    let mut sweep = local_sweep();
+    sweep.points.truncate(1);
+    assert_eq!(
+        calibrate(&sweep),
+        Err(CalibrationError::TooFewPoints { got: 1 })
+    );
+}
+
+#[test]
+fn all_zero_comm_column_is_rejected() {
+    let mut sweep = local_sweep();
+    for p in &mut sweep.points {
+        p.comm_alone = 0.0;
+    }
+    assert!(matches!(
+        calibrate(&sweep),
+        Err(CalibrationError::NoCommBandwidth { b_comm_seq }) if b_comm_seq == 0.0
+    ));
+}
+
+#[test]
+fn nan_poisoned_sweep_is_rejected_with_location() {
+    let mut sweep = local_sweep();
+    let victim = sweep.points[4].n_cores;
+    sweep.points[4].comp_par = f64::NAN;
+    assert_eq!(
+        calibrate(&sweep),
+        Err(CalibrationError::NonFinite {
+            column: SweepColumn::CompPar,
+            n_cores: victim,
+        })
+    );
+}
+
+#[test]
+fn infinite_measurement_is_rejected_like_nan() {
+    let mut sweep = local_sweep();
+    sweep.points[2].comm_par = f64::INFINITY;
+    assert!(matches!(
+        calibrate(&sweep),
+        Err(CalibrationError::NonFinite {
+            column: SweepColumn::CommPar,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn unsorted_sweep_is_repaired_not_rejected() {
+    let sorted = local_sweep();
+    let expected = calibrate(&sorted).unwrap();
+    let mut shuffled = sorted.clone();
+    shuffled.points.reverse();
+    shuffled.points.swap(3, 11);
+    assert_eq!(calibrate(&shuffled).unwrap(), expected);
+}
+
+#[test]
+fn missing_single_core_point_is_rejected() {
+    let mut sweep = local_sweep();
+    sweep.points.retain(|p| p.n_cores != 1);
+    assert_eq!(calibrate(&sweep), Err(CalibrationError::MissingSingleCore));
+}
+
+#[test]
+fn conflicting_duplicate_is_rejected() {
+    let mut sweep = local_sweep();
+    let mut dup = sweep.points[5];
+    dup.comp_alone *= 1.5;
+    let n = dup.n_cores;
+    sweep.points.push(dup);
+    assert_eq!(
+        calibrate(&sweep),
+        Err(CalibrationError::DuplicateCores { n_cores: n })
+    );
+}
+
+#[test]
+fn every_degenerate_error_message_is_distinct() {
+    use std::collections::HashSet;
+    let errors = [
+        CalibrationError::EmptySweep,
+        CalibrationError::TooFewPoints { got: 1 },
+        CalibrationError::MissingSingleCore,
+        CalibrationError::NonFinite {
+            column: SweepColumn::CompPar,
+            n_cores: 5,
+        },
+        CalibrationError::NoCommBandwidth { b_comm_seq: 0.0 },
+        CalibrationError::DuplicateCores { n_cores: 5 },
+    ];
+    let messages: HashSet<String> = errors.iter().map(|e| e.to_string()).collect();
+    assert_eq!(messages.len(), errors.len());
+}
+
+// ---- ContentionModel::calibrate ---------------------------------------
+
+#[test]
+fn model_calibrate_rejects_degenerate_local_sweep() {
+    let (mut local, remote) = henri_sweeps();
+    local.points.clear();
+    let got = ContentionModel::calibrate(&henri().topology, &local, &remote);
+    assert_eq!(got.unwrap_err(), CalibrationError::EmptySweep);
+}
+
+#[test]
+fn model_calibrate_rejects_degenerate_remote_sweep() {
+    let (local, mut remote) = henri_sweeps();
+    for p in &mut remote.points {
+        p.comm_alone = 0.0;
+    }
+    let got = ContentionModel::calibrate(&henri().topology, &local, &remote);
+    assert!(matches!(got, Err(CalibrationError::NoCommBandwidth { .. })));
+}
+
+#[test]
+fn model_calibrate_rejects_synthetic_flat_zero_sweep() {
+    let zeros = PlacementSweep {
+        m_comp: NumaId::new(0),
+        m_comm: NumaId::new(0),
+        points: (1..=4)
+            .map(|n| SweepPoint {
+                n_cores: n,
+                comp_alone: 0.0,
+                comm_alone: 0.0,
+                comp_par: 0.0,
+                comm_par: 0.0,
+            })
+            .collect(),
+    };
+    let got = ContentionModel::calibrate(&henri().topology, &zeros, &zeros);
+    assert!(got.is_err(), "all-zero sweep must not calibrate");
+}
+
+// ---- CLI exit codes ---------------------------------------------------
+
+fn cli(line: &[&str]) -> Result<String, CliError> {
+    run(&Args::parse(line.iter().copied()).unwrap())
+}
+
+#[test]
+fn cli_usage_errors_exit_2() {
+    let cases: &[&[&str]] = &[
+        &["calibrate", "--platform", "no-such-machine"],
+        &["bench", "--platform", "henri", "--comp-numa", "9"],
+        &["bench", "--platform", "henri", "--comm-numa", "250"],
+        &[
+            "predict",
+            "--platform",
+            "henri",
+            "--cores",
+            "0",
+            "--comp-numa",
+            "0",
+            "--comm-numa",
+            "0",
+        ],
+        &[
+            "advise",
+            "--platform",
+            "henri",
+            "--compute-gb",
+            "1",
+            "--comm-gb",
+            "1",
+            "--max-cores",
+            "0",
+        ],
+        &["frobnicate"],
+    ];
+    for case in cases {
+        let e = cli(case).unwrap_err();
+        assert_eq!(e.exit_code(), EXIT_USAGE, "{case:?} -> {e}");
+        assert!(e.is_usage(), "{case:?}");
+    }
+}
+
+#[test]
+fn cli_missing_model_file_exits_4() {
+    let e = cli(&[
+        "predict",
+        "--model",
+        "/no/such/dir/model.txt",
+        "--cores",
+        "4",
+        "--comp-numa",
+        "0",
+        "--comm-numa",
+        "0",
+    ])
+    .unwrap_err();
+    assert_eq!(e.exit_code(), EXIT_IO, "{e}");
+    assert!(e.to_string().contains("/no/such/dir/model.txt"), "{e}");
+}
+
+#[test]
+fn cli_corrupt_model_file_exits_3() {
+    let path = std::env::temp_dir().join("memcontend-degenerate-model.txt");
+    std::fs::write(&path, "this is not a model file\n").unwrap();
+    let e = cli(&[
+        "predict",
+        "--model",
+        path.to_str().unwrap(),
+        "--cores",
+        "4",
+        "--comp-numa",
+        "0",
+        "--comm-numa",
+        "0",
+    ])
+    .unwrap_err();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(e.exit_code(), EXIT_INVALID_DATA, "{e}");
+}
+
+#[test]
+fn cli_happy_paths_still_work() {
+    assert!(cli(&["calibrate", "--platform", "henri"])
+        .unwrap()
+        .contains("M_local"));
+    assert!(cli(&["evaluate", "--platform", "henri"])
+        .unwrap()
+        .contains("average"));
+}
