@@ -12,7 +12,7 @@ use mc_topology::{platforms, NumaId};
 fn model_benches(c: &mut Criterion) {
     let platform = platforms::henri_subnuma();
     let sweep = sweep_platform(&platform, BenchConfig::default());
-    let model = calibrated_model(&platform, &sweep);
+    let model = calibrated_model(&platform, &sweep).expect("calibration succeeds");
 
     c.bench_function("model/predict_one", |b| {
         b.iter(|| model.predict(black_box(12), NumaId::new(1), NumaId::new(2)))

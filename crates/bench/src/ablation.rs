@@ -4,7 +4,7 @@
 //! communication floor, and the two-instantiation NUMA combination.
 
 use mc_membench::{sweep_platform_parallel, BenchConfig};
-use mc_model::{EqualShareBaseline, LocalOnlyBaseline, NoContentionBaseline};
+use mc_model::{EqualShareBaseline, LocalOnlyBaseline, McError, NoContentionBaseline};
 use mc_topology::platforms;
 
 use crate::tables::{calibrated_model, evaluate_predictor};
@@ -25,30 +25,30 @@ pub struct AblationRow {
 }
 
 /// Run the ablation on every platform.
-pub fn ablation_rows(config: BenchConfig) -> Vec<AblationRow> {
+pub fn ablation_rows(config: BenchConfig) -> Result<Vec<AblationRow>, McError> {
     platforms::all()
         .iter()
         .map(|p| {
             let sweep = sweep_platform_parallel(p, config);
-            let model = calibrated_model(p, &sweep);
+            let model = calibrated_model(p, &sweep)?;
             let e_model = evaluate_predictor(p, &sweep, &model);
             let e_none = evaluate_predictor(p, &sweep, &NoContentionBaseline::new(model.clone()));
             let e_equal = evaluate_predictor(p, &sweep, &EqualShareBaseline::new(model.clone()));
             let e_local = evaluate_predictor(p, &sweep, &LocalOnlyBaseline::new(model));
-            AblationRow {
+            Ok(AblationRow {
                 platform: p.name().to_string(),
                 model: e_model.average,
                 no_contention: e_none.average,
                 equal_share: e_equal.average,
                 local_only: e_local.average,
-            }
+            })
         })
         .collect()
 }
 
 /// Render the ablation table.
-pub fn ablation_table(config: BenchConfig) -> String {
-    let rows = ablation_rows(config);
+pub fn ablation_table(config: BenchConfig) -> Result<String, McError> {
+    let rows = ablation_rows(config)?;
     let mut out =
         String::from("ABLATION — AVERAGE PREDICTION ERROR (MAPE, %) OF THE MODEL VS BASELINES\n");
     out.push_str(&format!(
@@ -70,7 +70,7 @@ pub fn ablation_table(config: BenchConfig) -> String {
         rows.iter().map(|r| r.equal_share).sum::<f64>() / n,
         rows.iter().map(|r| r.local_only).sum::<f64>() / n,
     ));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -79,7 +79,7 @@ mod tests {
 
     #[test]
     fn model_beats_every_baseline_on_average() {
-        let rows = ablation_rows(BenchConfig::default());
+        let rows = ablation_rows(BenchConfig::default()).unwrap();
         let n = rows.len() as f64;
         let avg = |f: &dyn Fn(&AblationRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
         let model = avg(&|r| r.model);
@@ -90,7 +90,7 @@ mod tests {
 
     #[test]
     fn contention_aware_models_beat_no_contention_where_contention_exists() {
-        let rows = ablation_rows(BenchConfig::default());
+        let rows = ablation_rows(BenchConfig::default()).unwrap();
         // henri-subnuma has the strongest contention: ignoring it must hurt
         // badly there.
         let subnuma = rows.iter().find(|r| r.platform == "henri-subnuma").unwrap();
@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn local_only_hurts_most_on_locality_sensitive_platforms() {
-        let rows = ablation_rows(BenchConfig::default());
+        let rows = ablation_rows(BenchConfig::default()).unwrap();
         let diablo = rows.iter().find(|r| r.platform == "diablo").unwrap();
         // diablo's remote comm bandwidth is ~2x its local one; a single
         // local instantiation cannot represent that.

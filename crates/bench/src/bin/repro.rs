@@ -7,39 +7,52 @@
 //! repro ablation            # model-vs-baselines ablation table
 //! repro sensitivity         # kernel/pattern sensitivity study (henri)
 //! repro calibrate           # print the calibrated parameters per platform
+//! repro evaluate-csv FILE   # score a measured-sweep CSV (see --sweep-csv)
 //! repro --out DIR ...       # choose the output directory
 //! repro --event-driven ...  # measure with the discrete-event engine
 //! repro --exact ...         # disable measurement noise
+//! repro --metrics FILE ...  # export pipeline metrics as JSON lines
+//! repro --trace FILE ...    # export pipeline spans as JSON lines
+//! repro --sweep-csv FILE    # sweep CSV for the evaluate-csv target
 //! ```
+//!
+//! Exit codes follow the `memcontend` contract: 0 success, 2 usage
+//! mistakes, 3 invalid or degenerate input data, 4 file I/O failures.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mc_bench::figures::{figure1, figure2, placement_grid, predictions_csv, FIGURE_PLATFORMS};
 use mc_bench::tables::{table1, table2};
-use mc_membench::{Backend, BenchConfig};
+use mc_cli::CliError;
+use mc_membench::{Backend, BenchConfig, PlatformSweep};
+use mc_model::McError;
 use mc_topology::platforms;
 
 fn usage() -> &'static str {
-    "usage: repro [--out DIR] [--event-driven] [--exact] \
-     [all|table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|sensitivity|calibrate|timeline|msgsize|heatmap|gantt|dualsocket]..."
+    "usage: repro [--out DIR] [--event-driven] [--exact] [--metrics FILE] [--trace FILE] \
+     [--sweep-csv FILE] \
+     [all|table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|ablation|sensitivity|calibrate|timeline|msgsize|heatmap|gantt|dualsocket|evaluate-csv]..."
 }
 
-fn write(out_dir: &Path, name: &str, content: &str) {
+fn write(out_dir: &Path, name: &str, content: &str) -> Result<(), CliError> {
     let path = out_dir.join(name);
-    fs::write(&path, content).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    fs::write(&path, content).map_err(|e| McError::io(path.display().to_string(), e))?;
     println!("wrote {}", path.display());
+    Ok(())
 }
 
-fn run_figure(fig: u8, config: BenchConfig, out_dir: &Path) {
+fn run_figure(fig: u8, config: BenchConfig, out_dir: &Path) -> Result<(), CliError> {
     let name = FIGURE_PLATFORMS
         .iter()
         .find(|(f, _)| *f == fig)
         .map(|(_, n)| *n)
-        .unwrap_or_else(|| panic!("no platform for figure {fig}"));
-    let platform = platforms::by_name(name).expect("known platform");
-    let (grid, sweep) = placement_grid(&platform, config);
+        .ok_or_else(|| CliError::UnknownCommand(format!("fig{fig}")))?;
+    let platform =
+        platforms::by_name(name).ok_or_else(|| CliError::UnknownPlatform(name.to_string()))?;
+    let (grid, sweep) = placement_grid(&platform, config)?;
     let cell = if platform.topology.numa_count() > 2 {
         (280.0, 200.0)
     } else {
@@ -49,71 +62,108 @@ fn run_figure(fig: u8, config: BenchConfig, out_dir: &Path) {
         out_dir,
         &format!("fig{fig}_{name}.svg"),
         &grid.render(cell.0, cell.1).render(),
-    );
+    )?;
     write(
         out_dir,
         &format!("fig{fig}_{name}_measured.csv"),
         &sweep.to_csv(),
-    );
+    )?;
     write(
         out_dir,
         &format!("fig{fig}_{name}_predicted.csv"),
-        &predictions_csv(&platform, &sweep),
-    );
+        &predictions_csv(&platform, &sweep)?,
+    )
 }
 
-fn main() -> ExitCode {
-    let mut out_dir = PathBuf::from("out");
-    let mut config = BenchConfig::default();
-    let mut targets: Vec<String> = Vec::new();
+/// Score a measured-sweep CSV against the calibrated model of its own
+/// platform — the path that exercises the 3/4 exit codes on degenerate or
+/// unreadable data.
+fn evaluate_csv(path: &str, out_dir: &Path) -> Result<(), CliError> {
+    let text = fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
+    let sweep = PlatformSweep::from_csv(&text).map_err(McError::from)?;
+    let platform = platforms::by_name(&sweep.platform)
+        .ok_or_else(|| CliError::UnknownPlatform(sweep.platform.clone()))?;
+    let e = mc_bench::tables::evaluate_from_sweep(&platform, &sweep)?;
+    let out = format!(
+        "SWEEP EVALUATION — {} ({path})\n\
+         comm all: {:.2} %  comp all: {:.2} %  average: {:.2} %\n",
+        platform.name(),
+        e.comm_all,
+        e.comp_all,
+        e.average
+    );
+    print!("{out}");
+    write(out_dir, "evaluate_csv.txt", &out)
+}
 
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+struct Flags {
+    out_dir: PathBuf,
+    config: BenchConfig,
+    metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    sweep_csv: Option<String>,
+    targets: Vec<String>,
+    help: bool,
+}
+
+fn parse_flags(mut argv: impl Iterator<Item = String>) -> Result<Flags, CliError> {
+    let mut flags = Flags {
+        out_dir: PathBuf::from("out"),
+        config: BenchConfig::default(),
+        metrics: None,
+        trace: None,
+        sweep_csv: None,
+        targets: Vec::new(),
+        help: false,
+    };
+    while let Some(arg) = argv.next() {
+        let mut value = |key: &str| -> Result<String, CliError> {
+            argv.next()
+                .ok_or_else(|| CliError::MissingValue(key.into()))
+        };
         match arg.as_str() {
-            "--out" => match args.next() {
-                Some(d) => out_dir = PathBuf::from(d),
-                None => {
-                    eprintln!("--out needs a directory\n{}", usage());
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--event-driven" => config.backend = Backend::EventDriven,
-            "--exact" => config.noisy = false,
-            "-h" | "--help" => {
-                println!("{}", usage());
-                return ExitCode::SUCCESS;
-            }
-            t if !t.starts_with('-') => targets.push(t.to_string()),
-            other => {
-                eprintln!("unknown flag {other}\n{}", usage());
-                return ExitCode::FAILURE;
-            }
+            "--out" => flags.out_dir = PathBuf::from(value("out")?),
+            "--metrics" => flags.metrics = Some(PathBuf::from(value("metrics")?)),
+            "--trace" => flags.trace = Some(PathBuf::from(value("trace")?)),
+            "--sweep-csv" => flags.sweep_csv = Some(value("sweep-csv")?),
+            "--event-driven" => flags.config.backend = Backend::EventDriven,
+            "--exact" => flags.config.noisy = false,
+            "-h" | "--help" => flags.help = true,
+            t if !t.starts_with('-') => flags.targets.push(t.to_string()),
+            other => return Err(CliError::UnknownCommand(other.to_string())),
         }
     }
-    if targets.is_empty() {
-        targets.push("all".into());
+    if flags.targets.is_empty() {
+        flags.targets.push("all".into());
     }
-    fs::create_dir_all(&out_dir).expect("create output directory");
+    Ok(flags)
+}
 
-    let all = targets.iter().any(|t| t == "all");
-    let wants = |t: &str| all || targets.iter().any(|x| x == t);
+fn run(flags: &Flags) -> Result<(), CliError> {
+    let out_dir = &flags.out_dir;
+    let config = flags.config;
+    fs::create_dir_all(out_dir).map_err(|e| McError::io(out_dir.display().to_string(), e))?;
+
+    let all = flags.targets.iter().any(|t| t == "all");
+    let wants = |t: &str| all || flags.targets.iter().any(|x| x == t);
 
     if wants("table1") {
         let t = table1();
         println!("{t}");
-        write(&out_dir, "table1.txt", &t);
+        write(out_dir, "table1.txt", &t)?;
     }
     if wants("fig1") {
         let f = figure1();
-        write(&out_dir, "fig1_topologies.txt", &f);
+        write(out_dir, "fig1_topologies.txt", &f)?;
     }
     if wants("fig2") {
-        let data = figure2(config);
+        let _span = mc_obs::span("repro.fig2", &[]);
+        let data = figure2(config)?;
         write(
-            &out_dir,
+            out_dir,
             "fig2_stacked.svg",
             &data.render(720.0, 460.0).render(),
-        );
+        )?;
         let mut csv = String::from("n_cores,comp_par,comm_par,comp_alone\n");
         for i in 0..data.n_cores.len() {
             csv.push_str(&format!(
@@ -121,68 +171,77 @@ fn main() -> ExitCode {
                 data.n_cores[i], data.comp_par[i], data.comm_par[i], data.comp_alone[i]
             ));
         }
-        write(&out_dir, "fig2_stacked.csv", &csv);
+        write(out_dir, "fig2_stacked.csv", &csv)?;
     }
     for fig in 3u8..=8 {
         if wants(&format!("fig{fig}")) {
-            run_figure(fig, config, &out_dir);
+            let _span = mc_obs::span(
+                "repro.figure",
+                &[("figure", mc_obs::TagValue::U64(fig as u64))],
+            );
+            run_figure(fig, config, out_dir)?;
         }
     }
     if wants("table2") {
-        let t = table2(config);
+        let _span = mc_obs::span("repro.table2", &[]);
+        let t = table2(config)?;
         println!("{t}");
-        write(&out_dir, "table2.txt", &t);
+        write(out_dir, "table2.txt", &t)?;
     }
     if wants("ablation") {
-        let t = mc_bench::ablation::ablation_table(config);
+        let t = mc_bench::ablation::ablation_table(config)?;
         println!("{t}");
-        write(&out_dir, "ablation.txt", &t);
+        write(out_dir, "ablation.txt", &t)?;
     }
     if wants("heatmap") {
         for name in ["henri", "pyxis", "henri-subnuma"] {
-            let p = platforms::by_name(name).expect("known platform");
-            let hm = mc_bench::figures::error_heatmap(&p, config);
+            let p = platforms::by_name(name)
+                .ok_or_else(|| CliError::UnknownPlatform(name.to_string()))?;
+            let hm = mc_bench::figures::error_heatmap(&p, config)?;
             write(
-                &out_dir,
+                out_dir,
                 &format!("extra_heatmap_{name}.svg"),
                 &hm.render(86.0).render(),
-            );
+            )?;
         }
     }
     if wants("timeline") {
         let chart = mc_bench::figures::timeline_figure();
         write(
-            &out_dir,
+            out_dir,
             "extra_timeline.svg",
             &chart.render(820.0, 420.0).render(),
-        );
+        )?;
     }
     if wants("gantt") {
         let gantt = mc_bench::figures::overlap_gantt();
-        write(&out_dir, "extra_gantt.svg", &gantt.render(860.0).render());
+        write(out_dir, "extra_gantt.svg", &gantt.render(860.0).render())?;
     }
     if wants("msgsize") {
         let mut cfg = config;
         cfg.backend = Backend::EventDriven;
-        let t = mc_bench::msgsize::msgsize_table("henri", cfg);
+        let p = platforms::by_name("henri").expect("built-in platform");
+        let t = mc_bench::msgsize::msgsize_table(&p, cfg)?;
         println!("{t}");
-        write(&out_dir, "msgsize.txt", &t);
+        write(out_dir, "msgsize.txt", &t)?;
     }
     if wants("dualsocket") {
-        let t = mc_bench::dualsocket::dual_socket_table("henri");
+        let p = platforms::by_name("henri").expect("built-in platform");
+        let t = mc_bench::dualsocket::dual_socket_table(&p);
         println!("{t}");
-        write(&out_dir, "dualsocket.txt", &t);
+        write(out_dir, "dualsocket.txt", &t)?;
     }
     if wants("sensitivity") {
-        let t = mc_bench::sensitivity::sensitivity_table("henri", config);
+        let p = platforms::by_name("henri").expect("built-in platform");
+        let t = mc_bench::sensitivity::sensitivity_table(&p, config)?;
         println!("{t}");
-        write(&out_dir, "sensitivity.txt", &t);
+        write(out_dir, "sensitivity.txt", &t)?;
     }
     if wants("calibrate") {
         let mut out = String::from("CALIBRATED MODEL PARAMETERS PER PLATFORM\n");
         for p in platforms::all() {
             let sweep = mc_membench::sweep_platform_parallel(&p, config);
-            let model = mc_bench::tables::calibrated_model(&p, &sweep);
+            let model = mc_bench::tables::calibrated_model(&p, &sweep)?;
             out.push_str(&format!(
                 "{}\n  M_local : {}\n  M_remote: {}\n",
                 p.name(),
@@ -191,8 +250,71 @@ fn main() -> ExitCode {
             ));
         }
         println!("{out}");
-        write(&out_dir, "calibration.txt", &out);
+        write(out_dir, "calibration.txt", &out)?;
+    }
+    if wants("evaluate-csv") {
+        let path = flags
+            .sweep_csv
+            .as_deref()
+            .ok_or(CliError::MissingOption("sweep-csv"))?;
+        evaluate_csv(path, out_dir)?;
+    }
+    Ok(())
+}
+
+/// Write the recorder's exports, if requested. Runs even when the targets
+/// failed, so a partial run still leaves its metrics behind.
+fn export_observability(flags: &Flags, registry: &mc_obs::Registry) -> Result<(), CliError> {
+    if let Some(path) = &flags.metrics {
+        fs::write(path, registry.metrics_json_lines())
+            .map_err(|e| McError::io(path.display().to_string(), e))?;
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &flags.trace {
+        fs::write(path, registry.trace_json_lines())
+            .map_err(|e| McError::io(path.display().to_string(), e))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let flags = match parse_flags(std::env::args().skip(1)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("repro: {e}\n{}", usage());
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    if flags.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
     }
 
-    ExitCode::SUCCESS
+    let registry = (flags.metrics.is_some() || flags.trace.is_some()).then(|| {
+        let registry = Arc::new(mc_obs::Registry::new());
+        mc_obs::set_recorder(registry.clone());
+        registry
+    });
+
+    let result = run(&flags);
+    let export = match &registry {
+        Some(r) => export_observability(&flags, r),
+        None => Ok(()),
+    };
+    mc_obs::clear_recorder();
+
+    for e in [&result, &export]
+        .into_iter()
+        .filter_map(|r| r.as_ref().err())
+    {
+        eprintln!("repro: {e}");
+        if e.is_usage() {
+            eprintln!("{}", usage());
+        }
+    }
+    match result.and(export) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => ExitCode::from(e.exit_code()),
+    }
 }

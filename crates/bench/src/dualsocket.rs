@@ -7,7 +7,7 @@
 //! both writing to NUMA node 0 while the NIC receives into it.
 
 use mc_memsim::fabric::{Fabric, StreamSpec};
-use mc_topology::{platforms, NumaId, Platform, SocketId};
+use mc_topology::{NumaId, Platform, SocketId};
 
 /// One row of the study.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,9 +71,8 @@ pub fn dual_socket_rows(platform: &Platform) -> Vec<DualSocketRow> {
 }
 
 /// Render the study.
-pub fn dual_socket_table(name: &str) -> String {
-    let platform = platforms::by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"));
-    let rows = dual_socket_rows(&platform);
+pub fn dual_socket_table(platform: &Platform) -> String {
+    let rows = dual_socket_rows(platform);
     let mut out = format!(
         "DUAL-SOCKET COMPUTE STUDY — {} (all data on numa0, NIC receiving)\n",
         platform.name()
@@ -98,6 +97,7 @@ pub fn dual_socket_table(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mc_topology::platforms;
 
     #[test]
     fn split_never_beats_single_socket_into_a_local_node() {
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        let t = dual_socket_table("henri");
+        let t = dual_socket_table(&platforms::henri());
         assert!(t.contains("DUAL-SOCKET"));
         assert!(t.lines().count() > 5);
     }

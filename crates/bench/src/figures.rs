@@ -7,6 +7,7 @@ use mc_memsim::engine::{Activity, ActivityKind, Engine};
 use mc_memsim::fabric::Fabric;
 use mc_model::ContentionModel;
 use mc_model::Mape;
+use mc_model::McError;
 use mc_netsim::NicModel;
 use mc_topology::{platforms, Platform};
 use mc_viz::{
@@ -49,15 +50,18 @@ pub fn figure1() -> String {
 
 /// Fig. 2 data: the stacked view of the henri-subnuma local placement,
 /// with the model's calibration points marked.
-pub fn figure2(config: BenchConfig) -> StackedData {
+pub fn figure2(config: BenchConfig) -> Result<StackedData, McError> {
     let platform = platforms::henri_subnuma();
     let sweep = sweep_platform_parallel(&platform, config);
-    let model = calibrated_model(&platform, &sweep);
+    let model = calibrated_model(&platform, &sweep)?;
     let ((lc, lm), _) = calibration_placements(&platform);
-    let local = sweep.placement(lc, lm).expect("local placement measured");
+    let local = sweep.placement(lc, lm).ok_or(McError::MissingPlacement {
+        m_comp: lc,
+        m_comm: lm,
+    })?;
 
     let p = *model.local().params();
-    StackedData {
+    Ok(StackedData {
         title: format!("{} — stacked bandwidths, local placement", platform.name()),
         n_cores: local.points.iter().map(|pt| pt.n_cores as f64).collect(),
         comp_par: local.points.iter().map(|pt| pt.comp_par).collect(),
@@ -85,7 +89,7 @@ pub fn figure2(config: BenchConfig) -> StackedData {
                 label: "(Nmax_seq, Tmax2_par)".into(),
             },
         ],
-    }
+    })
 }
 
 /// Build one subplot: measurements (markers) and model predictions (lines)
@@ -95,8 +99,10 @@ fn subplot(
     sweep: &PlatformSweep,
     m_comp: mc_topology::NumaId,
     m_comm: mc_topology::NumaId,
-) -> DualAxisChart {
-    let placement = sweep.placement(m_comp, m_comm).expect("placement measured");
+) -> Result<DualAxisChart, McError> {
+    let placement = sweep
+        .placement(m_comp, m_comm)
+        .ok_or(McError::MissingPlacement { m_comp, m_comm })?;
     let xs = |f: &dyn Fn(&mc_membench::SweepPoint) -> f64| -> Vec<(f64, f64)> {
         placement
             .points
@@ -177,7 +183,7 @@ fn subplot(
         },
     ];
 
-    DualAxisChart {
+    Ok(DualAxisChart {
         title: format!("comp data: {m_comp} — comm data: {m_comm}"),
         x_label: "Number of computing cores".into(),
         left_label: "Network bandwidth (GB/s)".into(),
@@ -185,20 +191,23 @@ fn subplot(
         series,
         highlighted: model.is_sample_placement(m_comp, m_comm),
         legend: false,
-    }
+    })
 }
 
 /// Build the full placement grid of one platform (one of Figs. 3–8),
 /// returning the grid plus the underlying sweep (for CSV export).
-pub fn placement_grid(platform: &Platform, config: BenchConfig) -> (ChartGrid, PlatformSweep) {
+pub fn placement_grid(
+    platform: &Platform,
+    config: BenchConfig,
+) -> Result<(ChartGrid, PlatformSweep), McError> {
     let sweep = sweep_platform_parallel(platform, config);
-    let model = calibrated_model(platform, &sweep);
+    let model = calibrated_model(platform, &sweep)?;
     let charts = platform
         .topology
         .placement_combinations()
         .into_iter()
         .map(|(m_comp, m_comm)| subplot(&model, &sweep, m_comp, m_comm))
-        .collect();
+        .collect::<Result<Vec<_>, _>>()?;
     let grid = ChartGrid {
         title: format!(
             "{} ({}, {})",
@@ -209,27 +218,29 @@ pub fn placement_grid(platform: &Platform, config: BenchConfig) -> (ChartGrid, P
         charts,
         cols: platform.topology.numa_count(),
     };
-    (grid, sweep)
+    Ok((grid, sweep))
 }
 
 /// Extra (extended-report style): the per-placement communication
 /// prediction-error matrix a platform's Table II row aggregates away.
 /// Rows are communication-data placements, columns computation-data
 /// placements — the layout of Figs. 3-8.
-pub fn error_heatmap(platform: &Platform, config: BenchConfig) -> Heatmap {
+pub fn error_heatmap(platform: &Platform, config: BenchConfig) -> Result<Heatmap, McError> {
     let sweep = sweep_platform_parallel(platform, config);
-    let model = calibrated_model(platform, &sweep);
+    let model = calibrated_model(platform, &sweep)?;
     let nodes = platform.topology.numa_count();
     let mut values = Vec::with_capacity(nodes * nodes);
     for (m_comp, m_comm) in platform.topology.placement_combinations() {
-        let placement = sweep.placement(m_comp, m_comm).expect("measured");
+        let placement = sweep
+            .placement(m_comp, m_comm)
+            .ok_or(McError::MissingPlacement { m_comp, m_comm })?;
         let mut mape = Mape::default();
         for pt in &placement.points {
             mape.add(pt.comm_par, model.predict(pt.n_cores, m_comp, m_comm).comm);
         }
         values.push(mape.percent_or_nan());
     }
-    Heatmap {
+    Ok(Heatmap {
         title: format!(
             "{} — communication prediction error per placement",
             platform.name()
@@ -238,7 +249,7 @@ pub fn error_heatmap(platform: &Platform, config: BenchConfig) -> Heatmap {
         row_labels: (0..nodes).map(|i| format!("comm numa{i}")).collect(),
         values,
         unit: "%".into(),
-    }
+    })
 }
 
 /// Extra: a Gantt view of an overlapped iterative run on the MPI
@@ -359,8 +370,8 @@ pub fn timeline_figure() -> DualAxisChart {
 
 /// CSV of the model's parallel predictions for every placement — exported
 /// next to the measured-sweep CSV so figures can be re-plotted elsewhere.
-pub fn predictions_csv(platform: &Platform, sweep: &PlatformSweep) -> String {
-    let model = calibrated_model(platform, sweep);
+pub fn predictions_csv(platform: &Platform, sweep: &PlatformSweep) -> Result<String, McError> {
+    let model = calibrated_model(platform, sweep)?;
     let mut out = String::from("platform,m_comp,m_comm,n_cores,pred_comp_par,pred_comm_par\n");
     for (m_comp, m_comm) in platform.topology.placement_combinations() {
         for n in 1..=platform.max_compute_cores() {
@@ -376,7 +387,7 @@ pub fn predictions_csv(platform: &Platform, sweep: &PlatformSweep) -> String {
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -393,7 +404,7 @@ mod tests {
 
     #[test]
     fn figure2_marks_the_four_calibration_points() {
-        let d = figure2(BenchConfig::default());
+        let d = figure2(BenchConfig::default()).unwrap();
         assert_eq!(d.marks.len(), 4);
         assert_eq!(d.n_cores.len(), 17);
         // Stacked data must be renderable.
@@ -404,7 +415,7 @@ mod tests {
     #[test]
     fn henri_grid_is_2x2_with_two_highlights() {
         let p = platforms::henri();
-        let (grid, _) = placement_grid(&p, BenchConfig::default());
+        let (grid, _) = placement_grid(&p, BenchConfig::default()).unwrap();
         assert_eq!(grid.charts.len(), 4);
         assert_eq!(grid.cols, 2);
         let highlighted = grid.charts.iter().filter(|c| c.highlighted).count();
@@ -418,7 +429,7 @@ mod tests {
     #[test]
     fn subnuma_grid_is_4x4() {
         let p = platforms::henri_subnuma();
-        let (grid, sweep) = placement_grid(&p, BenchConfig::default());
+        let (grid, sweep) = placement_grid(&p, BenchConfig::default()).unwrap();
         assert_eq!(grid.charts.len(), 16);
         assert_eq!(grid.cols, 4);
         assert_eq!(sweep.sweeps.len(), 16);
@@ -441,7 +452,7 @@ mod tests {
     #[test]
     fn heatmap_covers_the_grid_and_flags_pyxis_hotspot() {
         let p = platforms::by_name("pyxis").unwrap();
-        let hm = error_heatmap(&p, BenchConfig::default());
+        let hm = error_heatmap(&p, BenchConfig::default()).unwrap();
         assert_eq!(hm.values.len(), 4);
         // The (comp local, comm remote) cell is the locality-quirk hotspot:
         // row = comm numa1, col = comp numa0 → index 2·1+0 = 2.
@@ -468,7 +479,7 @@ mod tests {
     fn predictions_csv_has_all_rows() {
         let p = platforms::henri();
         let sweep = sweep_platform_parallel(&p, BenchConfig::default());
-        let csv = predictions_csv(&p, &sweep);
+        let csv = predictions_csv(&p, &sweep).unwrap();
         // header + 4 placements × 17 core counts
         assert_eq!(csv.lines().count(), 1 + 4 * 17);
     }

@@ -9,8 +9,10 @@
 //! recalibrated per size keeps working.
 
 use mc_membench::{calibration_placements, sweep_platform_parallel, BenchConfig};
-use mc_model::{evaluate, ContentionModel};
-use mc_topology::{platforms, Platform, SocketId};
+use mc_model::{evaluate, McError};
+use mc_topology::{Platform, SocketId};
+
+use crate::tables::calibrated_model;
 
 /// One message size's outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,8 +30,9 @@ pub struct MsgSizeRow {
 /// The sizes swept: 256 KiB to 64 MiB.
 pub const SIZES: [u64; 5] = [256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20];
 
-/// Run the study on one platform.
-pub fn msgsize_rows(platform: &Platform, base: BenchConfig) -> Vec<MsgSizeRow> {
+/// Run the study on one platform. Fails (instead of panicking) when a
+/// sweep misses a needed placement or core count, or refuses to calibrate.
+pub fn msgsize_rows(platform: &Platform, base: BenchConfig) -> Result<Vec<MsgSizeRow>, McError> {
     let local = platform.topology.first_numa_of(SocketId::new(0));
     let n_full = platform.max_compute_cores();
     SIZES
@@ -38,36 +41,33 @@ pub fn msgsize_rows(platform: &Platform, base: BenchConfig) -> Vec<MsgSizeRow> {
             let mut config = base;
             config.msg_bytes = msg_bytes;
             let sweep = sweep_platform_parallel(platform, config);
-            let placement = sweep.placement(local, local).expect("local measured");
+            let placement = sweep
+                .placement(local, local)
+                .ok_or(McError::MissingPlacement {
+                    m_comp: local,
+                    m_comm: local,
+                })?;
             let full = placement
                 .points
                 .iter()
                 .find(|p| p.n_cores == n_full)
-                .expect("full-load point");
+                .ok_or(McError::MissingCoreCount { n_cores: n_full })?;
             let (s_local, s_remote) = calibration_placements(platform);
-            let model = ContentionModel::calibrate(
-                &platform.topology,
-                sweep.placement(s_local.0, s_local.1).expect("local sample"),
-                sweep
-                    .placement(s_remote.0, s_remote.1)
-                    .expect("remote sample"),
-            )
-            .expect("calibration succeeds");
+            let model = calibrated_model(platform, &sweep)?;
             let error = evaluate(&model, &sweep, &[s_local, s_remote]).average;
-            MsgSizeRow {
+            Ok(MsgSizeRow {
                 msg_bytes,
                 comm_alone: placement.comm_alone_mean(),
                 comm_kept: full.comm_par / placement.comm_alone_mean(),
                 model_error: error,
-            }
+            })
         })
         .collect()
 }
 
 /// Render the study.
-pub fn msgsize_table(name: &str, base: BenchConfig) -> String {
-    let platform = platforms::by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"));
-    let rows = msgsize_rows(&platform, base);
+pub fn msgsize_table(platform: &Platform, base: BenchConfig) -> Result<String, McError> {
+    let rows = msgsize_rows(platform, base)?;
     let mut out = format!(
         "MESSAGE-SIZE STUDY — {} (local placement, full compute load)\n",
         platform.name()
@@ -89,12 +89,13 @@ pub fn msgsize_table(name: &str, base: BenchConfig) -> String {
             r.model_error
         ));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mc_topology::platforms;
 
     #[test]
     fn observed_bandwidth_grows_with_message_size() {
@@ -102,7 +103,7 @@ mod tests {
         // Event-driven: handshakes and gaps actually cost time.
         let mut cfg = BenchConfig::event_driven();
         cfg.noisy = false;
-        let rows = msgsize_rows(&p, cfg);
+        let rows = msgsize_rows(&p, cfg).unwrap();
         for w in rows.windows(2) {
             assert!(
                 w[1].comm_alone >= w[0].comm_alone * 0.999,
@@ -119,7 +120,7 @@ mod tests {
         let p = platforms::by_name("henri").unwrap();
         let mut cfg = BenchConfig::event_driven();
         cfg.noisy = false;
-        for r in msgsize_rows(&p, cfg) {
+        for r in msgsize_rows(&p, cfg).unwrap() {
             assert!(
                 r.model_error < 6.0,
                 "{} MiB: {:.2} %",

@@ -5,8 +5,10 @@
 use mc_membench::{
     calibration_placements, sweep_platform_parallel, BenchConfig, CommPattern, ComputeKernel,
 };
-use mc_model::{evaluate, ContentionModel};
-use mc_topology::{platforms, Platform, SocketId};
+use mc_model::{evaluate, McError};
+use mc_topology::{Platform, SocketId};
+
+use crate::tables::calibrated_model;
 
 /// One configuration's outcome.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +26,12 @@ pub struct SensitivityRow {
     pub model_error: f64,
 }
 
-/// Run the study on one platform.
-pub fn sensitivity_rows(platform: &Platform, base: BenchConfig) -> Vec<SensitivityRow> {
+/// Run the study on one platform. Fails (instead of panicking) when a
+/// sweep misses a needed placement or core count, or refuses to calibrate.
+pub fn sensitivity_rows(
+    platform: &Platform,
+    base: BenchConfig,
+) -> Result<Vec<SensitivityRow>, McError> {
     let kernels = [
         ComputeKernel::compute_bound(2.0),
         ComputeKernel::memset_nt(),
@@ -43,21 +49,17 @@ pub fn sensitivity_rows(platform: &Platform, base: BenchConfig) -> Vec<Sensitivi
             let sweep = sweep_platform_parallel(platform, config);
             let placement = sweep
                 .placement(local, local)
-                .expect("local placement measured");
+                .ok_or(McError::MissingPlacement {
+                    m_comp: local,
+                    m_comm: local,
+                })?;
             let last = placement
                 .points
                 .iter()
                 .find(|p| p.n_cores == n_full)
-                .expect("full-load point measured");
+                .ok_or(McError::MissingCoreCount { n_cores: n_full })?;
             let (s_local, s_remote) = calibration_placements(platform);
-            let model = ContentionModel::calibrate(
-                &platform.topology,
-                sweep.placement(s_local.0, s_local.1).expect("local sample"),
-                sweep
-                    .placement(s_remote.0, s_remote.1)
-                    .expect("remote sample"),
-            )
-            .expect("calibration succeeds");
+            let model = calibrated_model(platform, &sweep)?;
             let error = evaluate(&model, &sweep, &[s_local, s_remote]).average;
             rows.push(SensitivityRow {
                 kernel: kernel.name(),
@@ -68,13 +70,12 @@ pub fn sensitivity_rows(platform: &Platform, base: BenchConfig) -> Vec<Sensitivi
             });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Render the study for one platform.
-pub fn sensitivity_table(name: &str, base: BenchConfig) -> String {
-    let platform = platforms::by_name(name).unwrap_or_else(|| panic!("unknown platform {name}"));
-    let rows = sensitivity_rows(&platform, base);
+pub fn sensitivity_table(platform: &Platform, base: BenchConfig) -> Result<String, McError> {
+    let rows = sensitivity_rows(platform, base)?;
     let mut out = format!(
         "KERNEL / PATTERN SENSITIVITY — {} (full compute load, local placement)\n",
         platform.name()
@@ -93,7 +94,7 @@ pub fn sensitivity_table(name: &str, base: BenchConfig) -> String {
             r.model_error
         ));
     }
-    out
+    Ok(out)
 }
 
 /// NUMA node helper for tests.
@@ -105,11 +106,12 @@ fn n(i: u16) -> mc_topology::NumaId {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mc_topology::platforms;
 
     #[test]
     fn contention_grows_with_kernel_traffic() {
         let p = platforms::by_name("henri").unwrap();
-        let rows = sensitivity_rows(&p, BenchConfig::default());
+        let rows = sensitivity_rows(&p, BenchConfig::default()).unwrap();
         let kept = |kernel: &str| -> f64 {
             rows.iter()
                 .find(|r| r.kernel == kernel && r.pattern == CommPattern::RecvOnly)
@@ -124,7 +126,7 @@ mod tests {
     #[test]
     fn recalibrated_model_stays_accurate_across_the_grid() {
         let p = platforms::by_name("henri").unwrap();
-        let rows = sensitivity_rows(&p, BenchConfig::default());
+        let rows = sensitivity_rows(&p, BenchConfig::default()).unwrap();
         assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!(
@@ -139,7 +141,8 @@ mod tests {
 
     #[test]
     fn table_renders_all_rows() {
-        let t = sensitivity_table("henri", BenchConfig::default());
+        let p = platforms::by_name("henri").unwrap();
+        let t = sensitivity_table(&p, BenchConfig::default()).unwrap();
         assert_eq!(t.matches("RecvOnly").count(), 4);
         assert_eq!(t.matches("PingPong").count(), 4);
         assert!(t.contains("triad-nt"));

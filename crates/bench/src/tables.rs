@@ -2,7 +2,9 @@
 //! (model errors per platform).
 
 use mc_membench::{calibration_placements, sweep_platform_parallel, BenchConfig};
-use mc_model::{evaluate, format_percent, BandwidthPredictor, ContentionModel, ErrorBreakdown};
+use mc_model::{
+    evaluate, format_percent, BandwidthPredictor, ContentionModel, ErrorBreakdown, McError,
+};
 use mc_topology::{platforms, Platform};
 
 /// Render Table I: one row per platform, matching the paper's columns.
@@ -34,7 +36,10 @@ pub fn table1() -> String {
 
 /// Full evaluation of one platform: measure every placement, calibrate the
 /// model from the two sample placements, score predictions.
-pub fn evaluate_platform(platform: &Platform, config: BenchConfig) -> ErrorBreakdown {
+pub fn evaluate_platform(
+    platform: &Platform,
+    config: BenchConfig,
+) -> Result<ErrorBreakdown, McError> {
     let sweep = sweep_platform_parallel(platform, config);
     evaluate_from_sweep(platform, &sweep)
 }
@@ -43,30 +48,33 @@ pub fn evaluate_platform(platform: &Platform, config: BenchConfig) -> ErrorBreak
 pub fn evaluate_from_sweep(
     platform: &Platform,
     sweep: &mc_membench::PlatformSweep,
-) -> ErrorBreakdown {
-    let model = calibrated_model(platform, sweep);
+) -> Result<ErrorBreakdown, McError> {
+    let model = calibrated_model(platform, sweep)?;
     let samples = [
         calibration_placements(platform).0,
         calibration_placements(platform).1,
     ];
-    evaluate(&model, sweep, &samples)
+    Ok(evaluate(&model, sweep, &samples))
 }
 
 /// Calibrate the paper's model from the two sample placements of a full
-/// sweep.
+/// sweep. Fails with [`McError::MissingPlacement`] when the sweep does not
+/// cover a calibration placement, and with [`McError::Calibration`] when a
+/// covered placement is degenerate.
 pub fn calibrated_model(
     platform: &Platform,
     sweep: &mc_membench::PlatformSweep,
-) -> ContentionModel {
+) -> Result<ContentionModel, McError> {
     let ((lc, lm), (rc, rm)) = calibration_placements(platform);
-    let local = sweep
-        .placement(lc, lm)
-        .expect("local calibration placement measured");
-    let remote = sweep
-        .placement(rc, rm)
-        .expect("remote calibration placement measured");
-    ContentionModel::calibrate(&platform.topology, local, remote)
-        .expect("calibration succeeds on measured sweeps")
+    let local = sweep.placement(lc, lm).ok_or(McError::MissingPlacement {
+        m_comp: lc,
+        m_comm: lm,
+    })?;
+    let remote = sweep.placement(rc, rm).ok_or(McError::MissingPlacement {
+        m_comp: rc,
+        m_comm: rm,
+    })?;
+    ContentionModel::calibrate(&platform.topology, local, remote).map_err(McError::from)
 }
 
 /// Evaluate an arbitrary predictor built from the calibrated model (used
@@ -85,7 +93,7 @@ pub fn evaluate_predictor(
 
 /// Render Table II for all six platforms, with the per-column averages of
 /// the paper's last row.
-pub fn table2(config: BenchConfig) -> String {
+pub fn table2(config: BenchConfig) -> Result<String, McError> {
     let mut out = String::new();
     out.push_str("TABLE II — MODEL ERRORS ON TESTBED PLATFORMS (MAPE, %)\n");
     out.push_str(&format!(
@@ -101,7 +109,7 @@ pub fn table2(config: BenchConfig) -> String {
     ));
     let mut rows = Vec::new();
     for p in platforms::all() {
-        let e = evaluate_platform(&p, config);
+        let e = evaluate_platform(&p, config)?;
         out.push_str(&format_row(p.name(), &e));
         rows.push(e);
     }
@@ -116,7 +124,7 @@ pub fn table2(config: BenchConfig) -> String {
         average: rows.iter().map(|e| e.average).sum::<f64>() / n,
     };
     out.push_str(&format_row("Average", &avg));
-    out
+    Ok(out)
 }
 
 fn format_row(name: &str, e: &ErrorBreakdown) -> String {
@@ -156,8 +164,27 @@ mod tests {
 
     #[test]
     fn henri_errors_are_low() {
-        let e = evaluate_platform(&platforms::henri(), BenchConfig::default());
+        let e = evaluate_platform(&platforms::henri(), BenchConfig::default()).unwrap();
         assert!(e.average < 3.0, "{e:?}");
+    }
+
+    #[test]
+    fn calibrated_model_reports_the_missing_placement() {
+        // A sweep that only measured the local calibration placement: the
+        // missing remote placement is reported, not panicked over.
+        let p = platforms::henri();
+        let full = sweep_platform_parallel(&p, BenchConfig::exact());
+        let ((lc, lm), (rc, rm)) = calibration_placements(&p);
+        let mut partial = full.clone();
+        partial.sweeps.retain(|s| (s.m_comp, s.m_comm) == (lc, lm));
+        assert_eq!(
+            calibrated_model(&p, &partial).unwrap_err(),
+            McError::MissingPlacement {
+                m_comp: rc,
+                m_comm: rm,
+            }
+        );
+        assert!(calibrated_model(&p, &full).is_ok());
     }
 
     #[test]
@@ -166,7 +193,7 @@ mod tests {
         // cleanest, pyxis the worst (driven by non-sample communication
         // error ≈ 13 %), computations predicted better than communications.
         let cfg = BenchConfig::default();
-        let by_name = |n: &str| evaluate_platform(&platforms::by_name(n).unwrap(), cfg);
+        let by_name = |n: &str| evaluate_platform(&platforms::by_name(n).unwrap(), cfg).unwrap();
         let occigen = by_name("occigen");
         let pyxis = by_name("pyxis");
         let henri = by_name("henri");

@@ -1,0 +1,151 @@
+//! Exit-code contract and observability-export tests for the `repro`
+//! binary: 0 success, 2 usage mistakes, 3 invalid or degenerate input
+//! data, 4 file I/O failures — never a panic on user-reachable paths.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = repro(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn missing_flag_value_exits_2() {
+    let out = repro(&["table1", "--out"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--out"));
+}
+
+#[test]
+fn evaluate_csv_without_the_csv_exits_2() {
+    let dir = tmp("no-csv");
+    let out = repro(&["--out", dir.to_str().unwrap(), "evaluate-csv"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--sweep-csv"));
+}
+
+#[test]
+fn unreadable_sweep_csv_exits_4() {
+    let dir = tmp("io");
+    let missing = dir.join("does-not-exist.csv");
+    let out = repro(&[
+        "--out",
+        dir.to_str().unwrap(),
+        "--sweep-csv",
+        missing.to_str().unwrap(),
+        "evaluate-csv",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+}
+
+#[test]
+fn incomplete_sweep_exits_3_not_panic() {
+    // A parseable sweep that misses the remote calibration placement: the
+    // old code path hit `.expect("placement measured")` and aborted.
+    let dir = tmp("degenerate");
+    let csv = dir.join("partial.csv");
+    std::fs::write(
+        &csv,
+        "platform,m_comp,m_comm,n_cores,comp_alone,comm_alone,comp_par,comm_par\n\
+         henri,0,0,1,5.6,11.0,5.6,11.0\n\
+         henri,0,0,2,11.2,11.0,11.2,10.5\n",
+    )
+    .expect("write csv");
+    let out = repro(&[
+        "--out",
+        dir.to_str().unwrap(),
+        "--sweep-csv",
+        csv.to_str().unwrap(),
+        "evaluate-csv",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("placement"), "{}", stderr(&out));
+}
+
+#[test]
+fn non_finite_csv_cell_exits_3_with_line_number() {
+    let dir = tmp("nan");
+    let csv = dir.join("nan.csv");
+    std::fs::write(
+        &csv,
+        "platform,m_comp,m_comm,n_cores,comp_alone,comm_alone,comp_par,comm_par\n\
+         henri,0,0,1,5.6,NaN,5.6,11.0\n",
+    )
+    .expect("write csv");
+    let out = repro(&[
+        "--out",
+        dir.to_str().unwrap(),
+        "--sweep-csv",
+        csv.to_str().unwrap(),
+        "evaluate-csv",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("line 2"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_platform_in_csv_exits_2() {
+    let dir = tmp("unknown-platform");
+    let csv = dir.join("alien.csv");
+    std::fs::write(
+        &csv,
+        "platform,m_comp,m_comm,n_cores,comp_alone,comm_alone,comp_par,comm_par\n\
+         alien,0,0,1,5.6,11.0,5.6,11.0\n",
+    )
+    .expect("write csv");
+    let out = repro(&[
+        "--out",
+        dir.to_str().unwrap(),
+        "--sweep-csv",
+        csv.to_str().unwrap(),
+        "evaluate-csv",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("alien"), "{}", stderr(&out));
+}
+
+#[test]
+fn metrics_flag_exports_pipeline_metrics() {
+    let dir = tmp("metrics");
+    let metrics = dir.join("metrics.jsonl");
+    let trace = dir.join("trace.jsonl");
+    let out = repro(&[
+        "--exact",
+        "--out",
+        dir.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+        "fig2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let metrics = std::fs::read_to_string(&metrics).expect("metrics exported");
+    assert!(metrics.contains("\"name\":\"sweep.points\""), "{metrics}");
+    assert!(metrics.contains("\"type\":\"histogram\""), "{metrics}");
+    let trace = std::fs::read_to_string(&trace).expect("trace exported");
+    assert!(trace.contains("\"stage\":\"sweep\""), "{trace}");
+    assert!(trace.contains("\"stage\":\"calibrate\""), "{trace}");
+    assert!(trace.contains("\"stage\":\"repro.fig2\""), "{trace}");
+}

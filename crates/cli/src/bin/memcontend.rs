@@ -4,10 +4,16 @@
 //! platform, out-of-range NUMA node), 3 invalid or degenerate input data
 //! (a sweep that cannot calibrate, a malformed model file), 4 file I/O
 //! failure.
+//!
+//! The global `--metrics FILE` / `--trace FILE` options install an
+//! [`mc_obs::Registry`] for the duration of the command and export its
+//! counters/histograms (JSON lines) and spans afterwards.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mc_cli::{run, Args, CliError};
+use mc_model::McError;
 
 fn fail(e: &CliError) -> ExitCode {
     if e.is_usage() {
@@ -18,21 +24,72 @@ fn fail(e: &CliError) -> ExitCode {
     ExitCode::from(e.exit_code())
 }
 
+/// Write the recorder's exports. Runs even when the command failed, so a
+/// partial run still leaves its metrics behind.
+fn export(
+    registry: &mc_obs::Registry,
+    metrics: Option<&str>,
+    trace: Option<&str>,
+) -> Result<(), CliError> {
+    if let Some(path) = metrics {
+        std::fs::write(path, registry.metrics_json_lines()).map_err(|e| McError::io(path, e))?;
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = trace {
+        std::fs::write(path, registry.trace_json_lines()).map_err(|e| McError::io(path, e))?;
+        eprintln!("trace written to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "-h" || argv[0] == "--help" {
         println!("{}", mc_cli::commands::USAGE);
         return ExitCode::SUCCESS;
     }
-    let args = match Args::parse(argv) {
+    let mut args = match Args::parse(argv) {
         Ok(a) => a,
         Err(e) => return fail(&e),
     };
-    match run(&args) {
-        Ok(output) => {
+    // The observability options are global, not per-subcommand: strip them
+    // before dispatch so the command layer never sees them.
+    let metrics = args.options.remove("metrics");
+    let trace = args.options.remove("trace");
+
+    let registry = (metrics.is_some() || trace.is_some()).then(|| {
+        let registry = Arc::new(mc_obs::Registry::new());
+        mc_obs::set_recorder(registry.clone());
+        registry
+    });
+
+    let result = {
+        let _span = mc_obs::span(
+            "memcontend",
+            &[("command", mc_obs::TagValue::Str(&args.command))],
+        );
+        run(&args)
+    };
+    let exported = match &registry {
+        Some(r) => export(r, metrics.as_deref(), trace.as_deref()),
+        None => Ok(()),
+    };
+    mc_obs::clear_recorder();
+
+    match (result, exported) {
+        (Ok(output), Ok(())) => {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(e) => fail(&e),
+        (Ok(output), Err(e)) => {
+            print!("{output}");
+            fail(&e)
+        }
+        (Err(e), export_result) => {
+            if let Err(ee) = export_result {
+                eprintln!("error: {ee}");
+            }
+            fail(&e)
+        }
     }
 }

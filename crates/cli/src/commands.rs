@@ -30,6 +30,10 @@ usage:
                        [--max-cores N]
   memcontend evaluate  --platform NAME
 
+global options (any subcommand):
+  --metrics FILE   export pipeline counters/histograms as JSON lines
+  --trace FILE     export pipeline spans as JSON lines
+
 platforms: henri, henri-subnuma, dahu, diablo, pyxis, occigen, grillon
 
 exit codes: 0 success, 2 usage error, 3 invalid or degenerate input data,

@@ -1,0 +1,101 @@
+//! Exit-code and observability-export tests for the `memcontend` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn memcontend(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_memcontend"))
+        .args(args)
+        .output()
+        .expect("memcontend runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("memcontend-cli-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_platform_exits_2() {
+    let out = memcontend(&["topo", "--platform", "zzz"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn missing_model_file_exits_4() {
+    let out = memcontend(&[
+        "predict",
+        "--model",
+        "/nonexistent/model.txt",
+        "--cores",
+        "4",
+        "--comp-numa",
+        "0",
+        "--comm-numa",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+}
+
+#[test]
+fn malformed_model_file_exits_3() {
+    let dir = tmp("bad-model");
+    let path = dir.join("model.txt");
+    std::fs::write(&path, "this is not a model file\n").expect("write model");
+    let out = memcontend(&[
+        "predict",
+        "--model",
+        path.to_str().unwrap(),
+        "--cores",
+        "4",
+        "--comp-numa",
+        "0",
+        "--comm-numa",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+}
+
+#[test]
+fn metrics_flag_exports_pipeline_metrics() {
+    let dir = tmp("metrics");
+    let metrics = dir.join("metrics.jsonl");
+    let trace = dir.join("trace.jsonl");
+    let out = memcontend(&[
+        "evaluate",
+        "--platform",
+        "henri",
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("average"));
+
+    let metrics = std::fs::read_to_string(&metrics).expect("metrics exported");
+    assert!(metrics.contains("\"name\":\"sweep.points\""), "{metrics}");
+    let trace = std::fs::read_to_string(&trace).expect("trace exported");
+    for stage in ["memcontend", "sweep", "calibrate", "evaluate"] {
+        assert!(trace.contains(&format!("\"stage\":\"{stage}\"")), "{trace}");
+    }
+}
+
+#[test]
+fn unwritable_metrics_path_exits_4_after_success() {
+    let out = memcontend(&[
+        "topo",
+        "--platform",
+        "henri",
+        "--metrics",
+        "/nonexistent-dir/metrics.jsonl",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    // The command output is still printed before the export failure.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("henri"));
+}

@@ -81,6 +81,22 @@ impl std::fmt::Display for CalibrationError {
     }
 }
 
+impl CalibrationError {
+    /// Stable machine-readable reason, used as the `reason` tag on the
+    /// `calibrate.rejects` counter.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            CalibrationError::EmptySweep => "empty-sweep",
+            CalibrationError::TooFewPoints { .. } => "too-few-points",
+            CalibrationError::MissingSingleCore => "missing-single-core",
+            CalibrationError::NonFinite { .. } => "non-finite",
+            CalibrationError::NoCommBandwidth { .. } => "no-comm-bandwidth",
+            CalibrationError::DuplicateCores { .. } => "duplicate-cores",
+            CalibrationError::Invalid(_) => "invalid-params",
+        }
+    }
+}
+
 impl std::error::Error for CalibrationError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -88,6 +104,15 @@ impl std::error::Error for CalibrationError {
             _ => None,
         }
     }
+}
+
+/// Which documented repairs [`checked_points`] applied to a sweep.
+#[derive(Debug, Clone, Copy, Default)]
+struct Repairs {
+    /// Points arrived out of core-count order and were sorted.
+    unsorted: bool,
+    /// Identical duplicate points collapsed to one.
+    duplicates_collapsed: u64,
 }
 
 /// Validate and normalise a sweep's points for calibration.
@@ -101,7 +126,8 @@ impl std::error::Error for CalibrationError {
 /// duplicates, and fewer than two distinct core counts.
 fn checked_points(
     sweep: &PlacementSweep,
-) -> Result<Vec<mc_membench::record::SweepPoint>, CalibrationError> {
+) -> Result<(Vec<mc_membench::record::SweepPoint>, Repairs), CalibrationError> {
+    let mut repairs = Repairs::default();
     if sweep.points.is_empty() {
         return Err(CalibrationError::EmptySweep);
     }
@@ -115,6 +141,7 @@ fn checked_points(
             }
         }
     }
+    repairs.unsorted = sweep.points.windows(2).any(|w| w[0].n_cores > w[1].n_cores);
     let mut points = sweep.points.clone();
     points.sort_by_key(|p| p.n_cores);
     let mut deduped: Vec<mc_membench::record::SweepPoint> = Vec::with_capacity(points.len());
@@ -125,6 +152,7 @@ fn checked_points(
                     return Err(CalibrationError::DuplicateCores { n_cores: p.n_cores });
                 }
                 // Identical duplicate: keep one copy.
+                repairs.duplicates_collapsed += 1;
             }
             _ => deduped.push(p),
         }
@@ -132,14 +160,49 @@ fn checked_points(
     if deduped.len() < 2 {
         return Err(CalibrationError::TooFewPoints { got: deduped.len() });
     }
-    Ok(deduped)
+    Ok((deduped, repairs))
 }
 
 /// Extract the model parameters from one placement sweep (the placement
 /// must be one of the two calibration configurations — both buffers on the
 /// same NUMA node — for the parameters to mean what the model expects).
 pub fn calibrate(sweep: &PlacementSweep) -> Result<ModelParams, CalibrationError> {
-    let points = checked_points(sweep)?;
+    let tags = [
+        ("m_comp", mc_obs::TagValue::U64(sweep.m_comp.0 as u64)),
+        ("m_comm", mc_obs::TagValue::U64(sweep.m_comm.0 as u64)),
+    ];
+    let _span = mc_obs::span("calibrate", &tags);
+    let result = calibrate_inner(sweep);
+    if let Some(rec) = mc_obs::recorder() {
+        if let Err(e) = &result {
+            rec.add(
+                "calibrate.rejects",
+                &[("reason", mc_obs::TagValue::Str(e.reason()))],
+                1,
+            );
+        }
+    }
+    result
+}
+
+fn calibrate_inner(sweep: &PlacementSweep) -> Result<ModelParams, CalibrationError> {
+    let (points, repairs) = checked_points(sweep)?;
+    if let Some(rec) = mc_obs::recorder() {
+        if repairs.unsorted {
+            rec.add(
+                "calibrate.repairs",
+                &[("rule", mc_obs::TagValue::Str("unsorted"))],
+                1,
+            );
+        }
+        if repairs.duplicates_collapsed > 0 {
+            rec.add(
+                "calibrate.repairs",
+                &[("rule", mc_obs::TagValue::Str("duplicate-collapsed"))],
+                repairs.duplicates_collapsed,
+            );
+        }
+    }
 
     let b_comp_seq = points
         .iter()

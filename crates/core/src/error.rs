@@ -49,6 +49,12 @@ pub enum McError {
         /// Communication-data NUMA node of the missing placement.
         m_comm: NumaId,
     },
+    /// A placement sweep lacks the core-count point a caller needs (e.g.
+    /// the full-load point of a contention study).
+    MissingCoreCount {
+        /// The absent core count.
+        n_cores: usize,
+    },
     /// A file operation failed.
     Io {
         /// The path involved.
@@ -88,6 +94,9 @@ impl fmt::Display for McError {
                 f,
                 "sweep lacks the ({m_comp}, {m_comm}) placement needed here"
             ),
+            McError::MissingCoreCount { n_cores } => {
+                write!(f, "sweep lacks the n = {n_cores} point needed here")
+            }
             McError::Io { path, message } => write!(f, "{path}: {message}"),
         }
     }

@@ -98,6 +98,14 @@ pub fn evaluate(
     sweep: &PlatformSweep,
     samples: &[(NumaId, NumaId)],
 ) -> ErrorBreakdown {
+    let _span = mc_obs::span(
+        "evaluate",
+        &[
+            ("platform", mc_obs::TagValue::Str(&sweep.platform)),
+            ("predictor", mc_obs::TagValue::Str(predictor.name())),
+        ],
+    );
+    let rec = mc_obs::recorder();
     let mut comm_s = Mape::default();
     let mut comm_ns = Mape::default();
     let mut comp_s = Mape::default();
@@ -105,6 +113,11 @@ pub fn evaluate(
 
     for placement in &sweep.sweeps {
         let is_sample = samples.contains(&(placement.m_comp, placement.m_comm));
+        // Per-placement accumulators are kept separate from the global
+        // ones (instead of merging into them) so the observability layer
+        // never changes the float summation order of the reported errors.
+        let mut comm_here = Mape::default();
+        let mut comp_here = Mape::default();
         for point in &placement.points {
             let pred =
                 predictor.predict_parallel_bw(point.n_cores, placement.m_comp, placement.m_comm);
@@ -115,6 +128,24 @@ pub fn evaluate(
             };
             comm.add(point.comm_par, pred.comm);
             comp.add(point.comp_par, pred.comp);
+            if rec.is_some() {
+                comm_here.add(point.comm_par, pred.comm);
+                comp_here.add(point.comp_par, pred.comp);
+            }
+        }
+        if let Some(rec) = &rec {
+            let tags = [
+                ("m_comp", mc_obs::TagValue::U64(placement.m_comp.0 as u64)),
+                ("m_comm", mc_obs::TagValue::U64(placement.m_comm.0 as u64)),
+            ];
+            // Empty buckets carry no error (not a perfect 0 %): skip them
+            // rather than export NaN.
+            if let Some(pct) = comm_here.percent() {
+                rec.observe("evaluate.mape_comm_pct", &tags, pct);
+            }
+            if let Some(pct) = comp_here.percent() {
+                rec.observe("evaluate.mape_comp_pct", &tags, pct);
+            }
         }
     }
 

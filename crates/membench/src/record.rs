@@ -184,7 +184,19 @@ impl PlatformSweep {
             if fields.len() != 8 {
                 return Err(CsvError::BadRow(lineno + 2));
             }
-            let parse_f = |s: &str| s.parse::<f64>().map_err(|_| CsvError::BadRow(lineno + 2));
+            // Bandwidth cells must be finite *here*: "NaN" and "inf" parse
+            // as Ok(f64) and would otherwise surface much later, inside
+            // calibrate(), with the file/line context lost.
+            let parse_f = |s: &str, column: SweepColumn| {
+                let v = s.parse::<f64>().map_err(|_| CsvError::BadRow(lineno + 2))?;
+                if !v.is_finite() {
+                    return Err(CsvError::NonFinite {
+                        line: lineno + 2,
+                        column,
+                    });
+                }
+                Ok(v)
+            };
             let parse_u = |s: &str| s.parse::<u64>().map_err(|_| CsvError::BadRow(lineno + 2));
             if platform.is_empty() {
                 platform = fields[0].to_string();
@@ -195,10 +207,10 @@ impl PlatformSweep {
             let m_comm = NumaId::new(parse_u(fields[2])? as u16);
             let point = SweepPoint {
                 n_cores: parse_u(fields[3])? as usize,
-                comp_alone: parse_f(fields[4])?,
-                comm_alone: parse_f(fields[5])?,
-                comp_par: parse_f(fields[6])?,
-                comm_par: parse_f(fields[7])?,
+                comp_alone: parse_f(fields[4], SweepColumn::CompAlone)?,
+                comm_alone: parse_f(fields[5], SweepColumn::CommAlone)?,
+                comp_par: parse_f(fields[6], SweepColumn::CompPar)?,
+                comm_par: parse_f(fields[7], SweepColumn::CommPar)?,
             };
             match sweeps
                 .iter_mut()
@@ -225,6 +237,13 @@ pub enum CsvError {
     BadHeader,
     /// Malformed row (1-based line number).
     BadRow(usize),
+    /// A bandwidth cell parsed but is NaN or infinite.
+    NonFinite {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Which bandwidth column held the non-finite value.
+        column: SweepColumn,
+    },
     /// Rows from several platforms in one file.
     MixedPlatforms,
 }
@@ -235,6 +254,9 @@ impl std::fmt::Display for CsvError {
             CsvError::Empty => write!(f, "empty CSV"),
             CsvError::BadHeader => write!(f, "unexpected CSV header"),
             CsvError::BadRow(n) => write!(f, "malformed CSV row at line {n}"),
+            CsvError::NonFinite { line, column } => {
+                write!(f, "non-finite {column} value at CSV line {line}")
+            }
             CsvError::MixedPlatforms => write!(f, "CSV mixes several platforms"),
         }
     }
@@ -311,6 +333,32 @@ mod tests {
         );
         let bad = "platform,m_comp,m_comm,n_cores,a,b,c,d\nhenri,0,0,xx,1,2,3,4\n";
         assert_eq!(PlatformSweep::from_csv(bad), Err(CsvError::BadRow(2)));
+    }
+
+    #[test]
+    fn from_csv_rejects_non_finite_cells_with_location() {
+        let nan = "platform,m_comp,m_comm,n_cores,a,b,c,d\n\
+                   henri,0,0,1,1,2,3,4\n\
+                   henri,0,0,2,1,NaN,3,4\n";
+        assert_eq!(
+            PlatformSweep::from_csv(nan),
+            Err(CsvError::NonFinite {
+                line: 3,
+                column: SweepColumn::CommAlone,
+            })
+        );
+        let inf = "platform,m_comp,m_comm,n_cores,a,b,c,d\n\
+                   henri,0,0,1,1,2,3,-inf\n";
+        assert_eq!(
+            PlatformSweep::from_csv(inf),
+            Err(CsvError::NonFinite {
+                line: 2,
+                column: SweepColumn::CommPar,
+            })
+        );
+        let msg = PlatformSweep::from_csv(nan).unwrap_err().to_string();
+        assert!(msg.contains("comm_alone"), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
     }
 
     #[test]

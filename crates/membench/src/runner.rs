@@ -207,9 +207,21 @@ impl BenchRunner {
 
     /// One core count, all three phases.
     pub fn measure_point(&self, n: usize, m_comp: NumaId, m_comm: NumaId) -> SweepPoint {
+        // Skip the Instant entirely when observability is off so the hot
+        // sweep loop pays only one atomic load per point.
+        let t0 = mc_obs::enabled().then(std::time::Instant::now);
         let comp_alone = self.comp_alone(n, m_comp);
         let comm_alone = self.comm_alone(n, m_comm);
         let (comp_par, comm_par) = self.parallel(n, m_comp, m_comm);
+        if let (Some(t0), Some(rec)) = (t0, mc_obs::recorder()) {
+            let tags = [
+                ("platform", mc_obs::TagValue::Str(self.platform.name())),
+                ("m_comp", mc_obs::TagValue::U64(m_comp.0 as u64)),
+                ("m_comm", mc_obs::TagValue::U64(m_comm.0 as u64)),
+            ];
+            rec.add("sweep.points", &tags, 1);
+            rec.observe("sweep.point_seconds", &tags, t0.elapsed().as_secs_f64());
+        }
         SweepPoint {
             n_cores: n,
             comp_alone,

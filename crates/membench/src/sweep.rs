@@ -43,6 +43,17 @@ pub fn calibration_sweeps(
 
 /// Measure every placement combination of a platform sequentially.
 pub fn sweep_platform(platform: &Platform, config: BenchConfig) -> PlatformSweep {
+    let _span = mc_obs::span(
+        "sweep",
+        &[
+            ("platform", mc_obs::TagValue::Str(platform.name())),
+            ("mode", mc_obs::TagValue::Str("sequential")),
+            (
+                "n_cores",
+                mc_obs::TagValue::U64(platform.max_compute_cores() as u64),
+            ),
+        ],
+    );
     let runner = BenchRunner::new(platform, config);
     let sweeps = platform
         .topology
@@ -77,6 +88,15 @@ pub fn sweep_platform_parallel(platform: &Platform, config: BenchConfig) -> Plat
         .map(|n| n.get())
         .unwrap_or(1)
         .min(total);
+    let _span = mc_obs::span(
+        "sweep",
+        &[
+            ("platform", mc_obs::TagValue::Str(platform.name())),
+            ("mode", mc_obs::TagValue::Str("parallel")),
+            ("n_cores", mc_obs::TagValue::U64(max_n as u64)),
+            ("workers", mc_obs::TagValue::U64(workers as u64)),
+        ],
+    );
 
     let shared_platform = Arc::new(platform.clone());
     let next = AtomicUsize::new(0);
@@ -98,6 +118,7 @@ pub fn sweep_platform_parallel(platform: &Platform, config: BenchConfig) -> Plat
                     // One runner per worker: its solve cache persists over
                     // all the points this worker measures.
                     let runner = BenchRunner::from_arc(Arc::clone(shared_platform), *config);
+                    let mut points_measured = 0_u64;
                     loop {
                         let item = next.fetch_add(1, Ordering::Relaxed);
                         if item >= total {
@@ -106,6 +127,7 @@ pub fn sweep_platform_parallel(platform: &Platform, config: BenchConfig) -> Plat
                         let (combo, n) = (item / max_n, item % max_n + 1);
                         let (m_comp, m_comm) = combos[combo];
                         let point = runner.measure_point(n, m_comp, m_comm);
+                        points_measured += 1;
                         // Measurement data is plain-old-data: a mutex
                         // poisoned by some other worker's panic cannot hold
                         // a broken invariant, so recover the Vec and go on.
@@ -113,6 +135,15 @@ pub fn sweep_platform_parallel(platform: &Platform, config: BenchConfig) -> Plat
                             .lock()
                             .unwrap_or_else(|poisoned| poisoned.into_inner())
                             .push((item, point));
+                    }
+                    // One sample per worker: the spread of this histogram
+                    // is the pool's load-balance quality.
+                    if let Some(rec) = mc_obs::recorder() {
+                        rec.observe(
+                            "sweep.worker_points",
+                            &[("platform", mc_obs::TagValue::Str(shared_platform.name()))],
+                            points_measured as f64,
+                        );
                     }
                 }));
             });
@@ -126,6 +157,13 @@ pub fn sweep_platform_parallel(platform: &Platform, config: BenchConfig) -> Plat
         // A worker died before covering its share (it panicked inside a
         // measurement). Degrade gracefully: measure the whole platform
         // sequentially rather than return a truncated sweep.
+        if let Some(rec) = mc_obs::recorder() {
+            rec.add(
+                "sweep.fallback_sequential",
+                &[("platform", mc_obs::TagValue::Str(platform.name()))],
+                1,
+            );
+        }
         return sweep_platform(platform, config);
     }
     measured.sort_unstable_by_key(|&(item, _)| item);

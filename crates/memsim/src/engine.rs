@@ -637,6 +637,24 @@ impl<'f> Engine<'f> {
         }
 
         let stats_after = self.solver_stats();
+        let run_stats = SolverStats {
+            invocations: stats_after.invocations - stats_before.invocations,
+            cache_hits: stats_after.cache_hits - stats_before.cache_hits,
+        };
+        // Run-granular observability: one batch of counters per run, so
+        // the per-event loop above never touches the recorder and stays
+        // allocation-free when observability is off.
+        if let Some(rec) = mc_obs::recorder() {
+            let tags = [(
+                "platform",
+                mc_obs::TagValue::Str(self.fabric.platform().name()),
+            )];
+            rec.add("engine.runs", &tags, 1);
+            rec.add("engine.events", &tags, events);
+            rec.add("engine.solver_invocations", &tags, run_stats.invocations);
+            rec.add("engine.solver_cache_hits", &tags, run_stats.cache_hits);
+            rec.observe("engine.horizon_s", &tags, horizon);
+        }
         let window = horizon - measure_start;
         RunReport {
             activities: states
@@ -650,10 +668,7 @@ impl<'f> Engine<'f> {
                 .collect(),
             events,
             window: (measure_start, horizon),
-            stats: SolverStats {
-                invocations: stats_after.invocations - stats_before.invocations,
-                cache_hits: stats_after.cache_hits - stats_before.cache_hits,
-            },
+            stats: run_stats,
         }
     }
 }

@@ -1,0 +1,244 @@
+//! Exporters: deterministic JSON-lines and a human-readable table,
+//! implemented directly over [`Registry`] snapshots.
+//!
+//! Output order is fully deterministic — counters and histograms iterate
+//! their `BTreeMap`s (name, then sorted tags), spans come out in
+//! completion order — so golden-file tests can pin the schema exactly.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricsSnapshot, Registry};
+
+/// Escape a string for inclusion inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an f64 as a JSON number. JSON has no NaN/inf, so non-finite
+/// values (which instrumentation should never produce, but an exporter
+/// must not corrupt a stream over) become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_tags(tags: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in tags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// JSON-lines rendering of a snapshot's counters and histograms.
+pub fn metrics_json_lines(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for ((name, tags), value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"tags\":{},\"value\":{}}}",
+            json_escape(name),
+            json_tags(tags),
+            value
+        );
+    }
+    for ((name, tags), h) in &snap.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"tags\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+            json_escape(name),
+            json_tags(tags),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+            json_f64(h.mean()),
+        );
+    }
+    out
+}
+
+/// JSON-lines rendering of a snapshot's completed spans, in completion
+/// order.
+pub fn trace_json_lines(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for span in &snap.spans {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"span\",\"stage\":\"{}\",\"tags\":{},\"start_s\":{},\"duration_s\":{}}}",
+            json_escape(&span.stage),
+            json_tags(&span.tags),
+            json_f64(span.start_s),
+            json_f64(span.duration_s),
+        );
+    }
+    out
+}
+
+fn fmt_tags(tags: &[(String, String)]) -> String {
+    if tags.is_empty() {
+        return "-".to_string();
+    }
+    tags.iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Human-readable table rendering of a snapshot: counters, histograms,
+/// then spans, one aligned section each.
+pub fn table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        let _ = writeln!(out, "  {:<40} {:<40} {:>12}", "name", "tags", "value");
+        for ((name, tags), value) in &snap.counters {
+            let _ = writeln!(out, "  {:<40} {:<40} {:>12}", name, fmt_tags(tags), value);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        let _ = writeln!(
+            out,
+            "  {:<40} {:<40} {:>8} {:>12} {:>12} {:>12}",
+            "name", "tags", "count", "mean", "min", "max"
+        );
+        for ((name, tags), h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<40} {:<40} {:>8} {:>12.6} {:>12.6} {:>12.6}",
+                name,
+                fmt_tags(tags),
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "spans:");
+        let _ = writeln!(
+            out,
+            "  {:<24} {:<40} {:>12} {:>12}",
+            "stage", "tags", "start_s", "duration_s"
+        );
+        for span in &snap.spans {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:<40} {:>12.6} {:>12.6}",
+                span.stage,
+                fmt_tags(&span.tags),
+                span.start_s,
+                span.duration_s
+            );
+        }
+    }
+    out
+}
+
+impl Registry {
+    /// Counters and histograms as JSON lines; see
+    /// [`metrics_json_lines`].
+    pub fn metrics_json_lines(&self) -> String {
+        metrics_json_lines(&self.snapshot())
+    }
+
+    /// Completed spans as JSON lines; see [`trace_json_lines`].
+    pub fn trace_json_lines(&self) -> String {
+        trace_json_lines(&self.snapshot())
+    }
+
+    /// Human-readable summary table; see [`table`].
+    pub fn table(&self) -> String {
+        table(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, TagValue};
+
+    #[test]
+    fn json_escape_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn metrics_lines_are_deterministic_json() {
+        let r = Registry::new();
+        r.add("b.count", &[("platform", TagValue::Str("henri"))], 4);
+        r.add("a.count", &[], 1);
+        r.observe("lat", &[("n", TagValue::U64(2))], 0.5);
+        r.observe("lat", &[("n", TagValue::U64(2))], 1.5);
+        let lines = r.metrics_json_lines();
+        assert_eq!(
+            lines,
+            concat!(
+                "{\"type\":\"counter\",\"name\":\"a.count\",\"tags\":{},\"value\":1}\n",
+                "{\"type\":\"counter\",\"name\":\"b.count\",\"tags\":{\"platform\":\"henri\"},\"value\":4}\n",
+                "{\"type\":\"histogram\",\"name\":\"lat\",\"tags\":{\"n\":\"2\"},\"count\":2,\"sum\":2,\"min\":0.5,\"max\":1.5,\"mean\":1}\n",
+            )
+        );
+    }
+
+    #[test]
+    fn trace_lines_render_recorded_spans() {
+        let r = Registry::new();
+        r.record_span(
+            "calibrate",
+            &[("platform", TagValue::Str("henri"))],
+            0.5,
+            0.125,
+        );
+        assert_eq!(
+            r.trace_json_lines(),
+            "{\"type\":\"span\",\"stage\":\"calibrate\",\"tags\":{\"platform\":\"henri\"},\"start_s\":0.5,\"duration_s\":0.125}\n"
+        );
+    }
+
+    #[test]
+    fn table_sections_appear_when_populated() {
+        let r = Registry::new();
+        assert_eq!(r.table(), "");
+        r.add("events", &[], 3);
+        r.observe("lat", &[], 1.0);
+        r.record_span("run", &[], 0.0, 1.0);
+        let t = r.table();
+        assert!(t.contains("counters:"));
+        assert!(t.contains("histograms:"));
+        assert!(t.contains("spans:"));
+        assert!(t.contains("events"));
+    }
+
+    #[test]
+    fn non_finite_exports_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

@@ -1,0 +1,223 @@
+//! The [`Recorder`] trait, its no-op default, and the process-global
+//! recorder slot the instrumented crates report to.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A tag value. Call sites build tag slices on the stack — no formatting
+/// or allocation happens unless an actual recorder consumes them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TagValue<'a> {
+    /// A borrowed string (platform names, rule identifiers, …).
+    Str(&'a str),
+    /// An unsigned integer (core counts, NUMA indices, worker counts).
+    U64(u64),
+    /// A float (durations, bandwidths).
+    F64(f64),
+}
+
+impl fmt::Display for TagValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagValue::Str(s) => f.write_str(s),
+            TagValue::U64(v) => write!(f, "{v}"),
+            TagValue::F64(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One `(key, value)` tag. Keys come from the fixed vocabulary documented
+/// in DESIGN.md §10 (`platform`, `m_comp`, `m_comm`, `n_cores`, `mode`,
+/// `rule`, `reason`, `target`, `command`, `workers`, `predictor`).
+pub type Tag<'a> = (&'static str, TagValue<'a>);
+
+/// Opaque identifier pairing a span exit with its enter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// Sink for spans, counters and histogram observations.
+///
+/// Implementations must be cheap and infallible: instrumented code calls
+/// these methods from measurement loops and never checks a result.
+pub trait Recorder: Send + Sync {
+    /// Begin a span. The returned id is passed back to
+    /// [`Recorder::span_exit`] when the stage completes.
+    fn span_enter(&self, stage: &str, tags: &[Tag<'_>]) -> SpanId;
+
+    /// End a span started by [`Recorder::span_enter`]. Unknown ids are
+    /// ignored.
+    fn span_exit(&self, id: SpanId);
+
+    /// Increment a monotonic counter.
+    fn add(&self, name: &str, tags: &[Tag<'_>], delta: u64);
+
+    /// Record one observation of an f64 distribution (a duration, an
+    /// error percentage, a per-worker point count).
+    fn observe(&self, name: &str, tags: &[Tag<'_>], value: f64);
+}
+
+/// The default recorder: drops everything, allocates nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn span_enter(&self, _stage: &str, _tags: &[Tag<'_>]) -> SpanId {
+        SpanId(0)
+    }
+    fn span_exit(&self, _id: SpanId) {}
+    fn add(&self, _name: &str, _tags: &[Tag<'_>], _delta: u64) {}
+    fn observe(&self, _name: &str, _tags: &[Tag<'_>], _value: f64) {}
+}
+
+/// Whether a real recorder is installed — one relaxed load, the only cost
+/// instrumentation pays when observability is off.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed recorder. A `Mutex<Option<Arc<…>>>` rather than a
+/// `OnceLock` so tests (and long-lived processes) can swap recorders;
+/// the lock is only touched when [`ENABLED`] says a recorder exists, or
+/// by the install/clear calls themselves.
+static GLOBAL: Mutex<Option<Arc<dyn Recorder>>> = Mutex::new(None);
+
+/// Install a recorder for the whole process. Replaces any previous one.
+pub fn set_recorder(rec: Arc<dyn Recorder>) {
+    let mut slot = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    *slot = Some(rec);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove the installed recorder, reverting to no-op behaviour.
+pub fn clear_recorder() {
+    let mut slot = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    ENABLED.store(false, Ordering::Release);
+    *slot = None;
+}
+
+/// Fast check: is a recorder installed? Instrumented code uses this to
+/// skip timing (`Instant::now`) entirely when observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// The installed recorder, if any. Returns `None` (without locking or
+/// allocating) when observability is off; callers hold the `Arc` for the
+/// duration of a run so the hot loop never re-fetches.
+pub fn recorder() -> Option<Arc<dyn Recorder>> {
+    if !enabled() {
+        return None;
+    }
+    GLOBAL.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// A RAII span: exits on drop. Obtained from [`span`].
+#[derive(Debug)]
+pub struct Span {
+    rec: Option<Arc<dyn Recorder>>,
+    id: SpanId,
+}
+
+impl Span {
+    /// A span that records nothing (what [`span`] returns when no
+    /// recorder is installed).
+    pub fn disabled() -> Self {
+        Span {
+            rec: None,
+            id: SpanId(0),
+        }
+    }
+}
+
+impl fmt::Debug for dyn Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("<recorder>")
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            rec.span_exit(self.id);
+        }
+    }
+}
+
+/// Enter a stage span on the global recorder; the span exits when the
+/// returned guard is dropped. Free when no recorder is installed.
+pub fn span(stage: &str, tags: &[Tag<'_>]) -> Span {
+    match recorder() {
+        Some(rec) => {
+            let id = rec.span_enter(stage, tags);
+            Span { rec: Some(rec), id }
+        }
+        None => Span::disabled(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Counts calls, to verify dispatch without the full registry.
+    #[derive(Default)]
+    struct Probe {
+        enters: AtomicU64,
+        exits: AtomicU64,
+        adds: AtomicU64,
+    }
+
+    impl Recorder for Probe {
+        fn span_enter(&self, _stage: &str, _tags: &[Tag<'_>]) -> SpanId {
+            SpanId(self.enters.fetch_add(1, Ordering::Relaxed) + 1)
+        }
+        fn span_exit(&self, _id: SpanId) {
+            self.exits.fetch_add(1, Ordering::Relaxed);
+        }
+        fn add(&self, _name: &str, _tags: &[Tag<'_>], delta: u64) {
+            self.adds.fetch_add(delta, Ordering::Relaxed);
+        }
+        fn observe(&self, _name: &str, _tags: &[Tag<'_>], _value: f64) {}
+    }
+
+    #[test]
+    fn noop_is_free_and_silent() {
+        let n = NoopRecorder;
+        let id = n.span_enter("x", &[]);
+        n.span_exit(id);
+        n.add("c", &[], 5);
+        n.observe("h", &[], 1.0);
+    }
+
+    #[test]
+    fn global_install_clear_round_trip() {
+        // Serialise against other tests touching the global slot.
+        clear_recorder();
+        assert!(!enabled());
+        assert!(recorder().is_none());
+        {
+            let _noop_span = span("nothing", &[]);
+        }
+
+        let probe = Arc::new(Probe::default());
+        set_recorder(probe.clone());
+        assert!(enabled());
+        {
+            let _s = span("stage", &[("platform", TagValue::Str("henri"))]);
+            recorder().unwrap().add("c", &[], 2);
+        }
+        clear_recorder();
+        assert!(recorder().is_none());
+        assert_eq!(probe.enters.load(Ordering::Relaxed), 1);
+        assert_eq!(probe.exits.load(Ordering::Relaxed), 1);
+        assert_eq!(probe.adds.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn tag_values_display() {
+        assert_eq!(TagValue::Str("a").to_string(), "a");
+        assert_eq!(TagValue::U64(7).to_string(), "7");
+        assert_eq!(TagValue::F64(1.5).to_string(), "1.5");
+    }
+}

@@ -146,7 +146,9 @@ impl DualAxisChart {
             }
         }
 
-        // Series.
+        // Series, clipped to the plot frame (markers near the frame edge
+        // would otherwise spill into the margins of neighbouring subplots).
+        svg.push_clip_rect(x0 - 4.0, y1 - 4.0, (x1 - x0) + 8.0, (y0 - y1) + 8.0);
         for s in &self.series {
             let ys = match s.axis {
                 YAxis::Left => &ls,
@@ -172,6 +174,7 @@ impl DualAxisChart {
                 }
             }
         }
+        svg.pop_clip();
         svg
     }
 }

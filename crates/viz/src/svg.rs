@@ -10,14 +10,19 @@ pub struct Svg {
     width: f64,
     height: f64,
     body: String,
+    defs: String,
+    clip_seq: usize,
+    embed_seq: usize,
 }
 
-/// Escape text content for XML.
+/// Escape text for XML — both element content and attribute values, so the
+/// single quote (`&apos;`) must be covered too.
 fn esc(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")
         .replace('"', "&quot;")
+        .replace('\'', "&apos;")
 }
 
 impl Svg {
@@ -27,6 +32,9 @@ impl Svg {
             width,
             height,
             body: String::new(),
+            defs: String::new(),
+            clip_seq: 0,
+            embed_seq: 0,
         }
     }
 
@@ -128,19 +136,51 @@ impl Svg {
         );
     }
 
+    /// Open a group clipped to an axis-aligned rectangle. Must be paired
+    /// with [`Svg::pop_clip`]. The clip path lands in the document's
+    /// `<defs>`, which [`Svg::embed`] carries over.
+    pub fn push_clip_rect(&mut self, x: f64, y: f64, w: f64, h: f64) {
+        let id = format!("clip{}", self.clip_seq);
+        self.clip_seq += 1;
+        let _ = writeln!(
+            self.defs,
+            r#"<clipPath id="{id}"><rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}"/></clipPath>"#
+        );
+        let _ = writeln!(self.body, r##"<g clip-path="url(#{id})">"##);
+    }
+
+    /// Close a group opened by [`Svg::push_clip_rect`].
+    pub fn pop_clip(&mut self) {
+        let _ = writeln!(self.body, "</g>");
+    }
+
     /// Embed another document at an offset (used by the subplot grid).
+    ///
+    /// The child's `<defs>` (clip paths) come along, with every `id`
+    /// rewritten to a per-embed namespace so two embedded children cannot
+    /// collide (both start their own ids at `clip0`).
     pub fn embed(&mut self, other: &Svg, x: f64, y: f64) {
+        let prefix = format!("e{}-", self.embed_seq);
+        self.embed_seq += 1;
+        self.defs
+            .push_str(&other.defs.replace("id=\"", &format!("id=\"{prefix}")));
         let _ = writeln!(self.body, r#"<g transform="translate({x:.2} {y:.2})">"#);
-        self.body.push_str(&other.body);
+        self.body
+            .push_str(&other.body.replace("url(#", &format!("url(#{prefix}")));
         let _ = writeln!(self.body, "</g>");
     }
 
     /// Finish the document.
     pub fn render(&self) -> String {
+        let defs = if self.defs.is_empty() {
+            String::new()
+        } else {
+            format!("<defs>\n{}</defs>\n", self.defs)
+        };
         format!(
             "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
-             viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
-            self.width, self.height, self.width, self.height, self.body
+             viewBox=\"0 0 {:.0} {:.0}\">\n{}<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, defs, self.body
         )
     }
 }
@@ -258,6 +298,60 @@ mod tests {
         let out = outer.render();
         assert!(out.contains("translate(50.00 60.00)"));
         assert!(out.contains("<circle"));
+    }
+
+    #[test]
+    fn esc_covers_attribute_context() {
+        // Hostile labels: every XML metacharacter, including the single
+        // quote that only matters in attribute values.
+        let mut s = Svg::new(10.0, 10.0);
+        s.text(1.0, 1.0, 8.0, "start", r#"a<b&c>"d'e"#);
+        s.vtext(2.0, 2.0, 8.0, "x' onload='alert(1)");
+        let out = s.render();
+        assert!(out.contains("a&lt;b&amp;c&gt;&quot;d&apos;e"));
+        assert!(out.contains("x&apos; onload=&apos;alert(1)"));
+        assert!(!out.contains("d'e"));
+        assert!(!out.contains("onload='"));
+    }
+
+    #[test]
+    fn embed_carries_clip_defs_with_unique_ids() {
+        // Two children each define their own clip0: the parent must keep
+        // both clip paths and keep their references pointing at distinct
+        // ids — the old embed dropped child defs entirely.
+        let child = |color: &str| {
+            let mut c = Svg::new(10.0, 10.0);
+            c.push_clip_rect(0.0, 0.0, 5.0, 5.0);
+            c.circle(1.0, 1.0, 1.0, color);
+            c.pop_clip();
+            c
+        };
+        let mut outer = Svg::new(100.0, 100.0);
+        outer.embed(&child("red"), 0.0, 0.0);
+        outer.embed(&child("blue"), 50.0, 0.0);
+        let out = outer.render();
+        assert_eq!(out.matches("<clipPath").count(), 2);
+        assert!(out.contains(r#"id="e0-clip0""#));
+        assert!(out.contains(r#"id="e1-clip0""#));
+        assert!(out.contains("url(#e0-clip0)"));
+        assert!(out.contains("url(#e1-clip0)"));
+        // No reference is left pointing at the (gone) un-prefixed id.
+        assert!(!out.contains("url(#clip0)"));
+    }
+
+    #[test]
+    fn nested_embeds_keep_references_consistent() {
+        let mut inner = Svg::new(10.0, 10.0);
+        inner.push_clip_rect(0.0, 0.0, 5.0, 5.0);
+        inner.circle(1.0, 1.0, 1.0, "red");
+        inner.pop_clip();
+        let mut mid = Svg::new(20.0, 20.0);
+        mid.embed(&inner, 1.0, 1.0);
+        let mut outer = Svg::new(40.0, 40.0);
+        outer.embed(&mid, 2.0, 2.0);
+        let out = outer.render();
+        assert!(out.contains(r#"id="e0-e0-clip0""#));
+        assert!(out.contains("url(#e0-e0-clip0)"));
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Observability-layer integration tests: the pipeline emits spans and
+//! counters for every stage when a recorder is installed, changes nothing
+//! when one is (and when one is not), and exports a pinned JSON schema.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use memory_contention::obs;
+use memory_contention::obs::Recorder as _;
+use memory_contention::prelude::*;
+
+/// The recorder slot is process-global: tests that install one must not
+/// overlap. (Poisoning is ignored — a failed test must not cascade.)
+fn recorder_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// Run the full pipeline (sweep → calibrate → evaluate) on henri with the
+/// event-driven backend, so the discrete-event engine runs too.
+fn run_pipeline() -> ErrorBreakdown {
+    let platform = platforms::henri();
+    let mut config = BenchConfig::event_driven();
+    config.noisy = false;
+    let sweep = sweep_platform_parallel(&platform, config);
+    let (s_local, s_remote) = calibration_placements(&platform);
+    let local = sweep.placement(s_local.0, s_local.1).expect("local sample");
+    let remote = sweep
+        .placement(s_remote.0, s_remote.1)
+        .expect("remote sample");
+    let model = ContentionModel::calibrate(&platform.topology, local, remote)
+        .expect("calibration succeeds");
+    evaluate(&model, &sweep, &[s_local, s_remote])
+}
+
+#[test]
+fn metrics_cover_every_pipeline_stage() {
+    let _guard = recorder_lock();
+    let registry = Arc::new(obs::Registry::new());
+    obs::set_recorder(registry.clone());
+    run_pipeline();
+    obs::clear_recorder();
+
+    let snap = registry.snapshot();
+    // Engine: one counter batch per event-driven run.
+    assert!(registry.counter_total("engine.runs") > 0);
+    assert!(registry.counter_total("engine.events") > 0);
+    assert!(registry.counter_total("engine.solver_invocations") > 0);
+    // Sweep: one point counter + wall-time histogram sample per point.
+    let points = registry.counter_total("sweep.points");
+    assert!(points > 0);
+    let point_seconds: u64 = snap
+        .histograms
+        .iter()
+        .filter(|((n, _), _)| n == "sweep.point_seconds")
+        .map(|(_, h)| h.count)
+        .sum();
+    assert_eq!(point_seconds, points);
+    // Spans: sweep, calibrate and evaluate stages all traced.
+    for stage in ["sweep", "calibrate", "evaluate"] {
+        assert!(
+            snap.spans.iter().any(|s| s.stage == stage),
+            "missing {stage} span in {:?}",
+            snap.spans.iter().map(|s| &s.stage).collect::<Vec<_>>()
+        );
+    }
+    // The sweep spans carry the platform tag.
+    let sweep_span = snap.spans.iter().find(|s| s.stage == "sweep").unwrap();
+    assert!(sweep_span
+        .tags
+        .iter()
+        .any(|(k, v)| k == "platform" && v == "henri"));
+}
+
+#[test]
+fn instrumented_run_is_bit_identical_to_disabled() {
+    let _guard = recorder_lock();
+    obs::clear_recorder();
+    let baseline = run_pipeline();
+
+    let registry = Arc::new(obs::Registry::new());
+    obs::set_recorder(registry.clone());
+    let instrumented = run_pipeline();
+    obs::clear_recorder();
+
+    // Not approximately equal: *bit-identical*. Instrumentation must never
+    // reorder a float summation or perturb a measurement.
+    assert_eq!(baseline, instrumented);
+    assert!(
+        registry.counter_total("engine.runs") > 0,
+        "recorder saw the run"
+    );
+}
+
+#[test]
+fn disabled_recorder_reports_disabled() {
+    let _guard = recorder_lock();
+    obs::clear_recorder();
+    assert!(!obs::enabled());
+    assert!(obs::recorder().is_none());
+}
+
+#[test]
+fn metrics_json_schema_matches_golden_file() {
+    // Pin the exporter schema against checked-in golden files. Spans are
+    // recorded via `record_span` (deterministic timestamps) — wall-clock
+    // spans share the exact same rendering path.
+    let registry = obs::Registry::new();
+    registry.add(
+        "engine.runs",
+        &[("platform", obs::TagValue::Str("henri"))],
+        18,
+    );
+    registry.add(
+        "calibrate.repairs",
+        &[("rule", obs::TagValue::Str("duplicate-collapsed"))],
+        2,
+    );
+    registry.observe(
+        "sweep.point_seconds",
+        &[
+            ("platform", obs::TagValue::Str("henri")),
+            ("m_comp", obs::TagValue::U64(0)),
+        ],
+        0.25,
+    );
+    registry.observe(
+        "sweep.point_seconds",
+        &[
+            // Same series as above: tag order must not matter.
+            ("m_comp", obs::TagValue::U64(0)),
+            ("platform", obs::TagValue::Str("henri")),
+        ],
+        0.75,
+    );
+    registry.observe(
+        "evaluate.mape_comm_pct",
+        &[
+            ("m_comp", obs::TagValue::U64(1)),
+            ("m_comm", obs::TagValue::U64(0)),
+        ],
+        2.5,
+    );
+    registry.record_span(
+        "sweep",
+        &[
+            ("platform", obs::TagValue::Str("henri")),
+            ("mode", obs::TagValue::Str("parallel")),
+        ],
+        0.0,
+        1.5,
+    );
+    registry.record_span(
+        "calibrate",
+        &[("m_comp", obs::TagValue::U64(0))],
+        1.5,
+        0.125,
+    );
+
+    assert_eq!(
+        registry.metrics_json_lines(),
+        include_str!("golden/metrics.jsonl"),
+        "metrics JSON schema drifted from tests/golden/metrics.jsonl"
+    );
+    assert_eq!(
+        registry.trace_json_lines(),
+        include_str!("golden/trace.jsonl"),
+        "trace JSON schema drifted from tests/golden/trace.jsonl"
+    );
+}
