@@ -122,6 +122,7 @@ pub fn table2(config: BenchConfig) -> Result<String, McError> {
         comp_non_samples: rows.iter().map(|e| e.comp_non_samples).sum::<f64>() / n,
         comp_all: rows.iter().map(|e| e.comp_all).sum::<f64>() / n,
         average: rows.iter().map(|e| e.average).sum::<f64>() / n,
+        skipped: rows.iter().map(|e| e.skipped).sum(),
     };
     out.push_str(&format_row("Average", &avg));
     Ok(out)
@@ -129,8 +130,15 @@ pub fn table2(config: BenchConfig) -> Result<String, McError> {
 
 fn format_row(name: &str, e: &ErrorBreakdown) -> String {
     // NaN cells (an empty MAPE bucket) render as "n/a", not as 0.00 %.
+    // Rows whose MAPE dropped zero-bandwidth cells say so: the percentages
+    // are then computed over fewer pairs than the sweep contains.
+    let skipped = if e.skipped > 0 {
+        format!("  ({} pairs skipped)", e.skipped)
+    } else {
+        String::new()
+    };
     format!(
-        "{:<15} {}% {}% {}% {}% {}% {}% {}%\n",
+        "{:<15} {}% {}% {}% {}% {}% {}% {}%{skipped}\n",
         name,
         format_percent(e.comm_samples, 11),
         format_percent(e.comm_non_samples, 15),

@@ -26,6 +26,9 @@ pub enum CliError {
     UnknownCommand(String),
     /// A flag is missing its value.
     MissingValue(String),
+    /// The same flag was given twice; last-wins would silently drop the
+    /// first value, so repetition is a usage error instead.
+    DuplicateFlag(String),
     /// A required option is absent.
     MissingOption(&'static str),
     /// An option value failed to parse.
@@ -45,6 +48,10 @@ pub enum CliError {
     NonPositive(&'static str),
     /// Unexpected positional argument.
     UnexpectedPositional(String),
+    /// A malformed serve-protocol request (not JSON, missing or
+    /// ill-typed field, unknown op). The service analogue of a usage
+    /// error: exit code 2 when it escapes to the process boundary.
+    Protocol(String),
     /// The model pipeline failed (bad data or I/O).
     Data(McError),
 }
@@ -83,6 +90,7 @@ impl fmt::Display for CliError {
             CliError::NoCommand => write!(f, "no subcommand given"),
             CliError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
             CliError::MissingValue(k) => write!(f, "--{k} needs a value"),
+            CliError::DuplicateFlag(k) => write!(f, "--{k} given more than once"),
             CliError::MissingOption(k) => write!(f, "missing required option --{k}"),
             CliError::BadValue(k, v) => write!(f, "cannot parse --{k} value '{v}'"),
             CliError::UnknownPlatform(p) => write!(f, "unknown platform '{p}'"),
@@ -97,6 +105,7 @@ impl fmt::Display for CliError {
             ),
             CliError::NonPositive(k) => write!(f, "--{k} must be at least 1"),
             CliError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+            CliError::Protocol(m) => write!(f, "bad request: {m}"),
             CliError::Data(e) => write!(f, "{e}"),
         }
     }
@@ -132,10 +141,20 @@ impl Args {
         let mut options = BTreeMap::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| CliError::MissingValue(key.to_string()))?;
-                options.insert(key.to_string(), value);
+                // Both `--key value` and `--key=value` spellings are
+                // accepted; `=` binds the value inline.
+                let (key, value) = match key.split_once('=') {
+                    Some((k, v)) => (k.to_string(), v.to_string()),
+                    None => {
+                        let value = iter
+                            .next()
+                            .ok_or_else(|| CliError::MissingValue(key.to_string()))?;
+                        (key.to_string(), value)
+                    }
+                };
+                if options.insert(key.clone(), value).is_some() {
+                    return Err(CliError::DuplicateFlag(key));
+                }
             } else {
                 return Err(CliError::UnexpectedPositional(arg));
             }
@@ -188,6 +207,34 @@ mod tests {
         assert_eq!(a.command, "bench");
         assert_eq!(a.require("platform").unwrap(), "henri");
         assert_eq!(a.require_num::<u16>("comp-numa").unwrap(), 1);
+    }
+
+    #[test]
+    fn equals_form_binds_values_inline() {
+        let a = Args::parse(["bench", "--platform=henri", "--comp-numa=1"]).unwrap();
+        assert_eq!(a.require("platform").unwrap(), "henri");
+        assert_eq!(a.require_num::<u16>("comp-numa").unwrap(), 1);
+        // Values containing '=' split at the first one only.
+        let a = Args::parse(["serve", "--warm=henri=model.txt"]).unwrap();
+        assert_eq!(a.require("warm").unwrap(), "henri=model.txt");
+        // An inline empty value is an empty string, not a parse error.
+        let a = Args::parse(["bench", "--platform="]).unwrap();
+        assert_eq!(a.require("platform").unwrap(), "");
+    }
+
+    #[test]
+    fn duplicate_flags_error_instead_of_last_wins() {
+        for argv in [
+            vec!["bench", "--platform", "henri", "--platform", "dahu"],
+            vec!["bench", "--platform=henri", "--platform=dahu"],
+            vec!["bench", "--platform", "henri", "--platform=dahu"],
+        ] {
+            let e = Args::parse(argv).unwrap_err();
+            assert_eq!(e, CliError::DuplicateFlag("platform".into()));
+            assert_eq!(e.exit_code(), EXIT_USAGE);
+            assert!(e.is_usage());
+            assert!(e.to_string().contains("--platform"));
+        }
     }
 
     #[test]

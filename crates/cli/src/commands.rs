@@ -29,6 +29,14 @@ usage:
   memcontend advise    --platform NAME --compute-gb X --comm-gb Y \\
                        [--max-cores N]
   memcontend evaluate  --platform NAME
+  memcontend serve     [--workers N] [--capacity N] \\
+                       [--warm PLATFORM=FILE[,PLATFORM=FILE...]]
+
+serve reads one JSON request per stdin line and writes one JSON response
+per stdout line: {\"op\":\"predict\"|\"calibrate\"|\"evaluate\"|\"recommend\", ...}
+or {\"batch\":[...]} to fan requests over a worker pool. Calibrated models
+are cached in a sharded LRU registry (--capacity models; --warm seeds it
+from saved model files). EOF ends the service with exit code 0.
 
 global options (any subcommand):
   --metrics FILE   export pipeline counters/histograms as JSON lines
@@ -253,7 +261,7 @@ pub fn evaluate_cmd(args: &Args) -> Result<String, CliError> {
     let model = ContentionModel::calibrate(&p.topology, local, remote).map_err(McError::from)?;
     let e = evaluate(&model, &sweep, &[s_local, s_remote]);
     let pc = |v: f64| format_percent(v, 0);
-    Ok(format!(
+    let mut out = format!(
         "{} — prediction error (MAPE)\n\
          communications: {} % samples, {} % non-samples, {} % all\n\
          computations  : {} % samples, {} % non-samples, {} % all\n\
@@ -266,7 +274,15 @@ pub fn evaluate_cmd(args: &Args) -> Result<String, CliError> {
         pc(e.comp_non_samples),
         pc(e.comp_all),
         pc(e.average)
-    ))
+    );
+    if e.skipped > 0 {
+        let _ = writeln!(
+            out,
+            "warning       : {} zero-bandwidth pairs excluded from the MAPE",
+            e.skipped
+        );
+    }
+    Ok(out)
 }
 
 /// Dispatch a parsed command line.
@@ -278,6 +294,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "predict" => predict(args),
         "advise" => advise(args),
         "evaluate" => evaluate_cmd(args),
+        "serve" => {
+            // The one long-lived subcommand: streams responses directly
+            // rather than rendering a string.
+            crate::serve::serve_loop(args, std::io::stdin().lock(), std::io::stdout().lock())?;
+            Ok(String::new())
+        }
         "help" => Ok(USAGE.to_string()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

@@ -43,6 +43,7 @@ pub mod params;
 pub mod persist;
 pub mod placement;
 pub mod predictor;
+pub mod registry;
 pub mod robustness;
 pub mod sparse;
 
@@ -57,6 +58,7 @@ pub use params::{ModelParams, ParamError};
 pub use persist::{model_from_text, model_to_text, PersistError};
 pub use placement::ContentionModel;
 pub use predictor::BandwidthPredictor;
+pub use registry::{ModelRegistry, RegistryKey, RegistryStats};
 pub use robustness::{
     average_params, calibrate_all, fault_spread, param_spread, FaultSpreadReport, ParamSpread,
     RobustnessError, Spread,

@@ -17,15 +17,20 @@ use crate::predictor::BandwidthPredictor;
 pub struct Mape {
     sum: f64,
     count: usize,
+    skipped: usize,
 }
 
 impl Mape {
     /// Add one (actual, predicted) pair. Pairs with a non-positive actual
-    /// value are skipped (a percentage error is undefined there).
+    /// value are skipped (a percentage error is undefined there) — and
+    /// *counted* as skipped, so an evaluation dominated by zero-bandwidth
+    /// cells cannot silently report a confident error over almost no data.
     pub fn add(&mut self, actual: f64, predicted: f64) {
         if actual > 0.0 {
             self.sum += ((actual - predicted) / actual).abs();
             self.count += 1;
+        } else {
+            self.skipped += 1;
         }
     }
 
@@ -33,6 +38,7 @@ impl Mape {
     pub fn merge(&mut self, other: Mape) {
         self.sum += other.sum;
         self.count += other.count;
+        self.skipped += other.skipped;
     }
 
     /// The error in percent; `None` if no pairs were added (an empty
@@ -55,6 +61,12 @@ impl Mape {
     /// Number of pairs accumulated.
     pub fn count(&self) -> usize {
         self.count
+    }
+
+    /// Number of pairs dropped because their actual value was
+    /// non-positive (a percentage error is undefined there).
+    pub fn skipped(&self) -> usize {
+        self.skipped
     }
 }
 
@@ -87,6 +99,10 @@ pub struct ErrorBreakdown {
     /// Mean of the communication and computation all-placements errors
     /// (the paper's "Average" column).
     pub average: f64,
+    /// Pairs dropped across both streams and every placement because the
+    /// measured value was non-positive — a non-zero count means the
+    /// percentages above are computed over fewer cells than the sweep has.
+    pub skipped: usize,
 }
 
 /// Evaluate a predictor against measured parallel-phase bandwidths.
@@ -154,6 +170,17 @@ pub fn evaluate(
     let mut comp_all = comp_s;
     comp_all.merge(comp_ns);
 
+    let skipped = comm_all.skipped() + comp_all.skipped();
+    if skipped > 0 {
+        if let Some(rec) = &rec {
+            rec.add(
+                "evaluate.skipped_pairs",
+                &[("platform", mc_obs::TagValue::Str(&sweep.platform))],
+                skipped as u64,
+            );
+        }
+    }
+
     ErrorBreakdown {
         comm_samples: comm_s.percent_or_nan(),
         comm_non_samples: comm_ns.percent_or_nan(),
@@ -162,6 +189,7 @@ pub fn evaluate(
         comp_non_samples: comp_ns.percent_or_nan(),
         comp_all: comp_all.percent_or_nan(),
         average: (comm_all.percent_or_nan() + comp_all.percent_or_nan()) / 2.0,
+        skipped,
     }
 }
 
@@ -264,10 +292,48 @@ mod tests {
         let mut m = Mape::default();
         m.add(0.0, 5.0);
         assert_eq!(m.count(), 0);
+        assert_eq!(m.skipped(), 1);
         assert_eq!(m.percent(), None);
         m.add(10.0, 5.0);
         assert_eq!(m.count(), 1);
+        assert_eq!(m.skipped(), 1);
         assert!((m.percent().unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_carries_skipped_counts() {
+        let mut a = Mape::default();
+        a.add(-1.0, 2.0);
+        let mut b = Mape::default();
+        b.add(0.0, 2.0);
+        b.add(4.0, 2.0);
+        a.merge(b);
+        assert_eq!(a.skipped(), 2);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn evaluate_reports_skipped_pairs() {
+        // A sweep where half the measured communication bandwidths are
+        // zero: the breakdown must say how many cells were dropped rather
+        // than quietly scoring over the remainder.
+        let mut sweep = flat_sweep(10.0, 5.0);
+        for point in &mut sweep.sweeps[0].points {
+            point.comm_par = 0.0;
+        }
+        let e = evaluate(
+            &Perfect(10.0, 5.0),
+            &sweep,
+            &[(NumaId::new(0), NumaId::new(0))],
+        );
+        assert_eq!(e.skipped, 4);
+        // The untouched sweep reports zero skipped.
+        let clean = evaluate(
+            &Perfect(10.0, 5.0),
+            &flat_sweep(10.0, 5.0),
+            &[(NumaId::new(0), NumaId::new(0))],
+        );
+        assert_eq!(clean.skipped, 0);
     }
 
     #[test]

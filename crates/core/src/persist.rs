@@ -128,6 +128,12 @@ pub fn model_from_text(text: &str) -> Result<ContentionModel, PersistError> {
             .trim()
             .parse()
             .map_err(|_| PersistError::BadValue(idx + 1))?;
+        // `str::parse::<f64>` happily accepts "NaN"/"inf"; a persisted
+        // model must never smuggle non-finite parameters past the
+        // validation `from_csv` performs on fresh data.
+        if !value.is_finite() {
+            return Err(PersistError::BadValue(idx + 1));
+        }
         match current.as_deref_mut() {
             Some(section) => section.entries.push((key.trim().to_string(), value)),
             None => return Err(PersistError::BadSection(idx + 1)),
@@ -197,6 +203,60 @@ mod tests {
             model_from_text(&text),
             Err(PersistError::MissingKey("alpha"))
         );
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_with_line_numbers() {
+        // "NaN"/"inf" parse successfully via str::parse::<f64>; the format
+        // must reject them in every section, pointing at the line.
+        for bad in ["NaN", "nan", "inf", "-inf", "infinity"] {
+            let text = format!("[meta]\nnuma_per_socket = {bad}\n");
+            assert_eq!(
+                model_from_text(&text),
+                Err(PersistError::BadValue(2)),
+                "meta value {bad:?} must be rejected"
+            );
+        }
+        let text = model_to_text(&model())
+            .lines()
+            .map(|l| {
+                if l.starts_with("alpha = ") {
+                    "alpha = NaN".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("alpha = NaN"), "substitution must hit");
+        let line = text
+            .lines()
+            .position(|l| l.starts_with("alpha = NaN"))
+            .unwrap()
+            + 1;
+        assert_eq!(model_from_text(&text), Err(PersistError::BadValue(line)));
+    }
+
+    #[test]
+    fn round_trip_rejects_injected_infinities() {
+        let text = model_to_text(&model());
+        for field in ["t_max_par = ", "b_comm_seq = ", "delta_r = "] {
+            let broken = text
+                .lines()
+                .map(|l| {
+                    if l.starts_with(field) {
+                        format!("{field}inf")
+                    } else {
+                        l.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            assert!(
+                matches!(model_from_text(&broken), Err(PersistError::BadValue(_))),
+                "{field}inf must not round-trip"
+            );
+        }
     }
 
     #[test]

@@ -36,8 +36,13 @@ pub struct SparseCalibration {
 }
 
 impl SparseCalibration {
-    /// Fraction of the full sweep that was skipped.
+    /// Fraction of the full sweep that was skipped. A degenerate platform
+    /// reporting zero compute cores has nothing to skip: the savings are
+    /// 0.0, not `NaN` from the 0/0 division.
     pub fn savings(&self) -> f64 {
+        if self.full_cores == 0 {
+            return 0.0;
+        }
         1.0 - self.measured_cores.len() as f64 / self.full_cores as f64
     }
 }
@@ -161,6 +166,20 @@ mod tests {
             "measured {:?}",
             sparse.measured_cores
         );
+    }
+
+    #[test]
+    fn savings_is_zero_not_nan_for_zero_core_platforms() {
+        // Regression: a SparseCalibration carrying full_cores == 0 (a
+        // platform reporting no compute cores) used to yield NaN from the
+        // 0/0 division; it must report zero savings instead.
+        let p = platforms::henri();
+        let runner = BenchRunner::new(&p, BenchConfig::default());
+        let mut sparse = calibrate_sparse(&runner, n0(), n0()).unwrap();
+        sparse.full_cores = 0;
+        sparse.measured_cores.clear();
+        assert!(!sparse.savings().is_nan());
+        assert_eq!(sparse.savings(), 0.0);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 pub mod export;
 pub mod recorder;
 pub mod registry;
+pub mod tags;
 
 pub use recorder::{
     clear_recorder, enabled, recorder, set_recorder, span, NoopRecorder, Recorder, Span, SpanId,

@@ -1,0 +1,79 @@
+//! The workspace's tag vocabulary.
+//!
+//! Tag keys are a closed, documented set so exported series stay joinable
+//! across pipeline stages: a dashboard can group `sweep.point_seconds`
+//! and `serve.request_seconds` by the *same* `platform` key only because
+//! every call site spells it identically. Instrumented code should take
+//! keys from here rather than inlining string literals.
+//!
+//! The vocabulary grows in layers:
+//!
+//! * pipeline tags (PR 3): [`PLATFORM`], [`M_COMP`], [`M_COMM`],
+//!   [`N_CORES`], [`MODE`], [`RULE`], [`REASON`], [`TARGET`],
+//!   [`COMMAND`], [`WORKERS`], [`PREDICTOR`];
+//! * serving tags (PR 4): [`OP`], [`RESULT`], [`CACHE`], [`BATCH_SIZE`],
+//!   [`CONFIG`].
+
+/// Platform name (`henri`, `dahu`, …) or `file:<path>` pseudo-platforms.
+pub const PLATFORM: &str = "platform";
+/// NUMA node holding computation data.
+pub const M_COMP: &str = "m_comp";
+/// NUMA node holding communication buffers.
+pub const M_COMM: &str = "m_comm";
+/// Number of computing cores.
+pub const N_CORES: &str = "n_cores";
+/// Execution mode of a stage (`sequential`, `parallel`, …).
+pub const MODE: &str = "mode";
+/// Repair/normalisation rule applied during calibration.
+pub const RULE: &str = "rule";
+/// Why a fallback or degradation happened.
+pub const REASON: &str = "reason";
+/// Reproduction target (`fig3`, `table2`, …).
+pub const TARGET: &str = "target";
+/// CLI subcommand being executed.
+pub const COMMAND: &str = "command";
+/// Worker-pool size.
+pub const WORKERS: &str = "workers";
+/// Predictor implementation being evaluated.
+pub const PREDICTOR: &str = "predictor";
+
+/// Serve-protocol operation (`predict`, `evaluate`, `recommend`,
+/// `calibrate`, `batch`).
+pub const OP: &str = "op";
+/// Outcome of a request: `ok` or the error class (`usage`, `data`, `io`).
+pub const RESULT: &str = "result";
+/// Registry outcome for a request: `hit` or `miss`.
+pub const CACHE: &str = "cache";
+/// Number of requests in a batch envelope.
+pub const BATCH_SIZE: &str = "batch_size";
+/// Benchmark-configuration tag a model was calibrated under.
+pub const CONFIG: &str = "config";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vocabulary_is_distinct() {
+        let all = [
+            super::PLATFORM,
+            super::M_COMP,
+            super::M_COMM,
+            super::N_CORES,
+            super::MODE,
+            super::RULE,
+            super::REASON,
+            super::TARGET,
+            super::COMMAND,
+            super::WORKERS,
+            super::PREDICTOR,
+            super::OP,
+            super::RESULT,
+            super::CACHE,
+            super::BATCH_SIZE,
+            super::CONFIG,
+        ];
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "duplicate tag keys");
+    }
+}
