@@ -52,6 +52,13 @@ pub enum CliError {
     /// ill-typed field, unknown op). The service analogue of a usage
     /// error: exit code 2 when it escapes to the process boundary.
     Protocol(String),
+    /// A flag combination that the grammar cannot express as a single
+    /// missing/bad option (e.g. mutually exclusive flags).
+    Usage(String),
+    /// Unknown `--generate` pattern name.
+    UnknownPattern(String),
+    /// A trace failed to parse or replay (invalid data, exit 3).
+    Replay(mc_replay::ReplayError),
     /// The model pipeline failed (bad data or I/O).
     Data(McError),
 }
@@ -70,6 +77,10 @@ impl CliError {
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Data(e) => match e.category() {
+                ErrorCategory::InvalidData => EXIT_INVALID_DATA,
+                ErrorCategory::Io => EXIT_IO,
+            },
+            CliError::Replay(e) => match e.category() {
                 ErrorCategory::InvalidData => EXIT_INVALID_DATA,
                 ErrorCategory::Io => EXIT_IO,
             },
@@ -93,7 +104,17 @@ impl fmt::Display for CliError {
             CliError::DuplicateFlag(k) => write!(f, "--{k} given more than once"),
             CliError::MissingOption(k) => write!(f, "missing required option --{k}"),
             CliError::BadValue(k, v) => write!(f, "cannot parse --{k} value '{v}'"),
-            CliError::UnknownPlatform(p) => write!(f, "unknown platform '{p}'"),
+            CliError::UnknownPlatform(p) => {
+                let names: Vec<String> = mc_topology::platforms::extended()
+                    .iter()
+                    .map(|pl| pl.name().to_string())
+                    .collect();
+                write!(
+                    f,
+                    "unknown platform '{p}' (expected one of: {})",
+                    names.join(", ")
+                )
+            }
             CliError::NumaOutOfRange {
                 option,
                 numa,
@@ -106,6 +127,13 @@ impl fmt::Display for CliError {
             CliError::NonPositive(k) => write!(f, "--{k} must be at least 1"),
             CliError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
             CliError::Protocol(m) => write!(f, "bad request: {m}"),
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::UnknownPattern(p) => write!(
+                f,
+                "unknown pattern '{p}' (expected one of: {})",
+                mc_replay::generate::names().join(", ")
+            ),
+            CliError::Replay(e) => write!(f, "{e}"),
             CliError::Data(e) => write!(f, "{e}"),
         }
     }
@@ -115,6 +143,7 @@ impl std::error::Error for CliError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CliError::Data(e) => Some(e),
+            CliError::Replay(e) => Some(e),
             _ => None,
         }
     }
@@ -123,6 +152,18 @@ impl std::error::Error for CliError {
 impl From<McError> for CliError {
     fn from(e: McError) -> Self {
         CliError::Data(e)
+    }
+}
+
+impl From<mc_replay::ReplayError> for CliError {
+    fn from(e: mc_replay::ReplayError) -> Self {
+        CliError::Replay(e)
+    }
+}
+
+impl From<mc_replay::TraceError> for CliError {
+    fn from(e: mc_replay::TraceError) -> Self {
+        CliError::Replay(mc_replay::ReplayError::Trace(e))
     }
 }
 

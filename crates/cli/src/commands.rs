@@ -11,6 +11,8 @@ use mc_model::{
     evaluate, format_percent, model_from_text, model_to_text, rank, ContentionModel, McError,
     PhaseProfile,
 };
+use mc_replay::generate::{self, GenParams};
+use mc_replay::{report, ReplayConfig, Trace};
 use mc_topology::{platforms, NumaId, Platform};
 use mc_viz::TopologySketch;
 
@@ -29,14 +31,27 @@ usage:
   memcontend advise    --platform NAME --compute-gb X --comm-gb Y \\
                        [--max-cores N]
   memcontend evaluate  --platform NAME
+  memcontend replay    (--input TRACE.jsonl | --generate PATTERN) \\
+                       --platform NAME [--ranks N] [--iters N] [--cores N] \\
+                       [--compute-mb X] [--comm-mb Y] [--comp-numa A] \\
+                       [--comm-numa B] [--search yes] [--gantt FILE] \\
+                       [--save-trace FILE]
   memcontend serve     [--workers N] [--capacity N] \\
                        [--warm PLATFORM=FILE[,PLATFORM=FILE...]]
 
+replay predicts the whole-program slowdown a JSON-lines event trace
+suffers from memory contention (patterns: halo2d, allreduce, pipeline;
+--search yes sweeps every NUMA placement and cross-checks the model's
+advisor; --gantt renders the contended timeline as SVG). With --input,
+--cores/--comp-numa/--comm-numa re-home the trace instead of feeding
+the generator.
+
 serve reads one JSON request per stdin line and writes one JSON response
-per stdout line: {\"op\":\"predict\"|\"calibrate\"|\"evaluate\"|\"recommend\", ...}
-or {\"batch\":[...]} to fan requests over a worker pool. Calibrated models
-are cached in a sharded LRU registry (--capacity models; --warm seeds it
-from saved model files). EOF ends the service with exit code 0.
+per stdout line: {\"op\":\"predict\"|\"calibrate\"|\"evaluate\"|\"recommend\"|
+\"replay\", ...} or {\"batch\":[...]} to fan requests over a worker pool.
+Calibrated models are cached in a sharded LRU registry (--capacity
+models; --warm seeds it from saved model files). EOF ends the service
+with exit code 0.
 
 global options (any subcommand):
   --metrics FILE   export pipeline counters/histograms as JSON lines
@@ -285,6 +300,124 @@ pub fn evaluate_cmd(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// A NUMA override that is only an override when the flag is present
+/// (unlike [`numa_arg`], which defaults to node 0).
+fn numa_override(
+    args: &Args,
+    key: &'static str,
+    platform: &Platform,
+) -> Result<Option<NumaId>, CliError> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(_) => numa_arg(args, key, platform).map(Some),
+    }
+}
+
+/// `replay`: predict a whole program's contention slowdown from a trace
+/// file or a synthetic pattern.
+pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
+    let p = platform(args)?;
+    let (trace, config) = match (args.get("input"), args.get("generate")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--input and --generate are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "replay needs --input TRACE.jsonl or --generate PATTERN".into(),
+            ))
+        }
+        (Some(path), None) => {
+            // Replaying a recorded trace: the placement flags re-home the
+            // trace's data instead of parameterising a generator.
+            let text = fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
+            let trace = Trace::from_json_lines(&text)?;
+            let cores = match args.get("cores") {
+                None => None,
+                Some(_) => {
+                    let n: usize = args.require_num("cores")?;
+                    if n == 0 {
+                        return Err(CliError::NonPositive("cores"));
+                    }
+                    Some(n)
+                }
+            };
+            let config = ReplayConfig {
+                comp_numa: numa_override(args, "comp-numa", &p)?,
+                comm_numa: numa_override(args, "comm-numa", &p)?,
+                cores,
+            };
+            (trace, config)
+        }
+        (None, Some(pattern)) => {
+            let ranks: usize = args.num_or("ranks", 4)?;
+            if ranks < 2 {
+                return Err(CliError::Usage("--ranks must be at least 2".into()));
+            }
+            let iters: usize = args.num_or("iters", 2)?;
+            if iters == 0 {
+                return Err(CliError::NonPositive("iters"));
+            }
+            let cores: usize = args.num_or("cores", 4)?;
+            if cores == 0 {
+                return Err(CliError::NonPositive("cores"));
+            }
+            let compute_mb: f64 = args.num_or("compute-mb", 256.0)?;
+            let comm_mb: f64 = args.num_or("comm-mb", 8.0)?;
+            let params = GenParams {
+                ranks,
+                iters,
+                cores,
+                compute_bytes: (compute_mb * (1 << 20) as f64) as u64,
+                comm_bytes: (comm_mb * (1 << 20) as f64) as u64,
+                comp_numa: numa_arg(args, "comp-numa", &p)?,
+                comm_numa: numa_arg(args, "comm-numa", &p)?,
+            };
+            let trace = generate::by_name(pattern, &params)
+                .ok_or_else(|| CliError::UnknownPattern(pattern.to_string()))?;
+            (trace, ReplayConfig::default())
+        }
+    };
+    if let Some(path) = args.get("save-trace") {
+        fs::write(path, trace.to_json_lines()).map_err(|e| McError::io(path, e))?;
+    }
+    let outcome = mc_replay::replay(&p, &trace, &config)?;
+    let mut out = report::render(&outcome, p.name());
+    if matches!(args.get("search"), Some("yes" | "true" | "1")) {
+        let found = mc_replay::search(&p, &trace, &[])?;
+        out.push_str(&report::render_search(&found));
+        let model = calibrated(&p)?;
+        let check =
+            mc_replay::advisor_crosscheck(&model, &trace, found.winner(), p.max_compute_cores());
+        match &check.advisor {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "advisor cross-check: model recommends comp on {}, comm on {} — {}",
+                    r.m_comp,
+                    r.m_comm,
+                    if check.agree_placement {
+                        "agrees with the search winner"
+                    } else {
+                        "differs from the search winner"
+                    }
+                );
+            }
+            None => {
+                let _ = writeln!(out, "advisor cross-check: no recommendation");
+            }
+        }
+    }
+    if let Some(path) = args.get("gantt") {
+        let title = format!("trace replay on {}", p.name());
+        let svg = report::gantt(&outcome, &title).render(900.0).render();
+        fs::write(path, svg).map_err(|e| McError::io(path, e))?;
+        let _ = writeln!(out, "gantt chart written to {path}");
+    }
+    Ok(out)
+}
+
 /// Dispatch a parsed command line.
 pub fn run(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -294,6 +427,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "predict" => predict(args),
         "advise" => advise(args),
         "evaluate" => evaluate_cmd(args),
+        "replay" => replay_cmd(args),
         "serve" => {
             // The one long-lived subcommand: streams responses directly
             // rather than rendering a string.
@@ -425,6 +559,147 @@ mod tests {
             run_line(&["frobnicate"]),
             Err(CliError::UnknownCommand("frobnicate".into()))
         );
+    }
+
+    #[test]
+    fn unknown_platform_lists_the_candidates_everywhere() {
+        // Every subcommand that takes --platform routes through the same
+        // error, whose message enumerates platforms::extended().
+        for cmd in ["topo", "bench", "calibrate", "evaluate", "advise", "replay"] {
+            let e = run_line(&[cmd, "--platform", "zzz", "--generate", "halo2d"]).unwrap_err();
+            let msg = e.to_string();
+            assert!(e.is_usage(), "{cmd}: {msg}");
+            for name in ["henri", "henri-subnuma", "grillon"] {
+                assert!(msg.contains(name), "{cmd}: {msg}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_generates_and_reports_slowdown() {
+        let out = run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--generate",
+            "allreduce",
+            "--ranks",
+            "2",
+            "--iters",
+            "1",
+            "--compute-mb",
+            "32",
+            "--comm-mb",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("trace replay — 2 ranks"), "{out}");
+        assert!(out.contains("contention slowdown:"), "{out}");
+        assert!(out.contains("rank timelines"), "{out}");
+    }
+
+    #[test]
+    fn replay_flag_mistakes_are_usage_errors() {
+        let base = ["replay", "--platform", "henri"];
+        let e = run_line(&[&base[..], &["--generate", "zzz"]].concat()).unwrap_err();
+        assert!(matches!(e, CliError::UnknownPattern(_)));
+        assert!(e.is_usage());
+        assert!(e.to_string().contains("halo2d"), "{e}");
+        let e = run_line(&base).unwrap_err();
+        assert!(e.is_usage(), "{e}");
+        let e = run_line(&[&base[..], &["--generate", "halo2d", "--input", "x.jsonl"]].concat())
+            .unwrap_err();
+        assert!(e.is_usage(), "{e}");
+        let e =
+            run_line(&[&base[..], &["--generate", "halo2d", "--ranks", "1"]].concat()).unwrap_err();
+        assert!(e.is_usage(), "{e}");
+        let e = run_line(&[&base[..], &["--generate", "halo2d", "--comp-numa", "9"]].concat())
+            .unwrap_err();
+        assert!(matches!(e, CliError::NumaOutOfRange { .. }), "{e}");
+    }
+
+    #[test]
+    fn replay_round_trips_a_saved_trace_and_rejects_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("memcontend-replay-{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap();
+        let svg_path = dir.join(format!("memcontend-replay-{}.svg", std::process::id()));
+        let svg_path = svg_path.to_str().unwrap();
+        let first = run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--generate",
+            "halo2d",
+            "--ranks",
+            "4",
+            "--iters",
+            "1",
+            "--compute-mb",
+            "64",
+            "--comm-mb",
+            "8",
+            "--save-trace",
+            path,
+        ])
+        .unwrap();
+        // Replaying the saved trace reproduces the report byte for byte
+        // (modulo the gantt footer line).
+        let second = run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--input",
+            path,
+            "--gantt",
+            svg_path,
+        ])
+        .unwrap();
+        assert!(
+            second.starts_with(&first),
+            "diverged:\n{first}\nvs\n{second}"
+        );
+        assert!(second.contains("gantt chart written to"), "{second}");
+        let svg = std::fs::read_to_string(svg_path).unwrap();
+        assert!(svg.contains("<svg"), "{}", &svg[..60.min(svg.len())]);
+        // A malformed trace file is invalid data (exit 3), not usage.
+        std::fs::write(path, "{\"rank\":0,\"event\":\"warp\"}\n").unwrap();
+        let e = run_line(&["replay", "--platform", "henri", "--input", path]).unwrap_err();
+        assert_eq!(e.exit_code(), crate::args::EXIT_INVALID_DATA, "{e}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(svg_path).ok();
+    }
+
+    #[test]
+    fn replay_search_ranks_placements_and_crosschecks_the_advisor() {
+        let out = run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--generate",
+            "allreduce",
+            "--ranks",
+            "2",
+            "--iters",
+            "1",
+            "--cores",
+            "12",
+            "--compute-mb",
+            "256",
+            "--comm-mb",
+            "16",
+            "--search",
+            "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("placement search (best first):"), "{out}");
+        // henri has 2 NUMA nodes: 4 placements evaluated.
+        assert_eq!(
+            out.lines().filter(|l| l.contains("m_comp=")).count(),
+            4,
+            "{out}"
+        );
+        assert!(out.contains("advisor cross-check:"), "{out}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! {"op":"calibrate","platform":"henri"}
 //! {"op":"evaluate","platform":"henri"}
 //! {"op":"recommend","platform":"henri","compute_gb":48,"comm_gb":8}
+//! {"op":"replay","platform":"henri","pattern":"halo2d","ranks":4}
+//! {"op":"replay","platform":"henri","trace_file":"app.trace.jsonl"}
 //! {"batch":[{...},{...}]}
 //! ```
 //!
@@ -26,7 +28,7 @@
 //!
 //! ## Caching and batching
 //!
-//! All four ops answer from a shared [`ModelRegistry`] — a sharded LRU
+//! The model-backed ops answer from a shared [`ModelRegistry`] — a sharded LRU
 //! cache of calibrated models keyed by (platform, bench config,
 //! calibration placements) — so only the first request against a
 //! platform pays for calibration sweeps; every later one is a registry
@@ -54,6 +56,8 @@ use mc_model::{
     PhaseProfile, RegistryKey,
 };
 use mc_obs::{tags, TagValue};
+use mc_replay::generate::{self, GenParams};
+use mc_replay::{ReplayConfig, Trace};
 use mc_topology::{platforms, NumaId, Platform};
 
 use crate::args::{Args, CliError, EXIT_INVALID_DATA, EXIT_IO};
@@ -266,6 +270,7 @@ fn try_request(registry: &ModelRegistry, request: &Json) -> Result<Json, CliErro
         "calibrate" => calibrate(registry, request),
         "evaluate" => evaluate_op(registry, request),
         "recommend" => recommend(registry, request),
+        "replay" => replay_op(request),
         other => Err(CliError::Protocol(format!("unknown op '{other}'"))),
     }
 }
@@ -477,6 +482,91 @@ fn recommend(registry: &ModelRegistry, request: &Json) -> Result<Json, CliError>
         ("considered", Json::Num(considered as f64)),
         ("recommendations", Json::Arr(recommendations)),
         ("cached", Json::Bool(cached)),
+    ]))
+}
+
+/// Optional positive-integer field with a default.
+fn opt_usize(request: &Json, field: &'static str, default: usize) -> Result<usize, CliError> {
+    match request.get(field) {
+        None => Ok(default),
+        Some(v) => {
+            let n = v.as_u64().ok_or_else(|| {
+                CliError::Protocol(format!("'{field}' must be a non-negative integer"))
+            })? as usize;
+            if n == 0 {
+                return Err(CliError::NonPositive(field));
+            }
+            Ok(n)
+        }
+    }
+}
+
+/// Optional NUMA field, defaulting to node 0, range-checked.
+fn opt_numa(request: &Json, field: &'static str, numa_count: usize) -> Result<NumaId, CliError> {
+    match request.get(field) {
+        None => Ok(NumaId::new(0)),
+        Some(_) => req_numa(request, field, numa_count),
+    }
+}
+
+/// `{"op":"replay",...}`: replay a synthetic pattern or a recorded trace
+/// file and report the predicted contention slowdown. No registry entry
+/// is involved — the replay simulates the platform directly.
+fn replay_op(request: &Json) -> Result<Json, CliError> {
+    let platform = req_platform(request)?;
+    let trace = match (request.get("pattern"), request.get("trace_file")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Protocol(
+                "'pattern' and 'trace_file' are mutually exclusive".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Protocol(
+                "replay needs 'pattern' or 'trace_file'".into(),
+            ))
+        }
+        (Some(_), None) => {
+            let name = req_str(request, "pattern")?;
+            let numa_count = platform.topology.numa_count();
+            let defaults = GenParams::default();
+            let ranks = opt_usize(request, "ranks", defaults.ranks)?;
+            if ranks < 2 {
+                return Err(CliError::Protocol("'ranks' must be at least 2".into()));
+            }
+            let params = GenParams {
+                ranks,
+                iters: opt_usize(request, "iters", defaults.iters)?,
+                cores: opt_usize(request, "cores", defaults.cores)?,
+                compute_bytes: match request.get("compute_mb") {
+                    None => defaults.compute_bytes,
+                    Some(_) => (req_f64(request, "compute_mb")? * (1 << 20) as f64) as u64,
+                },
+                comm_bytes: match request.get("comm_mb") {
+                    None => defaults.comm_bytes,
+                    Some(_) => (req_f64(request, "comm_mb")? * (1 << 20) as f64) as u64,
+                },
+                comp_numa: opt_numa(request, "comp_numa", numa_count)?,
+                comm_numa: opt_numa(request, "comm_numa", numa_count)?,
+            };
+            generate::by_name(name, &params)
+                .ok_or_else(|| CliError::UnknownPattern(name.to_string()))?
+        }
+        (None, Some(_)) => {
+            let path = req_str(request, "trace_file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
+            Trace::from_json_lines(&text).map_err(CliError::from)?
+        }
+    };
+    let out = mc_replay::replay(&platform, &trace, &ReplayConfig::default())?;
+    Ok(obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("replay".into())),
+        ("platform", Json::Str(platform.name().to_string())),
+        ("ranks", Json::Num(out.ranks as f64)),
+        ("events", Json::Num(out.events as f64)),
+        ("makespan", Json::Num(out.contended.makespan)),
+        ("baseline", Json::Num(out.baseline.makespan)),
+        ("slowdown", Json::Num(out.slowdown)),
     ]))
 }
 
@@ -728,6 +818,79 @@ mod tests {
         let avg = out[0].get("average").unwrap().as_f64().unwrap();
         assert!(avg > 0.0 && avg < 10.0, "henri MAPE ≈ paper: {avg}");
         assert_eq!(out[0].get("skipped").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn replay_op_predicts_a_slowdown() {
+        let line = concat!(
+            r#"{"op":"replay","platform":"henri","pattern":"allreduce","#,
+            r#""ranks":2,"iters":1,"compute_mb":32,"comm_mb":4}"#,
+            "\n",
+        );
+        let out = serve(line, &[]);
+        assert!(ok(&out[0]), "{:?}", out[0]);
+        assert_eq!(out[0].get("ranks").and_then(Json::as_u64), Some(2));
+        let makespan = out[0].get("makespan").unwrap().as_f64().unwrap();
+        let baseline = out[0].get("baseline").unwrap().as_f64().unwrap();
+        let slowdown = out[0].get("slowdown").unwrap().as_f64().unwrap();
+        assert!(makespan > 0.0 && baseline > 0.0);
+        assert!(slowdown >= 1.0 - 1e-9, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn replay_op_rejects_bad_inputs() {
+        let lines = concat!(
+            r#"{"op":"replay","platform":"henri"}"#,
+            "\n",
+            r#"{"op":"replay","platform":"henri","pattern":"zzz"}"#,
+            "\n",
+            r#"{"op":"replay","platform":"henri","pattern":"halo2d","ranks":1}"#,
+            "\n",
+            r#"{"op":"replay","platform":"henri","trace_file":"/nonexistent/t.jsonl"}"#,
+            "\n",
+            r#"{"op":"replay","platform":"henri","pattern":"halo2d","comp_numa":9}"#,
+            "\n",
+        );
+        let out = serve(lines, &[]);
+        let classes: Vec<_> = out.iter().map(|r| error_class(r).unwrap()).collect();
+        assert_eq!(classes, ["usage", "usage", "usage", "io", "usage"]);
+        assert!(out[1]
+            .get("error")
+            .unwrap()
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("halo2d"));
+    }
+
+    #[test]
+    fn replay_op_reads_a_trace_file_and_flags_bad_data() {
+        let dir = std::env::temp_dir().join(format!("memcontend-replay-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.trace.jsonl");
+        let trace = generate::halo2d(&GenParams {
+            ranks: 4,
+            iters: 1,
+            compute_bytes: 64 << 20,
+            comm_bytes: 8 << 20,
+            ..GenParams::default()
+        });
+        std::fs::write(&good, trace.to_json_lines()).unwrap();
+        let bad = dir.join("bad.trace.jsonl");
+        std::fs::write(&bad, "{\"rank\":0,\"event\":\"warp\"}\n").unwrap();
+        let lines = format!(
+            "{{\"op\":\"replay\",\"platform\":\"henri\",\"trace_file\":\"{}\"}}\n\
+             {{\"op\":\"replay\",\"platform\":\"henri\",\"trace_file\":\"{}\"}}\n",
+            good.display(),
+            bad.display()
+        );
+        let out = serve(&lines, &[]);
+        assert!(ok(&out[0]), "{:?}", out[0]);
+        assert_eq!(out[0].get("ranks").and_then(Json::as_u64), Some(4));
+        assert_eq!(error_class(&out[1]), Some("data"));
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

@@ -1,0 +1,613 @@
+//! # mc-json — a minimal JSON value type with a hand-rolled parser and writer
+//!
+//! The serve protocol and the trace replayer both speak JSON lines, and
+//! the workspace's no-external-crates policy rules out `serde_json` (the
+//! `serde` in the tree is an offline marker shim). The grammar needed is
+//! small — requests are flat objects, trace events are flat objects,
+//! responses are objects of numbers and strings — so a recursive-descent
+//! parser of ~150 lines keeps the dependency set unchanged. Object key
+//! order is preserved, which makes the writer deterministic and
+//! golden-transcript-friendly.
+//!
+//! Two safety properties hold by construction:
+//!
+//! * **Bounded recursion.** Nesting beyond [`MAX_DEPTH`] (or an explicit
+//!   limit given to [`Json::parse_with_depth`]) is a *typed* error
+//!   ([`JsonErrorKind::TooDeep`]) instead of a stack overflow, so a
+//!   hostile or corrupt input line can never take the process down.
+//! * **Round-trip stability.** `parse(render(v)) == v` for every finite
+//!   value, asserted by a property test over generated values.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+
+/// Deepest nesting [`Json::parse`] accepts. Far beyond anything the serve
+/// protocol or a trace line legitimately contains, far below what
+/// overflows a thread stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always stored as f64; the grammar has one number
+    /// type).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys: last wins).
+    Obj(Vec<(String, Json)>),
+}
+
+/// What class of parse failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed input: bad token, bad escape, trailing characters, …
+    Syntax,
+    /// The value nests deeper than the configured depth limit. Callers
+    /// that treat input as data (the trace parser) surface this as
+    /// invalid data rather than a crash.
+    TooDeep,
+}
+
+/// A parse failure: byte offset, message, and failure class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What was wrong.
+    pub message: &'static str,
+    /// Failure class (syntax vs. depth limit).
+    pub kind: JsonErrorKind,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse one JSON document; trailing non-whitespace is an error.
+    /// Nesting is bounded by [`MAX_DEPTH`].
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Json::parse_with_depth(text, MAX_DEPTH)
+    }
+
+    /// Parse with an explicit nesting limit: a value nested more than
+    /// `max_depth` containers deep fails with
+    /// [`JsonErrorKind::TooDeep`].
+    pub fn parse_with_depth(text: &str, max_depth: usize) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth_left: max_depth,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if this is a number
+    /// holding one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render this value as compact JSON (no whitespace), preserving
+    /// object member order. Non-finite numbers render as `null` — JSON
+    /// has no NaN/inf and a corrupt stream helps nobody.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_num(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Remaining container levels this parse may still open.
+    depth_left: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message,
+            kind: JsonErrorKind::Syntax,
+        }
+    }
+
+    /// Account for entering one container level; typed failure when the
+    /// budget is spent.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        if self.depth_left == 0 {
+            return Err(JsonError {
+                offset: self.pos,
+                message: "nesting too deep",
+                kind: JsonErrorKind::TooDeep,
+            });
+        }
+        self.depth_left -= 1;
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth_left += 1;
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
+        self.expect(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.ascend();
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.ascend();
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.ascend();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.ascend();
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            // Consume one UTF-8 scalar; the input is a &str so boundaries
+            // are trustworthy.
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| self.err("invalid UTF-8"))?;
+            let mut chars = rest.chars();
+            let c = chars
+                .next()
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += esc.len_utf8();
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope for this
+                            // protocol; lone surrogates map to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c if (c as u32) < 0x20 => return Err(self.err("control character in string")),
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        let n: f64 = text.parse().map_err(|_| JsonError {
+            offset: start,
+            message: "invalid number",
+            kind: JsonErrorKind::Syntax,
+        })?;
+        // str::parse accepts "inf"/"NaN" spellings JSON forbids, but the
+        // scanner above only admits digit/exponent characters, so any
+        // non-finite here is an overflow like 1e999 — reject it.
+        if !n.is_finite() {
+            return Err(JsonError {
+                offset: start,
+                message: "number out of range",
+                kind: JsonErrorKind::Syntax,
+            });
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+/// Convenience: an object builder preserving insertion order.
+pub fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_request_objects() {
+        let j = Json::parse(
+            r#"{"op":"predict","platform":"henri","cores":17,"comp_numa":0,"comm_numa":1}"#,
+        )
+        .unwrap();
+        assert_eq!(j.get("op").and_then(Json::as_str), Some("predict"));
+        assert_eq!(j.get("cores").and_then(Json::as_u64), Some(17));
+        assert_eq!(j.get("comm_numa").and_then(Json::as_u64), Some(1));
+        assert!(j.get("missing").is_none());
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let cases = [
+            r#"{"a":1,"b":[true,false,null],"c":{"d":"x\ny"},"e":-2.5}"#,
+            r#"[1,2.25,"three"]"#,
+            r#""just a string""#,
+            "42",
+            "null",
+        ];
+        for case in cases {
+            let j = Json::parse(case).unwrap();
+            assert_eq!(j.render(), case);
+            assert_eq!(Json::parse(&j.render()).unwrap(), j);
+        }
+    }
+
+    #[test]
+    fn whitespace_and_escapes_are_handled() {
+        let j = Json::parse(" { \"k\" : \"a\\\"b\\\\c\\u0041\" , \"n\" : [ ] } ").unwrap();
+        assert_eq!(j.get("k").and_then(Json::as_str), Some("a\"b\\cA"));
+        assert_eq!(
+            j.get("n").and_then(Json::as_array).map(<[Json]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        for (text, offset) in [("{", 1), ("[1,]", 3), ("{\"a\" 1}", 5), ("nul", 0)] {
+            let e = Json::parse(text).unwrap_err();
+            assert_eq!(e.offset, offset, "{text:?}: {e}");
+            assert_eq!(e.kind, JsonErrorKind::Syntax);
+        }
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("1e999").is_err(), "overflow is not a value");
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(Json::Num(4.0).as_u64(), Some(4));
+        assert_eq!(Json::Num(4.5).as_u64(), None);
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Str("4".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn render_integers_without_fraction_and_nonfinite_as_null() {
+        assert_eq!(Json::Num(17.0).render(), "17");
+        assert_eq!(Json::Num(2.5).render(), "2.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(obj(vec![("a", Json::Bool(true))]).render(), r#"{"a":true}"#);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins_on_lookup() {
+        let j = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(j.get("a").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn nesting_beyond_the_limit_is_a_typed_error_not_an_overflow() {
+        // 1 000 000 open brackets would overflow the stack of a naive
+        // recursive parser; here it is a typed error.
+        let hostile = "[".repeat(1_000_000);
+        let e = Json::parse(&hostile).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+        assert_eq!(e.message, "nesting too deep");
+        assert_eq!(e.offset, MAX_DEPTH, "fails exactly at the limit");
+
+        // Same through objects.
+        let hostile = "{\"k\":".repeat(1_000_000);
+        let e = Json::parse(&hostile).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        // depth d value: d nested arrays around a scalar.
+        let nested = |d: usize| format!("{}1{}", "[".repeat(d), "]".repeat(d));
+        assert!(Json::parse_with_depth(&nested(3), 3).is_ok());
+        let e = Json::parse_with_depth(&nested(4), 3).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+        // Scalars never descend: limit 0 still parses them.
+        assert_eq!(Json::parse_with_depth("42", 0).unwrap(), Json::Num(42.0));
+        // Siblings do not accumulate: the budget is per-path, not global.
+        assert!(Json::parse_with_depth("[[1],[2],[3]]", 2).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::TestRng;
+
+    /// Build a random finite JSON value from a seed, with bounded depth
+    /// and width (the shim has no recursive strategy combinator, so the
+    /// recursion lives here and the strategy supplies entropy).
+    fn build(rng: &mut TestRng, depth: usize) -> Json {
+        let pick = if depth == 0 {
+            rng.below(4) // leaves only
+        } else {
+            rng.below(6)
+        };
+        match pick {
+            0 => Json::Null,
+            1 => Json::Bool(rng.below(2) == 0),
+            2 => {
+                // Mix integers (render without fraction) and fractions.
+                if rng.below(2) == 0 {
+                    Json::Num(rng.below(20_001) as f64 - 10_000.0)
+                } else {
+                    Json::Num((rng.unit_f64() - 0.5) * 1e6)
+                }
+            }
+            3 => {
+                let len = rng.below(8);
+                let s: String = (0..len)
+                    .map(|_| {
+                        // Printable ASCII plus the escapes the writer
+                        // special-cases.
+                        const ALPHABET: &[u8] = b"ab\"\\\n\r\tz 0{}[]:,\x01";
+                        ALPHABET[rng.below(ALPHABET.len())] as char
+                    })
+                    .collect();
+                Json::Str(s)
+            }
+            4 => {
+                let len = rng.below(4);
+                Json::Arr((0..len).map(|_| build(rng, depth - 1)).collect())
+            }
+            _ => {
+                let len = rng.below(4);
+                Json::Obj(
+                    (0..len)
+                        .map(|i| (format!("k{i}"), build(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn parse_render_round_trips(seed in 0u64..u64::MAX) {
+            let mut rng = TestRng::new(seed);
+            let value = build(&mut rng, 4);
+            let text = value.render();
+            let back = Json::parse(&text).unwrap_or_else(|e| {
+                panic!("rendered value failed to parse: {e}\n{text}")
+            });
+            prop_assert_eq!(&back, &value, "render: {}", text);
+            // Rendering is a fixed point: render∘parse∘render == render.
+            prop_assert_eq!(back.render(), text);
+        }
+    }
+}

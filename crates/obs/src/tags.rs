@@ -12,7 +12,8 @@
 //!   [`N_CORES`], [`MODE`], [`RULE`], [`REASON`], [`TARGET`],
 //!   [`COMMAND`], [`WORKERS`], [`PREDICTOR`];
 //! * serving tags (PR 4): [`OP`], [`RESULT`], [`CACHE`], [`BATCH_SIZE`],
-//!   [`CONFIG`].
+//!   [`CONFIG`];
+//! * replay tags (PR 5): [`RANKS`], [`EVENT`], [`PATTERN`].
 
 /// Platform name (`henri`, `dahu`, …) or `file:<path>` pseudo-platforms.
 pub const PLATFORM: &str = "platform";
@@ -49,6 +50,13 @@ pub const BATCH_SIZE: &str = "batch_size";
 /// Benchmark-configuration tag a model was calibrated under.
 pub const CONFIG: &str = "config";
 
+/// Number of ranks a replayed trace defines.
+pub const RANKS: &str = "ranks";
+/// Trace event kind (`compute`, `send`, `recv`, `collective`, `wait`).
+pub const EVENT: &str = "event";
+/// Synthetic trace generator (`halo2d`, `allreduce`, `pipeline`).
+pub const PATTERN: &str = "pattern";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -70,6 +78,9 @@ mod tests {
             super::CACHE,
             super::BATCH_SIZE,
             super::CONFIG,
+            super::RANKS,
+            super::EVENT,
+            super::PATTERN,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();

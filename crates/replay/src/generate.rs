@@ -1,0 +1,335 @@
+//! Synthetic trace generators for the communication patterns that
+//! dominate HPC and distributed-training workloads: a 2D halo exchange,
+//! a data-parallel training step (compute + ring allreduce), and a
+//! pipeline of stages streaming microbatches. All generators are pure
+//! functions of their parameters — the same [`GenParams`] always yields
+//! the same byte-identical trace.
+
+use mc_topology::NumaId;
+
+use crate::trace::{CollectiveOp, EventKind, Trace};
+
+/// Knobs shared by every generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenParams {
+    /// Number of ranks (≥ 2).
+    pub ranks: usize,
+    /// Iterations (halo steps, training steps, or microbatches).
+    pub iters: usize,
+    /// Cores per compute phase.
+    pub cores: usize,
+    /// Total bytes each compute phase moves through memory.
+    pub compute_bytes: u64,
+    /// Bytes per message (halo face, gradient buffer, or activation).
+    pub comm_bytes: u64,
+    /// NUMA node holding computation data.
+    pub comp_numa: NumaId,
+    /// NUMA node holding communication buffers.
+    pub comm_numa: NumaId,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            ranks: 4,
+            iters: 2,
+            cores: 4,
+            compute_bytes: 256 << 20,
+            comm_bytes: 8 << 20,
+            comp_numa: NumaId::new(0),
+            comm_numa: NumaId::new(0),
+        }
+    }
+}
+
+/// The generator names accepted by [`by_name`] (and the CLI's
+/// `--generate`).
+pub fn names() -> &'static [&'static str] {
+    &["halo2d", "allreduce", "pipeline"]
+}
+
+/// Look a generator up by name.
+pub fn by_name(name: &str, p: &GenParams) -> Option<Trace> {
+    match name {
+        "halo2d" => Some(halo2d(p)),
+        "allreduce" => Some(allreduce_step(p)),
+        "pipeline" => Some(pipeline(p)),
+        _ => None,
+    }
+}
+
+/// Largest divisor of `n` that is ≤ √n — the x-extent of the most
+/// square process grid.
+fn grid_x(n: usize) -> usize {
+    let mut best = 1;
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            best = d;
+        }
+        d += 1;
+    }
+    best
+}
+
+/// 2D halo exchange on a `px × py` torus (the most square factorisation
+/// of `ranks`). Each iteration: a compute phase, then a receive and a
+/// send per grid neighbour, then a wait. Tags encode `(iteration,
+/// direction of travel)` so the four messages crossing a rank never
+/// mismatch, even on 2-wide axes where both neighbours are the same
+/// rank. Axes of extent 1 are skipped (no self-messages).
+pub fn halo2d(p: &GenParams) -> Trace {
+    assert!(p.ranks >= 2, "halo2d needs at least 2 ranks");
+    let px = grid_x(p.ranks);
+    let py = p.ranks / px;
+    let mut events: Vec<Vec<EventKind>> = vec![Vec::new(); p.ranks];
+    for iter in 0..p.iters {
+        let tag = |dir: u32| 4 * iter as u32 + dir;
+        for (rank, ev) in events.iter_mut().enumerate() {
+            let (x, y) = (rank % px, rank / px);
+            let east = y * px + (x + 1) % px;
+            let west = y * px + (x + px - 1) % px;
+            let north = ((y + 1) % py) * px + x;
+            let south = ((y + py - 1) % py) * px + x;
+            ev.push(EventKind::Compute {
+                numa: p.comp_numa,
+                cores: p.cores,
+                bytes: p.compute_bytes,
+            });
+            // Directions of travel: 0 = eastward, 1 = westward,
+            // 2 = northward, 3 = southward. A rank receives the eastward
+            // message from its west neighbour, and so on.
+            if px > 1 {
+                ev.push(EventKind::Recv {
+                    peer: west,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: tag(0),
+                });
+                ev.push(EventKind::Recv {
+                    peer: east,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: tag(1),
+                });
+            }
+            if py > 1 {
+                ev.push(EventKind::Recv {
+                    peer: south,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: tag(2),
+                });
+                ev.push(EventKind::Recv {
+                    peer: north,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: tag(3),
+                });
+            }
+            if px > 1 {
+                ev.push(EventKind::Send {
+                    peer: east,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: tag(0),
+                });
+                ev.push(EventKind::Send {
+                    peer: west,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: tag(1),
+                });
+            }
+            if py > 1 {
+                ev.push(EventKind::Send {
+                    peer: north,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: tag(2),
+                });
+                ev.push(EventKind::Send {
+                    peer: south,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: tag(3),
+                });
+            }
+            ev.push(EventKind::Wait);
+        }
+    }
+    Trace { events }
+}
+
+/// Data-parallel training step: each iteration is a compute phase (the
+/// forward/backward pass) followed by a ring allreduce of the gradient
+/// buffer, then a wait.
+pub fn allreduce_step(p: &GenParams) -> Trace {
+    assert!(p.ranks >= 2, "allreduce needs at least 2 ranks");
+    let mut events: Vec<Vec<EventKind>> = vec![Vec::new(); p.ranks];
+    for _ in 0..p.iters {
+        for program in &mut events {
+            program.push(EventKind::Compute {
+                numa: p.comp_numa,
+                cores: p.cores,
+                bytes: p.compute_bytes,
+            });
+            program.push(EventKind::Collective {
+                op: CollectiveOp::Allreduce,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+            });
+            program.push(EventKind::Wait);
+        }
+    }
+    Trace { events }
+}
+
+/// Pipeline of `ranks` stages streaming `iters` microbatches: each
+/// stage receives an activation from its predecessor, computes, and
+/// sends to its successor. The trace expresses the data dependencies
+/// with waits — a stage's compute starts only after its receive
+/// completed, and its send only after the compute — while the send
+/// itself overlaps the next microbatch (drained by the next wait).
+/// Tags carry the microbatch index so the stream never mismatches.
+pub fn pipeline(p: &GenParams) -> Trace {
+    assert!(p.ranks >= 2, "pipeline needs at least 2 stages");
+    let last = p.ranks - 1;
+    let mut events: Vec<Vec<EventKind>> = vec![Vec::new(); p.ranks];
+    for m in 0..p.iters {
+        for (rank, program) in events.iter_mut().enumerate() {
+            if rank > 0 {
+                program.push(EventKind::Recv {
+                    peer: rank - 1,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: m as u32,
+                });
+                program.push(EventKind::Wait);
+            }
+            program.push(EventKind::Compute {
+                numa: p.comp_numa,
+                cores: p.cores,
+                bytes: p.compute_bytes,
+            });
+            program.push(EventKind::Wait);
+            if rank < last {
+                program.push(EventKind::Send {
+                    peer: rank + 1,
+                    numa: p.comm_numa,
+                    bytes: p.comm_bytes,
+                    tag: m as u32,
+                });
+            }
+        }
+    }
+    Trace { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_factorisation_is_most_square() {
+        assert_eq!(grid_x(4), 2);
+        assert_eq!(grid_x(6), 2);
+        assert_eq!(grid_x(9), 3);
+        assert_eq!(grid_x(12), 3);
+        assert_eq!(grid_x(7), 1); // prime: degenerate 1×7 ring
+        assert_eq!(grid_x(2), 1);
+    }
+
+    #[test]
+    fn generated_traces_validate() {
+        for ranks in [2usize, 3, 4, 6, 8] {
+            let p = GenParams {
+                ranks,
+                ..GenParams::default()
+            };
+            for name in names() {
+                let t = by_name(name, &p).unwrap();
+                t.validate()
+                    .unwrap_or_else(|e| panic!("{name} ranks={ranks}: {e}"));
+                assert_eq!(t.ranks(), ranks, "{name}");
+            }
+        }
+        assert!(by_name("nope", &GenParams::default()).is_none());
+    }
+
+    #[test]
+    fn halo_sends_and_recvs_pair_up() {
+        // For every (src, dst, tag) send there must be exactly one
+        // matching (dst, src, tag) recv.
+        let t = halo2d(&GenParams {
+            ranks: 6,
+            iters: 3,
+            ..GenParams::default()
+        });
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for (rank, program) in t.events.iter().enumerate() {
+            for ev in program {
+                match ev {
+                    EventKind::Send { peer, tag, .. } => sends.push((rank, *peer, *tag)),
+                    EventKind::Recv { peer, tag, .. } => recvs.push((*peer, rank, *tag)),
+                    _ => {}
+                }
+            }
+        }
+        sends.sort_unstable();
+        recvs.sort_unstable();
+        assert_eq!(sends, recvs);
+        assert!(!sends.is_empty());
+    }
+
+    #[test]
+    fn prime_rank_counts_skip_the_degenerate_axis() {
+        // 1×5 grid: only the y axis carries messages; no self-sends.
+        let t = halo2d(&GenParams {
+            ranks: 5,
+            iters: 1,
+            ..GenParams::default()
+        });
+        for (rank, program) in t.events.iter().enumerate() {
+            for ev in program {
+                if let EventKind::Send { peer, .. } | EventKind::Recv { peer, .. } = ev {
+                    assert_ne!(*peer, rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_endpoints_have_one_sided_traffic() {
+        let t = pipeline(&GenParams {
+            ranks: 3,
+            iters: 2,
+            ..GenParams::default()
+        });
+        // Stage 0 never receives; the last stage never sends.
+        assert!(!t.events[0]
+            .iter()
+            .any(|e| matches!(e, EventKind::Recv { .. })));
+        assert!(!t.events[2]
+            .iter()
+            .any(|e| matches!(e, EventKind::Send { .. })));
+        // Interior stages do both.
+        assert!(t.events[1]
+            .iter()
+            .any(|e| matches!(e, EventKind::Send { .. })));
+        assert!(t.events[1]
+            .iter()
+            .any(|e| matches!(e, EventKind::Recv { .. })));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let p = GenParams::default();
+        for name in names() {
+            let a = by_name(name, &p).unwrap().to_json_lines();
+            let b = by_name(name, &p).unwrap().to_json_lines();
+            assert_eq!(a, b, "{name}");
+        }
+    }
+}

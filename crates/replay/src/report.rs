@@ -1,0 +1,140 @@
+//! Rendering a [`ReplayOutcome`] for humans: a byte-stable text report
+//! (goldenable — every number formatted with fixed precision) and a
+//! per-rank Gantt chart via `mc-viz`.
+
+use mc_viz::{Gantt, GanttBar, GanttRow, COMM_COLOR, COMP_COLOR};
+
+use crate::engine::{ReplayOutcome, KINDS};
+use crate::search::SearchOutcome;
+
+const WAIT_COLOR: &str = "#c7c7c7";
+
+/// Render the replay report as deterministic text. Same outcome, same
+/// bytes — suitable for golden-file comparison.
+pub fn render(outcome: &ReplayOutcome, platform: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace replay — {} ranks, {} events on {}\n",
+        outcome.ranks, outcome.events, platform
+    ));
+    out.push_str(&format!(
+        "contended makespan : {:.6} s\n",
+        outcome.contended.makespan
+    ));
+    out.push_str(&format!(
+        "baseline makespan  : {:.6} s\n",
+        outcome.baseline.makespan
+    ));
+    out.push_str(&format!("contention slowdown: {:.3}x\n", outcome.slowdown));
+    out.push_str("busy seconds by event kind (contended | baseline):\n");
+    for (i, kind) in KINDS.iter().enumerate() {
+        if outcome.contended.busy[i] == 0.0 && outcome.baseline.busy[i] == 0.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {kind:<10} {:>12.6} | {:>12.6}\n",
+            outcome.contended.busy[i], outcome.baseline.busy[i]
+        ));
+    }
+    out.push_str("rank timelines (contended):\n");
+    for (rank, spans) in outcome.contended.timelines.iter().enumerate() {
+        out.push_str(&format!("  rank {rank}:"));
+        for s in spans {
+            out.push_str(&format!(" [{} {:.6}..{:.6}]", s.kind, s.t0, s.t1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A one-line summary of a placement search, best first, byte-stable.
+pub fn render_search(search: &SearchOutcome) -> String {
+    let mut out = String::new();
+    out.push_str("placement search (best first):\n");
+    for pt in &search.points {
+        out.push_str(&format!(
+            "  n={:<3} m_comp={} m_comm={}  makespan {:.6} s  slowdown {:.3}x\n",
+            pt.n_cores, pt.m_comp, pt.m_comm, pt.makespan, pt.slowdown
+        ));
+    }
+    out
+}
+
+/// Build a per-rank Gantt chart of the contended timeline: compute
+/// bars in the computation colour, communication (send/recv/
+/// collective) in the communication colour, waits in grey.
+pub fn gantt(outcome: &ReplayOutcome, title: &str) -> Gantt {
+    let rows = outcome
+        .contended
+        .timelines
+        .iter()
+        .enumerate()
+        .map(|(rank, spans)| GanttRow {
+            label: format!("rank {rank}"),
+            bars: spans
+                .iter()
+                .map(|s| GanttBar {
+                    t0: s.t0,
+                    t1: s.t1,
+                    color: match s.kind {
+                        "compute" => COMP_COLOR.to_string(),
+                        "wait" => WAIT_COLOR.to_string(),
+                        _ => COMM_COLOR.to_string(),
+                    },
+                    label: s.kind.to_string(),
+                })
+                .collect(),
+        })
+        .collect();
+    Gantt {
+        title: title.to_string(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{replay, ReplayConfig};
+    use crate::generate::{self, GenParams};
+    use mc_topology::platforms;
+
+    fn outcome() -> ReplayOutcome {
+        let trace = generate::allreduce_step(&GenParams {
+            ranks: 2,
+            iters: 1,
+            compute_bytes: 32 << 20,
+            comm_bytes: 4 << 20,
+            ..GenParams::default()
+        });
+        replay(&platforms::henri(), &trace, &ReplayConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn report_is_byte_stable() {
+        let a = render(&outcome(), "henri");
+        let b = render(&outcome(), "henri");
+        assert_eq!(a, b);
+        assert!(
+            a.starts_with("trace replay — 2 ranks, 6 events on henri\n"),
+            "{a}"
+        );
+        assert!(a.contains("contention slowdown:"), "{a}");
+    }
+
+    #[test]
+    fn gantt_has_one_row_per_rank_and_colored_bars() {
+        let g = gantt(&outcome(), "demo");
+        assert_eq!(g.rows.len(), 2);
+        let bars: Vec<_> = g.rows.iter().flat_map(|r| r.bars.iter()).collect();
+        assert!(bars.iter().any(|b| b.color == COMP_COLOR));
+        assert!(bars.iter().any(|b| b.color == COMM_COLOR));
+        // Renders to SVG without panicking.
+        let svg = g.render(800.0).render();
+        assert!(
+            svg.contains("<svg"),
+            "not an svg: {}",
+            &svg[..60.min(svg.len())]
+        );
+    }
+}

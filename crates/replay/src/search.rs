@@ -1,0 +1,258 @@
+//! Placement search: replay the same trace under every `(n, m_comp,
+//! m_comm)` override and rank the configurations by predicted
+//! contended makespan — the replay-level analogue of the model's
+//! placement advisor, cross-checkable against it.
+
+use mc_model::{recommend, ContentionModel, PhaseProfile, Recommendation};
+use mc_topology::{NumaId, Platform};
+
+use crate::engine::{replay, ReplayConfig, ReplayError};
+use crate::trace::{EventKind, Trace};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchPoint {
+    /// Cores per compute phase.
+    pub n_cores: usize,
+    /// NUMA node computation data was re-homed to.
+    pub m_comp: NumaId,
+    /// NUMA node communication buffers were re-homed to.
+    pub m_comm: NumaId,
+    /// Predicted contended makespan, seconds.
+    pub makespan: f64,
+    /// Contention slowdown of this configuration.
+    pub slowdown: f64,
+}
+
+/// Every configuration tried, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Points sorted by `(makespan, n_cores, m_comp, m_comm)`; the
+    /// first entry is the winner.
+    pub points: Vec<SearchPoint>,
+}
+
+impl SearchOutcome {
+    /// The winning configuration.
+    pub fn winner(&self) -> &SearchPoint {
+        &self.points[0]
+    }
+}
+
+/// The largest compute core count the trace itself uses (1 if it never
+/// computes).
+pub fn native_cores(trace: &Trace) -> usize {
+    trace
+        .events
+        .iter()
+        .flatten()
+        .filter_map(|ev| match ev {
+            EventKind::Compute { cores, .. } => Some(*cores),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// Replay `trace` under every placement `(m_comp, m_comm)` of the
+/// platform and every core count in `cores` (pass `&[]` to keep the
+/// trace's native core counts). Deterministic: ties break toward fewer
+/// cores, then lower node indices.
+pub fn search(
+    platform: &Platform,
+    trace: &Trace,
+    cores: &[usize],
+) -> Result<SearchOutcome, ReplayError> {
+    let numa = platform.topology.numa_count() as u16;
+    let native = native_cores(trace);
+    let core_choices: Vec<Option<usize>> = if cores.is_empty() {
+        vec![None]
+    } else {
+        cores.iter().map(|&c| Some(c)).collect()
+    };
+    let mut points = Vec::new();
+    for &cores in &core_choices {
+        for comp in 0..numa {
+            for comm in 0..numa {
+                let config = ReplayConfig {
+                    comp_numa: Some(NumaId::new(comp)),
+                    comm_numa: Some(NumaId::new(comm)),
+                    cores,
+                };
+                let out = replay(platform, trace, &config)?;
+                points.push(SearchPoint {
+                    n_cores: cores.unwrap_or(native),
+                    m_comp: NumaId::new(comp),
+                    m_comm: NumaId::new(comm),
+                    makespan: out.contended.makespan,
+                    slowdown: out.slowdown,
+                });
+            }
+        }
+    }
+    points.sort_by(|a, b| {
+        a.makespan
+            .total_cmp(&b.makespan)
+            .then(a.n_cores.cmp(&b.n_cores))
+            .then(a.m_comp.cmp(&b.m_comp))
+            .then(a.m_comm.cmp(&b.m_comm))
+    });
+    Ok(SearchOutcome { points })
+}
+
+/// How the replay-level search compares with the calibrated model's
+/// placement advisor on the same workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Crosscheck {
+    /// The phase profile distilled from the trace (average bytes per
+    /// rank).
+    pub profile: PhaseProfile,
+    /// The advisor's pick, if it produced one.
+    pub advisor: Option<Recommendation>,
+    /// Does the advisor's `(m_comp, m_comm)` match the search winner's?
+    pub agree_placement: bool,
+}
+
+/// Distill a [`PhaseProfile`] from a trace: average per-rank compute
+/// bytes and incoming communication bytes (receives plus collective
+/// payloads).
+pub fn phase_profile(trace: &Trace, max_cores: usize) -> PhaseProfile {
+    let ranks = trace.ranks().max(1) as f64;
+    let mut compute = 0.0f64;
+    let mut comm = 0.0f64;
+    for program in &trace.events {
+        for ev in program {
+            match ev {
+                EventKind::Compute { bytes, .. } => compute += *bytes as f64,
+                EventKind::Recv { bytes, .. } => comm += *bytes as f64,
+                EventKind::Collective { bytes, .. } => comm += *bytes as f64,
+                _ => {}
+            }
+        }
+    }
+    PhaseProfile {
+        compute_bytes: compute / ranks,
+        comm_bytes: comm / ranks,
+        max_cores,
+    }
+}
+
+/// Ask the calibrated model's advisor about the trace's workload and
+/// compare its placement with the replay search winner.
+pub fn advisor_crosscheck(
+    model: &ContentionModel,
+    trace: &Trace,
+    winner: &SearchPoint,
+    max_cores: usize,
+) -> Crosscheck {
+    let profile = phase_profile(trace, max_cores);
+    let advisor = recommend(model, &profile);
+    let agree_placement = advisor
+        .as_ref()
+        .map(|r| r.m_comp == winner.m_comp && r.m_comm == winner.m_comm)
+        .unwrap_or(false);
+    Crosscheck {
+        profile,
+        advisor,
+        agree_placement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_once;
+    use crate::generate::{self, GenParams};
+    use mc_topology::platforms;
+
+    #[test]
+    fn search_covers_every_placement() {
+        let p = platforms::henri(); // 2 NUMA nodes
+        let trace = generate::halo2d(&GenParams {
+            ranks: 4,
+            iters: 1,
+            compute_bytes: 64 << 20,
+            comm_bytes: 8 << 20,
+            ..GenParams::default()
+        });
+        let out = search(&p, &trace, &[]).unwrap();
+        assert_eq!(out.points.len(), 4); // 2 × 2 placements
+                                         // Sorted: the winner is the minimum.
+        let min = out
+            .points
+            .iter()
+            .map(|pt| pt.makespan)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(out.winner().makespan, min);
+    }
+
+    #[test]
+    fn winner_matches_brute_force_replay() {
+        let p = platforms::henri();
+        let trace = generate::halo2d(&GenParams {
+            ranks: 4,
+            iters: 1,
+            cores: 8,
+            compute_bytes: 256 << 20,
+            comm_bytes: 16 << 20,
+            ..GenParams::default()
+        });
+        let out = search(&p, &trace, &[]).unwrap();
+        // Re-derive each makespan independently and confirm the winner
+        // is the argmin.
+        let mut best = (f64::INFINITY, 0u16, 0u16);
+        for comp in 0..2u16 {
+            for comm in 0..2u16 {
+                let run = run_once(
+                    &p,
+                    &trace,
+                    &ReplayConfig {
+                        comp_numa: Some(NumaId::new(comp)),
+                        comm_numa: Some(NumaId::new(comm)),
+                        cores: None,
+                    },
+                    true,
+                )
+                .unwrap();
+                if run.makespan < best.0 {
+                    best = (run.makespan, comp, comm);
+                }
+            }
+        }
+        let w = out.winner();
+        assert_eq!(w.makespan.to_bits(), best.0.to_bits());
+        assert_eq!(w.m_comp, NumaId::new(best.1));
+        assert_eq!(w.m_comm, NumaId::new(best.2));
+    }
+
+    #[test]
+    fn core_sweep_multiplies_the_grid() {
+        let p = platforms::henri();
+        let trace = generate::allreduce_step(&GenParams {
+            ranks: 2,
+            iters: 1,
+            compute_bytes: 32 << 20,
+            comm_bytes: 4 << 20,
+            ..GenParams::default()
+        });
+        let out = search(&p, &trace, &[2, 8]).unwrap();
+        assert_eq!(out.points.len(), 8); // 2 cores × 4 placements
+        assert!(out.points.iter().any(|pt| pt.n_cores == 2));
+        assert!(out.points.iter().any(|pt| pt.n_cores == 8));
+    }
+
+    #[test]
+    fn phase_profile_averages_per_rank() {
+        let trace = generate::allreduce_step(&GenParams {
+            ranks: 4,
+            iters: 2,
+            compute_bytes: 100,
+            comm_bytes: 40,
+            ..GenParams::default()
+        });
+        let prof = phase_profile(&trace, 8);
+        assert_eq!(prof.compute_bytes, 200.0); // 2 iters × 100 per rank
+        assert_eq!(prof.comm_bytes, 80.0);
+        assert_eq!(prof.max_cores, 8);
+    }
+}

@@ -1,0 +1,571 @@
+//! The trace schema: a per-rank event program in JSON lines.
+//!
+//! A trace is the replayer's input language — one JSON object per line,
+//! each describing one event of one rank:
+//!
+//! ```text
+//! {"rank":0,"event":"compute","numa":0,"cores":4,"bytes":268435456}
+//! {"rank":0,"event":"send","peer":1,"numa":1,"bytes":8388608,"tag":7}
+//! {"rank":1,"event":"recv","peer":0,"numa":1,"bytes":8388608,"tag":7}
+//! {"rank":0,"event":"collective","op":"allreduce","numa":0,"bytes":33554432}
+//! {"rank":0,"event":"wait"}
+//! ```
+//!
+//! Within a rank, events execute in file order; `compute`, `send` and
+//! `recv` are *posted* asynchronously and only a `wait` (or the end of the
+//! trace) blocks until everything outstanding on that rank has finished.
+//! `collective` is collective: every rank must reach one with identical
+//! `{op, numa, bytes}` for the program to progress.
+//!
+//! Parsing is strict and typed: any malformed line reports its 1-based
+//! line number via [`TraceError`], which maps to the CLI's *invalid data*
+//! exit code. [`Trace::to_json_lines`] writes the same grammar back out,
+//! rank-major, and round-trips through [`Trace::from_json_lines`]
+//! byte-for-byte modulo line order.
+
+use std::fmt;
+
+use mc_json::{obj, Json, JsonError};
+use mc_model::ErrorCategory;
+use mc_topology::NumaId;
+
+/// A collective operation a trace line may request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveOp {
+    /// Dissemination barrier (ignores `bytes`).
+    Barrier,
+    /// Ring allreduce of `bytes` per rank.
+    Allreduce,
+    /// Ring allgather of `bytes` contributed per rank.
+    Allgather,
+    /// Binomial broadcast of `bytes` from rank 0.
+    Broadcast,
+}
+
+impl CollectiveOp {
+    /// The JSON spelling of this operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveOp::Barrier => "barrier",
+            CollectiveOp::Allreduce => "allreduce",
+            CollectiveOp::Allgather => "allgather",
+            CollectiveOp::Broadcast => "broadcast",
+        }
+    }
+
+    /// Parse the JSON spelling.
+    pub fn from_name(name: &str) -> Option<CollectiveOp> {
+        match name {
+            "barrier" => Some(CollectiveOp::Barrier),
+            "allreduce" => Some(CollectiveOp::Allreduce),
+            "allgather" => Some(CollectiveOp::Allgather),
+            "broadcast" => Some(CollectiveOp::Broadcast),
+            _ => None,
+        }
+    }
+}
+
+/// One event of one rank's program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Start a compute phase: `cores` cores streaming `bytes` in total
+    /// through `numa`.
+    Compute {
+        /// NUMA node holding the computation's data.
+        numa: NumaId,
+        /// Cores the phase runs on.
+        cores: usize,
+        /// Total bytes the phase moves through memory (split evenly
+        /// across cores).
+        bytes: u64,
+    },
+    /// Post a non-blocking send to `peer`.
+    Send {
+        /// Destination rank.
+        peer: usize,
+        /// NUMA node holding the send buffer.
+        numa: NumaId,
+        /// Message size.
+        bytes: u64,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Post a non-blocking receive from `peer`.
+    Recv {
+        /// Source rank.
+        peer: usize,
+        /// NUMA node holding the receive buffer.
+        numa: NumaId,
+        /// Buffer size.
+        bytes: u64,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Join a collective; all ranks must issue an identical one.
+    Collective {
+        /// Which collective.
+        op: CollectiveOp,
+        /// NUMA node holding the collective's buffers.
+        numa: NumaId,
+        /// Payload size (per the operation's convention).
+        bytes: u64,
+    },
+    /// Block until everything this rank has posted so far completes.
+    Wait,
+}
+
+impl EventKind {
+    /// Short kind label (`compute`, `send`, `recv`, `collective`,
+    /// `wait`) — the value of the JSON `event` member and of the
+    /// `event` metric tag.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EventKind::Compute { .. } => "compute",
+            EventKind::Send { .. } => "send",
+            EventKind::Recv { .. } => "recv",
+            EventKind::Collective { .. } => "collective",
+            EventKind::Wait => "wait",
+        }
+    }
+}
+
+/// A whole-application trace: one event program per rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// `events[r]` is rank `r`'s program, in execution order.
+    pub events: Vec<Vec<EventKind>>,
+}
+
+/// Why a trace failed to parse or validate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line was not valid JSON (including nesting past the depth
+    /// limit).
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying parse error.
+        error: JsonError,
+    },
+    /// A line parsed as JSON but violated the trace schema.
+    Schema {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The trace contains no events at all.
+    Empty,
+    /// The trace names fewer than two ranks (a world needs ≥ 2).
+    TooFewRanks(usize),
+    /// A send/recv names a peer outside the trace's rank set.
+    PeerOutOfRange {
+        /// Rank whose event is invalid.
+        rank: usize,
+        /// The out-of-range peer.
+        peer: usize,
+        /// Number of ranks the trace defines.
+        ranks: usize,
+    },
+}
+
+impl TraceError {
+    /// Coarse failure class — always invalid data; the CLI maps this to
+    /// exit code 3.
+    pub fn category(&self) -> ErrorCategory {
+        ErrorCategory::InvalidData
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json { line, error } => {
+                write!(f, "trace line {line}: {error}")
+            }
+            TraceError::Schema { line, message } => {
+                write!(f, "trace line {line}: {message}")
+            }
+            TraceError::Empty => write!(f, "trace has no events"),
+            TraceError::TooFewRanks(n) => {
+                write!(f, "trace defines {n} rank(s); a replay needs at least 2")
+            }
+            TraceError::PeerOutOfRange { rank, peer, ranks } => {
+                write!(
+                    f,
+                    "rank {rank} names peer {peer}, but the trace defines ranks 0..{ranks}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn schema(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Schema {
+        line,
+        message: message.into(),
+    }
+}
+
+fn member_u64(v: &Json, key: &str, line: usize) -> Result<u64, TraceError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| schema(line, format!("missing or non-integer `{key}`")))
+}
+
+fn member_numa(v: &Json, line: usize) -> Result<NumaId, TraceError> {
+    let n = member_u64(v, "numa", line)?;
+    u16::try_from(n)
+        .map(NumaId::new)
+        .map_err(|_| schema(line, format!("`numa` {n} out of range")))
+}
+
+impl Trace {
+    /// Number of ranks (highest rank mentioned, plus one).
+    pub fn ranks(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total number of events across all ranks.
+    pub fn event_count(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+
+    /// Parse a JSON-lines trace. Blank lines and lines starting with `#`
+    /// are skipped; everything else must be one schema-conforming object.
+    pub fn from_json_lines(text: &str) -> Result<Trace, TraceError> {
+        let mut per_rank: Vec<Vec<EventKind>> = Vec::new();
+        let mut any = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let v = Json::parse(trimmed).map_err(|error| TraceError::Json { line, error })?;
+            let rank = member_u64(&v, "rank", line)? as usize;
+            if rank >= 1 << 20 {
+                return Err(schema(line, format!("implausible rank {rank}")));
+            }
+            let event = v
+                .get("event")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema(line, "missing or non-string `event`"))?;
+            let kind = match event {
+                "compute" => {
+                    let cores = member_u64(&v, "cores", line)? as usize;
+                    if cores == 0 {
+                        return Err(schema(line, "`cores` must be >= 1"));
+                    }
+                    EventKind::Compute {
+                        numa: member_numa(&v, line)?,
+                        cores,
+                        bytes: member_u64(&v, "bytes", line)?,
+                    }
+                }
+                "send" | "recv" => {
+                    let peer = member_u64(&v, "peer", line)? as usize;
+                    if peer == rank {
+                        return Err(schema(line, format!("rank {rank} messages itself")));
+                    }
+                    let numa = member_numa(&v, line)?;
+                    let bytes = member_u64(&v, "bytes", line)?;
+                    let tag = u32::try_from(member_u64(&v, "tag", line)?)
+                        .map_err(|_| schema(line, "`tag` out of u32 range"))?;
+                    if event == "send" {
+                        EventKind::Send {
+                            peer,
+                            numa,
+                            bytes,
+                            tag,
+                        }
+                    } else {
+                        EventKind::Recv {
+                            peer,
+                            numa,
+                            bytes,
+                            tag,
+                        }
+                    }
+                }
+                "collective" => {
+                    let op_name = v
+                        .get("op")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| schema(line, "missing or non-string `op`"))?;
+                    let op = CollectiveOp::from_name(op_name).ok_or_else(|| {
+                        schema(
+                            line,
+                            format!(
+                                "unknown collective `{op_name}` \
+                                 (expected barrier|allreduce|allgather|broadcast)"
+                            ),
+                        )
+                    })?;
+                    EventKind::Collective {
+                        op,
+                        numa: member_numa(&v, line)?,
+                        bytes: member_u64(&v, "bytes", line)?,
+                    }
+                }
+                "wait" => EventKind::Wait,
+                other => {
+                    return Err(schema(
+                        line,
+                        format!(
+                            "unknown event `{other}` \
+                             (expected compute|send|recv|collective|wait)"
+                        ),
+                    ))
+                }
+            };
+            if per_rank.len() <= rank {
+                per_rank.resize_with(rank + 1, Vec::new);
+            }
+            per_rank[rank].push(kind);
+            any = true;
+        }
+        if !any {
+            return Err(TraceError::Empty);
+        }
+        let trace = Trace { events: per_rank };
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// Check cross-line invariants: at least two ranks, every peer inside
+    /// the rank set.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let ranks = self.ranks();
+        if ranks < 2 {
+            return Err(TraceError::TooFewRanks(ranks));
+        }
+        for (rank, program) in self.events.iter().enumerate() {
+            for ev in program {
+                if let EventKind::Send { peer, .. } | EventKind::Recv { peer, .. } = ev {
+                    if *peer >= ranks {
+                        return Err(TraceError::PeerOutOfRange {
+                            rank,
+                            peer: *peer,
+                            ranks,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the trace back to JSON lines, rank-major (all of rank 0's
+    /// events, then rank 1's, …). Deterministic: member order is fixed,
+    /// so the output is byte-stable.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (rank, program) in self.events.iter().enumerate() {
+            for ev in program {
+                let r = ("rank", Json::Num(rank as f64));
+                let json = match ev {
+                    EventKind::Compute { numa, cores, bytes } => obj(vec![
+                        r,
+                        ("event", Json::Str("compute".into())),
+                        ("numa", Json::Num(numa.index() as f64)),
+                        ("cores", Json::Num(*cores as f64)),
+                        ("bytes", Json::Num(*bytes as f64)),
+                    ]),
+                    EventKind::Send {
+                        peer,
+                        numa,
+                        bytes,
+                        tag,
+                    } => obj(vec![
+                        r,
+                        ("event", Json::Str("send".into())),
+                        ("peer", Json::Num(*peer as f64)),
+                        ("numa", Json::Num(numa.index() as f64)),
+                        ("bytes", Json::Num(*bytes as f64)),
+                        ("tag", Json::Num(*tag as f64)),
+                    ]),
+                    EventKind::Recv {
+                        peer,
+                        numa,
+                        bytes,
+                        tag,
+                    } => obj(vec![
+                        r,
+                        ("event", Json::Str("recv".into())),
+                        ("peer", Json::Num(*peer as f64)),
+                        ("numa", Json::Num(numa.index() as f64)),
+                        ("bytes", Json::Num(*bytes as f64)),
+                        ("tag", Json::Num(*tag as f64)),
+                    ]),
+                    EventKind::Collective { op, numa, bytes } => obj(vec![
+                        r,
+                        ("event", Json::Str("collective".into())),
+                        ("op", Json::Str(op.name().into())),
+                        ("numa", Json::Num(numa.index() as f64)),
+                        ("bytes", Json::Num(*bytes as f64)),
+                    ]),
+                    EventKind::Wait => obj(vec![r, ("event", Json::Str("wait".into()))]),
+                };
+                out.push_str(&json.render());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NumaId {
+        NumaId::new(i)
+    }
+
+    #[test]
+    fn parses_every_event_kind() {
+        let text = r#"
+            {"rank":0,"event":"compute","numa":0,"cores":4,"bytes":1024}
+            {"rank":0,"event":"send","peer":1,"numa":1,"bytes":64,"tag":7}
+            {"rank":1,"event":"recv","peer":0,"numa":1,"bytes":64,"tag":7}
+            {"rank":0,"event":"collective","op":"barrier","numa":0,"bytes":0}
+            {"rank":1,"event":"collective","op":"barrier","numa":0,"bytes":0}
+            {"rank":0,"event":"wait"}
+        "#;
+        let t = Trace::from_json_lines(text).unwrap();
+        assert_eq!(t.ranks(), 2);
+        assert_eq!(t.event_count(), 6);
+        assert_eq!(
+            t.events[0][0],
+            EventKind::Compute {
+                numa: n(0),
+                cores: 4,
+                bytes: 1024
+            }
+        );
+        assert_eq!(
+            t.events[1][1],
+            EventKind::Collective {
+                op: CollectiveOp::Barrier,
+                numa: n(0),
+                bytes: 0
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text =
+            "# a halo trace\n\n{\"rank\":0,\"event\":\"wait\"}\n{\"rank\":1,\"event\":\"wait\"}\n";
+        assert_eq!(Trace::from_json_lines(text).unwrap().event_count(), 2);
+    }
+
+    #[test]
+    fn bad_json_reports_the_line_number() {
+        let text = "{\"rank\":0,\"event\":\"wait\"}\n{oops\n";
+        match Trace::from_json_lines(text) {
+            Err(TraceError::Json { line: 2, .. }) => {}
+            other => panic!("expected Json error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_event_and_unknown_collective_are_schema_errors() {
+        let bad_event = "{\"rank\":0,\"event\":\"sleep\"}";
+        assert!(matches!(
+            Trace::from_json_lines(bad_event),
+            Err(TraceError::Schema { line: 1, .. })
+        ));
+        let bad_op =
+            "{\"rank\":0,\"event\":\"collective\",\"op\":\"alltoall\",\"numa\":0,\"bytes\":1}";
+        let err = Trace::from_json_lines(bad_op).unwrap_err();
+        assert!(err.to_string().contains("alltoall"), "{err}");
+    }
+
+    #[test]
+    fn self_message_and_bad_peer_are_rejected() {
+        let self_msg =
+            "{\"rank\":0,\"event\":\"send\",\"peer\":0,\"numa\":0,\"bytes\":1,\"tag\":0}";
+        assert!(matches!(
+            Trace::from_json_lines(self_msg),
+            Err(TraceError::Schema { .. })
+        ));
+        let bad_peer =
+            "{\"rank\":0,\"event\":\"send\",\"peer\":9,\"numa\":0,\"bytes\":1,\"tag\":0}\n\
+                        {\"rank\":1,\"event\":\"wait\"}";
+        assert_eq!(
+            Trace::from_json_lines(bad_peer),
+            Err(TraceError::PeerOutOfRange {
+                rank: 0,
+                peer: 9,
+                ranks: 2
+            })
+        );
+    }
+
+    #[test]
+    fn single_rank_traces_are_rejected() {
+        let text = "{\"rank\":0,\"event\":\"wait\"}";
+        assert_eq!(
+            Trace::from_json_lines(text),
+            Err(TraceError::TooFewRanks(1))
+        );
+        assert_eq!(Trace::from_json_lines(""), Err(TraceError::Empty));
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let t = Trace {
+            events: vec![
+                vec![
+                    EventKind::Compute {
+                        numa: n(0),
+                        cores: 3,
+                        bytes: 999,
+                    },
+                    EventKind::Send {
+                        peer: 1,
+                        numa: n(1),
+                        bytes: 4096,
+                        tag: 42,
+                    },
+                    EventKind::Wait,
+                ],
+                vec![
+                    EventKind::Recv {
+                        peer: 0,
+                        numa: n(1),
+                        bytes: 4096,
+                        tag: 42,
+                    },
+                    EventKind::Collective {
+                        op: CollectiveOp::Allreduce,
+                        numa: n(0),
+                        bytes: 1 << 20,
+                    },
+                    EventKind::Wait,
+                ],
+            ],
+        };
+        let text = t.to_json_lines();
+        let back = Trace::from_json_lines(&text).unwrap();
+        assert_eq!(back, t);
+        // And the writer is byte-stable.
+        assert_eq!(back.to_json_lines(), text);
+    }
+
+    #[test]
+    fn deep_nesting_in_a_trace_line_is_a_typed_error() {
+        let mut line = String::from("{\"rank\":0,\"event\":\"wait\",\"x\":");
+        line.push_str(&"[".repeat(10_000));
+        match Trace::from_json_lines(&line) {
+            Err(TraceError::Json { line: 1, error }) => {
+                assert_eq!(error.kind, mc_json::JsonErrorKind::TooDeep);
+            }
+            other => panic!("expected TooDeep at line 1, got {other:?}"),
+        }
+    }
+}

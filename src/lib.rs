@@ -22,6 +22,9 @@
 //! * [`model`] — **the paper's contribution**: calibration, equations
 //!   (1)–(8), placement combination, error metrics, baselines, and the
 //!   placement advisor;
+//! * [`replay`] — trace-driven application replay: whole-program
+//!   makespan and contention-slowdown prediction from per-rank event
+//!   traces, with synthetic generators and placement search;
 //! * [`viz`] — SVG/ASCII rendering of the paper's figures;
 //! * [`obs`] — observability: spans, counters and histograms recorded
 //!   across the pipeline, with JSON-lines exporters.
@@ -50,6 +53,7 @@ pub use mc_model as model;
 pub use mc_mpisim as mpisim;
 pub use mc_netsim as netsim;
 pub use mc_obs as obs;
+pub use mc_replay as replay;
 pub use mc_topology as topology;
 pub use mc_viz as viz;
 

@@ -1,0 +1,106 @@
+//! Acceptance tests for the trace replay subsystem against the bundled
+//! golden artifacts: the halo-exchange trace under `tests/golden/` must
+//! replay deterministically (byte-for-byte report), show a strict
+//! contention slowdown, and the placement search winner must equal the
+//! brute-force minimum over every `(m_comp, m_comm)` placement.
+//!
+//! Regenerate the goldens after an intentional engine or report change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test replay_golden
+//! ```
+
+use memory_contention::replay::{replay, report, run_once, search, ReplayConfig, Trace};
+use memory_contention::topology::{platforms, NumaId};
+
+const TRACE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/halo2d_2x2.trace.jsonl"
+);
+const REPORT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/halo2d_2x2.report.txt"
+);
+
+fn bundled_trace() -> Trace {
+    let text = std::fs::read_to_string(TRACE_PATH).expect("bundled trace present");
+    Trace::from_json_lines(&text).expect("bundled trace parses")
+}
+
+#[test]
+fn bundled_halo_trace_matches_the_golden_report() {
+    let trace = bundled_trace();
+    let p = platforms::henri();
+    let out = replay(&p, &trace, &ReplayConfig::default()).unwrap();
+    let rendered = report::render(&out, p.name());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(REPORT_PATH, &rendered).expect("golden report written");
+        return;
+    }
+    let golden = std::fs::read_to_string(REPORT_PATH).expect("golden report present");
+    assert_eq!(
+        rendered, golden,
+        "replay report diverged from tests/golden/halo2d_2x2.report.txt \
+         (rerun with UPDATE_GOLDEN=1 if the change is intentional)"
+    );
+}
+
+#[test]
+fn bundled_trace_replay_is_deterministic() {
+    let trace = bundled_trace();
+    let p = platforms::henri();
+    let a = replay(&p, &trace, &ReplayConfig::default()).unwrap();
+    let b = replay(&p, &trace, &ReplayConfig::default()).unwrap();
+    assert_eq!(
+        a.contended.makespan.to_bits(),
+        b.contended.makespan.to_bits()
+    );
+    assert_eq!(a.baseline.makespan.to_bits(), b.baseline.makespan.to_bits());
+    assert_eq!(report::render(&a, p.name()), report::render(&b, p.name()));
+}
+
+#[test]
+fn bundled_trace_shows_a_strict_contention_slowdown() {
+    let trace = bundled_trace();
+    let out = replay(&platforms::henri(), &trace, &ReplayConfig::default()).unwrap();
+    assert!(
+        out.contended.makespan > out.baseline.makespan,
+        "contended {} must strictly exceed baseline {}",
+        out.contended.makespan,
+        out.baseline.makespan
+    );
+    assert!(out.slowdown > 1.0, "slowdown {}", out.slowdown);
+}
+
+#[test]
+fn search_winner_is_the_brute_force_minimum_on_a_two_numa_platform() {
+    let trace = bundled_trace();
+    let p = platforms::henri();
+    assert_eq!(p.topology.numa_count(), 2);
+    let found = search(&p, &trace, &[]).unwrap();
+    assert_eq!(found.points.len(), 4);
+    let mut best: Option<(f64, u16, u16)> = None;
+    for comp in 0..2u16 {
+        for comm in 0..2u16 {
+            let run = run_once(
+                &p,
+                &trace,
+                &ReplayConfig {
+                    comp_numa: Some(NumaId::new(comp)),
+                    comm_numa: Some(NumaId::new(comm)),
+                    cores: None,
+                },
+                true,
+            )
+            .unwrap();
+            if best.is_none() || run.makespan < best.unwrap().0 {
+                best = Some((run.makespan, comp, comm));
+            }
+        }
+    }
+    let (makespan, comp, comm) = best.unwrap();
+    let w = found.winner();
+    assert_eq!(w.makespan.to_bits(), makespan.to_bits());
+    assert_eq!(w.m_comp, NumaId::new(comp));
+    assert_eq!(w.m_comm, NumaId::new(comm));
+}

@@ -1,0 +1,130 @@
+//! `World::homogeneous` at application scale: sizes 4 and 8 on a 4-NUMA
+//! platform. The replay report's guarantees lean on three properties
+//! asserted here: collectives complete, recorded timestamps are monotone
+//! and causally ordered, and repeating the identical schedule is
+//! **bit-identical** (same f64s, not merely close ones).
+
+use memory_contention::mpisim::collectives::{allreduce_ring, barrier, exchange};
+use memory_contention::mpisim::{Tag, World};
+use memory_contention::prelude::*;
+
+const MB8: u64 = 8 << 20;
+
+fn n(i: u16) -> NumaId {
+    NumaId::new(i)
+}
+
+/// One multi-phase schedule mixing compute, collectives and point-to-point
+/// traffic; returns every timestamp it produced, in order.
+fn run_schedule(world_size: usize) -> Vec<f64> {
+    let p = platforms::henri_subnuma();
+    assert_eq!(
+        p.topology.numa_count(),
+        4,
+        "henri-subnuma is the 4-NUMA box"
+    );
+    let mut w = World::homogeneous(&p, world_size);
+    let mut times = Vec::new();
+
+    // Phase 1: a barrier while rank 0 computes on another NUMA node.
+    let job = w.start_compute(0, n(1), 4, 256 << 20).unwrap();
+    times.push(barrier(&mut w, n(0)).unwrap());
+
+    // Phase 2: ring allreduce on node 2.
+    times.push(allreduce_ring(&mut w, n(2), MB8).unwrap());
+
+    // Phase 3: pairwise exchange between ranks 0 and 1 on node 3.
+    times.push(exchange(&mut w, 0, 1, n(3), MB8, Tag(42)).unwrap());
+
+    // Phase 4: drain the compute job.
+    times.push(w.wait_job(job).unwrap());
+
+    // Collect the full histories too — matched/finished times of every
+    // transfer, start/finish of every job.
+    for tr in w.transfer_history() {
+        times.push(tr.matched_at);
+        times.push(tr.finished_at.expect("all transfers completed"));
+    }
+    for j in w.job_history() {
+        times.push(j.started_at);
+        times.push(j.finished_at.expect("all jobs completed"));
+    }
+    times.push(w.now());
+    times
+}
+
+#[test]
+fn collectives_complete_at_sizes_4_and_8_on_four_numa_nodes() {
+    for size in [4usize, 8] {
+        let p = platforms::henri_subnuma();
+        let mut w = World::homogeneous(&p, size);
+        let t_barrier = barrier(&mut w, n(0)).unwrap_or_else(|e| panic!("P={size}: {e}"));
+        let t_allreduce =
+            allreduce_ring(&mut w, n(1), MB8).unwrap_or_else(|e| panic!("P={size}: {e}"));
+        let t_exchange = exchange(&mut w, 0, size - 1, n(3), MB8, Tag(7))
+            .unwrap_or_else(|e| panic!("P={size}: {e}"));
+        assert!(t_barrier > 0.0);
+        assert!(t_allreduce > t_barrier, "collectives run back to back");
+        assert!(t_exchange > t_allreduce);
+    }
+}
+
+#[test]
+fn schedule_timestamps_are_monotone_and_causal() {
+    for size in [4usize, 8] {
+        let times = run_schedule(size);
+        // The four phase-completion times are strictly increasing.
+        for w in times[..4].windows(2) {
+            assert!(w[0] < w[1], "phase completions out of order: {times:?}");
+        }
+        // Every recorded timestamp is finite and non-negative, and no
+        // transfer finished before it was matched.
+        for &t in &times {
+            assert!(t.is_finite() && t >= 0.0, "bad timestamp {t}");
+        }
+        let p = platforms::henri_subnuma();
+        let mut w = World::homogeneous(&p, size);
+        barrier(&mut w, n(0)).unwrap();
+        for tr in w.transfer_history() {
+            assert!(tr.finished_at.unwrap() > tr.matched_at);
+        }
+    }
+}
+
+#[test]
+fn repeated_replays_are_bit_identical() {
+    for size in [4usize, 8] {
+        let a = run_schedule(size);
+        let b = run_schedule(size);
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "P={size}: timestamp {i} differs across replays: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn uncontended_baseline_never_exceeds_contended_time() {
+    for size in [4usize, 8] {
+        let p = platforms::henri_subnuma();
+        let run = |contended: bool| {
+            let mut w = World::homogeneous(&p, size);
+            w.set_contended(contended);
+            // Compute pressure on the collective's NUMA node on every rank.
+            for r in 0..size {
+                w.start_compute(r, n(0), 8, 512 << 20).unwrap();
+            }
+            allreduce_ring(&mut w, n(0), 32 << 20).unwrap()
+        };
+        let contended = run(true);
+        let baseline = run(false);
+        assert!(
+            contended > baseline,
+            "P={size}: contended {contended} <= baseline {baseline}"
+        );
+    }
+}
