@@ -1,0 +1,157 @@
+//! `bench3` — one BENCH_3 scaling measurement per process.
+//!
+//! ```text
+//! bench3 PATTERN RANKS [--iters N] [--eager] [--platform NAME]
+//! ```
+//!
+//! Replays one synthetic pattern at one world size and prints a single
+//! JSON object with wall-clock, peak RSS, and the delta-solver
+//! counters. Run it once per configuration — peak RSS is read from
+//! `VmHWM`, the *process* high-water mark, so a fresh process per point
+//! is what makes the number attributable to that point. A shell loop
+//! over sizes assembles `BENCH_3.json` (see EXPERIMENTS.md).
+//!
+//! `--eager` materialises the whole trace in memory and keeps every
+//! rank timeline (the pre-streaming path); the default streams events
+//! straight out of the lazy generator with timelines capped, the way
+//! `memcontend replay --stream yes` does.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mc_replay::generate::{self, GenParams, LazyGen};
+use mc_replay::report::GANTT_MAX_ROWS;
+use mc_replay::{run_source, ReplayConfig, SourceRun, TraceSource};
+use mc_topology::platforms;
+
+fn usage() -> &'static str {
+    "usage: bench3 PATTERN RANKS [--iters N] [--compute-mb N] [--comm-mb N] [--eager] \
+     [--platform NAME]"
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench3: {msg}");
+    eprintln!("{}", usage());
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut pattern: Option<String> = None;
+    let mut ranks: Option<usize> = None;
+    let mut iters = 4usize;
+    let mut compute_mb = 256u64;
+    let mut comm_mb = 8u64;
+    let mut eager = false;
+    let mut platform_name = "henri".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => iters = v,
+                None => return fail("--iters needs a number"),
+            },
+            "--compute-mb" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => compute_mb = v,
+                None => return fail("--compute-mb needs a number"),
+            },
+            "--comm-mb" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => comm_mb = v,
+                None => return fail("--comm-mb needs a number"),
+            },
+            "--platform" => match args.next() {
+                Some(v) => platform_name = v,
+                None => return fail("--platform needs a name"),
+            },
+            "--eager" => eager = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if pattern.is_none() => pattern = Some(other.to_string()),
+            other if ranks.is_none() => match other.parse() {
+                Ok(v) => ranks = Some(v),
+                Err(_) => return fail(&format!("RANKS must be a number, got '{other}'")),
+            },
+            other => return fail(&format!("unexpected argument '{other}'")),
+        }
+    }
+    let (Some(pattern), Some(ranks)) = (pattern, ranks) else {
+        return fail("PATTERN and RANKS are required");
+    };
+    let Some(platform) = platforms::by_name(&platform_name) else {
+        return fail(&format!("unknown platform '{platform_name}'"));
+    };
+    let params = GenParams {
+        ranks,
+        iters,
+        compute_bytes: compute_mb << 20,
+        comm_bytes: comm_mb << 20,
+        ..GenParams::default()
+    };
+    let Some(gen) = LazyGen::new(&pattern, &params) else {
+        return fail(&format!(
+            "unknown pattern '{pattern}' (expected one of: {})",
+            generate::names().join(", ")
+        ));
+    };
+
+    let config = ReplayConfig {
+        timeline_ranks: if eager { None } else { Some(GANTT_MAX_ROWS) },
+        ..ReplayConfig::default()
+    };
+    let run = |contended: bool| -> Result<SourceRun, mc_replay::ReplayError> {
+        if eager {
+            // The pre-streaming path: the whole trace in memory first.
+            let trace = gen.collect();
+            run_source(&platform, &mut TraceSource::new(&trace), &config, contended)
+        } else {
+            run_source(&platform, &mut gen.source(), &config, contended)
+        }
+    };
+
+    let t0 = Instant::now();
+    let contended = match run(true) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("contended pass: {e}")),
+    };
+    let baseline = match run(false) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("baseline pass: {e}")),
+    };
+    let wall = t0.elapsed().as_secs_f64();
+
+    let slowdown = if baseline.run.makespan > 0.0 {
+        contended.run.makespan / baseline.run.makespan
+    } else {
+        1.0
+    };
+    let s = contended.solver;
+    let peak = mc_obs::peak_rss_kb()
+        .map(|kb| kb.to_string())
+        .unwrap_or_else(|| "null".to_string());
+    println!(
+        "{{\"mode\":\"{}\",\"pattern\":\"{}\",\"platform\":\"{}\",\"ranks\":{},\"iters\":{},\
+         \"events\":{},\"wall_s\":{:.3},\"peak_rss_kb\":{},\"makespan_s\":{:.6},\
+         \"slowdown\":{:.4},\"solver\":{{\"node_steps\":{},\"requests\":{},\"reuse_hits\":{},\
+         \"state_hits\":{},\"full_solves\":{},\"transitions\":{},\"reduction\":{:.1}}}}}",
+        if eager { "eager" } else { "stream" },
+        pattern,
+        platform_name,
+        ranks,
+        iters,
+        contended.events(),
+        wall,
+        peak,
+        contended.run.makespan,
+        slowdown,
+        s.node_steps,
+        s.delta.requests,
+        s.delta.reuse_hits,
+        s.delta.state_hits,
+        s.delta.full_solves,
+        s.transitions,
+        s.reduction(),
+    );
+    ExitCode::SUCCESS
+}

@@ -3,6 +3,7 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::io::Write as _;
 
 use mc_membench::{
     calibration_placements, calibration_sweeps, sweep_platform_parallel, BenchConfig, BenchRunner,
@@ -12,7 +13,7 @@ use mc_model::{
     PhaseProfile,
 };
 use mc_replay::generate::{self, GenParams};
-use mc_replay::{report, ReplayConfig, Trace};
+use mc_replay::{report, ReplayConfig, Trace, TraceReader};
 use mc_topology::{platforms, NumaId, Platform};
 use mc_viz::TopologySketch;
 
@@ -35,7 +36,7 @@ usage:
                        --platform NAME [--ranks N] [--iters N] [--cores N] \\
                        [--compute-mb X] [--comm-mb Y] [--comp-numa A] \\
                        [--comm-numa B] [--search yes] [--gantt FILE] \\
-                       [--save-trace FILE]
+                       [--save-trace FILE] [--stream yes]
   memcontend serve     [--workers N] [--capacity N] \\
                        [--warm PLATFORM=FILE[,PLATFORM=FILE...]]
 
@@ -44,7 +45,12 @@ suffers from memory contention (patterns: halo2d, allreduce, pipeline;
 --search yes sweeps every NUMA placement and cross-checks the model's
 advisor; --gantt renders the contended timeline as SVG). With --input,
 --cores/--comp-numa/--comm-numa re-home the trace instead of feeding
-the generator.
+the generator. --stream yes replays without materializing the trace:
+--input files are parsed line by line (first line must be a
+{\"ranks\":N} header — what --stream --save-trace writes), generators
+run lazily, memory stays bounded by ranks not events, and per-rank
+timelines are kept for the first 64 ranks only (--search needs the
+full trace and is incompatible).
 
 serve reads one JSON request per stdin line and writes one JSON response
 per stdout line: {\"op\":\"predict\"|\"calibrate\"|\"evaluate\"|\"recommend\"|
@@ -314,10 +320,32 @@ fn numa_override(
 }
 
 /// `replay`: predict a whole program's contention slowdown from a trace
-/// file or a synthetic pattern.
+/// file or a synthetic pattern. With `--stream yes` the trace is never
+/// materialized: files are parsed line by line (they need a
+/// `{"ranks":N}` header) and generators are evaluated lazily, so memory
+/// stays bounded by ranks rather than by events.
 pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
     let p = platform(args)?;
-    let (trace, config) = match (args.get("input"), args.get("generate")) {
+    let stream = matches!(args.get("stream"), Some("yes" | "true" | "1"));
+    let do_search = matches!(args.get("search"), Some("yes" | "true" | "1"));
+    if stream && do_search {
+        return Err(CliError::Usage(
+            "--stream and --search are mutually exclusive (the placement sweep \
+             replays the trace many times and needs it in memory)"
+                .into(),
+        ));
+    }
+    // Streaming runs keep full timelines only for the ranks a gantt
+    // chart can show; the rest fold into the busy totals.
+    let timeline_ranks = if stream {
+        Some(report::GANTT_MAX_ROWS)
+    } else {
+        None
+    };
+    // `trace` stays `None` on the streaming paths — nothing below may
+    // require the full event list there.
+    let mut trace: Option<Trace> = None;
+    let outcome = match (args.get("input"), args.get("generate")) {
         (Some(_), Some(_)) => {
             return Err(CliError::Usage(
                 "--input and --generate are mutually exclusive".into(),
@@ -330,9 +358,7 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
         }
         (Some(path), None) => {
             // Replaying a recorded trace: the placement flags re-home the
-            // trace's data instead of parameterising a generator.
-            let text = fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
-            let trace = Trace::from_json_lines(&text)?;
+            // trace's data instead of feeding the generator.
             let cores = match args.get("cores") {
                 None => None,
                 Some(_) => {
@@ -347,8 +373,37 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
                 comp_numa: numa_override(args, "comp-numa", &p)?,
                 comm_numa: numa_override(args, "comm-numa", &p)?,
                 cores,
+                timeline_ranks,
             };
-            (trace, config)
+            if stream {
+                if args.get("save-trace").is_some() {
+                    return Err(CliError::Usage(
+                        "--save-trace is redundant with --stream --input \
+                         (the trace is already on disk)"
+                            .into(),
+                    ));
+                }
+                // Missing/unreadable files are I/O errors (exit 4);
+                // re-open failures inside a pass surface as trace I/O.
+                fs::File::open(path).map_err(|e| McError::io(path, e))?;
+                let open = || {
+                    let f = fs::File::open(path).map_err(|e| mc_replay::TraceError::Io {
+                        line: 0,
+                        message: e.to_string(),
+                    })?;
+                    Ok(TraceReader::new(std::io::BufReader::new(f))?)
+                };
+                mc_replay::replay_with(&p, open, &config)?
+            } else {
+                let text = fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
+                let t = Trace::from_json_lines(&text)?;
+                if let Some(dst) = args.get("save-trace") {
+                    fs::write(dst, t.to_json_lines()).map_err(|e| McError::io(dst, e))?;
+                }
+                let outcome = mc_replay::replay(&p, &t, &config)?;
+                trace = Some(t);
+                outcome
+            }
         }
         (None, Some(pattern)) => {
             let ranks: usize = args.num_or("ranks", 4)?;
@@ -374,22 +429,42 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
                 comp_numa: numa_arg(args, "comp-numa", &p)?,
                 comm_numa: numa_arg(args, "comm-numa", &p)?,
             };
-            let trace = generate::by_name(pattern, &params)
+            let gen = generate::LazyGen::new(pattern, &params)
                 .ok_or_else(|| CliError::UnknownPattern(pattern.to_string()))?;
-            (trace, ReplayConfig::default())
+            let config = ReplayConfig {
+                timeline_ranks,
+                ..ReplayConfig::default()
+            };
+            if stream {
+                if let Some(dst) = args.get("save-trace") {
+                    let f = fs::File::create(dst).map_err(|e| McError::io(dst, e))?;
+                    let mut w = std::io::BufWriter::new(f);
+                    gen.write_interleaved(&mut w)
+                        .and_then(|_| w.flush())
+                        .map_err(|e| McError::io(dst, e))?;
+                }
+                mc_replay::replay_with(&p, || Ok(gen.source()), &config)?
+            } else {
+                let t = gen.collect();
+                if let Some(dst) = args.get("save-trace") {
+                    fs::write(dst, t.to_json_lines()).map_err(|e| McError::io(dst, e))?;
+                }
+                let outcome = mc_replay::replay(&p, &t, &config)?;
+                trace = Some(t);
+                outcome
+            }
         }
     };
-    if let Some(path) = args.get("save-trace") {
-        fs::write(path, trace.to_json_lines()).map_err(|e| McError::io(path, e))?;
-    }
-    let outcome = mc_replay::replay(&p, &trace, &config)?;
     let mut out = report::render(&outcome, p.name());
-    if matches!(args.get("search"), Some("yes" | "true" | "1")) {
-        let found = mc_replay::search(&p, &trace, &[])?;
+    if do_search {
+        let trace = trace
+            .as_ref()
+            .expect("search never runs on the streaming path");
+        let found = mc_replay::search(&p, trace, &[])?;
         out.push_str(&report::render_search(&found));
         let model = calibrated(&p)?;
         let check =
-            mc_replay::advisor_crosscheck(&model, &trace, found.winner(), p.max_compute_cores());
+            mc_replay::advisor_crosscheck(&model, trace, found.winner(), p.max_compute_cores());
         match &check.advisor {
             Some(r) => {
                 let _ = writeln!(
@@ -668,6 +743,102 @@ mod tests {
         assert_eq!(e.exit_code(), crate::args::EXIT_INVALID_DATA, "{e}");
         std::fs::remove_file(path).ok();
         std::fs::remove_file(svg_path).ok();
+    }
+
+    #[test]
+    fn streamed_replay_matches_the_eager_summary() {
+        let base = [
+            "replay",
+            "--platform",
+            "henri",
+            "--generate",
+            "halo2d",
+            "--ranks",
+            "4",
+            "--iters",
+            "2",
+            "--compute-mb",
+            "64",
+            "--comm-mb",
+            "8",
+        ];
+        let eager = run_line(&base).unwrap();
+        let streamed = run_line(&[&base[..], &["--stream", "yes"]].concat()).unwrap();
+        // Identical makespans and slowdown, byte for byte.
+        let head = |s: &str| {
+            s.lines()
+                .take(4)
+                .map(String::from)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(head(&eager), head(&streamed));
+    }
+
+    #[test]
+    fn streamed_file_replay_needs_the_header_and_excludes_search() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("memcontend-stream-{}.jsonl", std::process::id()));
+        let path = path.to_str().unwrap();
+        run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--generate",
+            "pipeline",
+            "--ranks",
+            "3",
+            "--iters",
+            "2",
+            "--stream",
+            "yes",
+            "--save-trace",
+            path,
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("{\"ranks\":3}\n"), "{}", &text[..40]);
+        let out = run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--input",
+            path,
+            "--stream",
+            "yes",
+        ])
+        .unwrap();
+        assert!(out.contains("trace replay — 3 ranks"), "{out}");
+
+        // A header-less file cannot be streamed (invalid data, exit 3) …
+        std::fs::write(path, "{\"rank\":0,\"event\":\"wait\"}\n").unwrap();
+        let e = run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--input",
+            path,
+            "--stream",
+            "yes",
+        ])
+        .unwrap_err();
+        assert_eq!(e.exit_code(), crate::args::EXIT_INVALID_DATA, "{e}");
+        assert!(e.to_string().contains("header"), "{e}");
+        // … and --stream --search is a usage error.
+        let e = run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--generate",
+            "halo2d",
+            "--stream",
+            "yes",
+            "--search",
+            "yes",
+        ])
+        .unwrap_err();
+        assert!(e.is_usage(), "{e}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

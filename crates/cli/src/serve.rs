@@ -99,18 +99,20 @@ pub fn serve_loop(
     }
 
     let _span = mc_obs::span("serve", &[(tags::WORKERS, TagValue::U64(workers as u64))]);
-    for line in input.lines() {
-        let line = line.map_err(|e| McError::io("<stdin>", e))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = match Json::parse(&line) {
-            Ok(request) => dispatch(&registry, &request, workers),
-            Err(e) => {
+    // The shared line-oriented parser: skips blank and `#` lines,
+    // bounds nesting depth against hostile requests, and attributes
+    // syntax errors to their line number.
+    for item in mc_json::parse_lines(input) {
+        let response = match item {
+            Ok((_line, request)) => dispatch(&registry, &request, workers),
+            Err(mc_json::LineError::Io { error, .. }) => {
+                return Err(McError::io("<stdin>", error).into())
+            }
+            Err(mc_json::LineError::Json { line, error }) => {
                 count_request("invalid", "usage");
                 error_response(
                     None,
-                    &CliError::Protocol(format!("request is not valid JSON ({e})")),
+                    &CliError::Protocol(format!("request line {line} is not valid JSON ({error})")),
                 )
             }
         };

@@ -426,6 +426,100 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Why one line of a JSON-lines stream failed.
+#[derive(Debug)]
+pub enum LineError {
+    /// Reading the line from the underlying stream failed.
+    Io {
+        /// 1-based number of the line being read when the error hit.
+        line: usize,
+        /// The underlying I/O error.
+        error: std::io::Error,
+    },
+    /// The line was read but is not a valid JSON document.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying parse error (syntax or [`JsonErrorKind::TooDeep`]).
+        error: JsonError,
+    },
+}
+
+impl LineError {
+    /// The 1-based line number the error occurred on.
+    pub fn line(&self) -> usize {
+        match self {
+            LineError::Io { line, .. } | LineError::Json { line, .. } => *line,
+        }
+    }
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineError::Io { line, error } => write!(f, "line {line}: {error}"),
+            LineError::Json { line, error } => write!(f, "line {line}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for LineError {}
+
+/// Iterator over the JSON documents of a line-oriented stream; see
+/// [`parse_lines`].
+pub struct ParsedLines<R> {
+    reader: R,
+    line: usize,
+    buf: String,
+    max_depth: usize,
+}
+
+impl<R: std::io::BufRead> Iterator for ParsedLines<R> {
+    type Item = Result<(usize, Json), LineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line += 1;
+            let line = self.line;
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(error) => return Some(Err(LineError::Io { line, error })),
+            }
+            let trimmed = self.buf.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(match Json::parse_with_depth(trimmed, self.max_depth) {
+                Ok(v) => Ok((line, v)),
+                Err(error) => Err(LineError::Json { line, error }),
+            });
+        }
+    }
+}
+
+/// Parse a JSON-lines stream incrementally: one document per line,
+/// yielded with its 1-based line number, reading one line at a time so
+/// memory stays bounded by the longest line, not the whole input. Blank
+/// lines and `#` comment lines are skipped. Errors are per line and
+/// typed ([`LineError::Json`] keeps the [`JsonErrorKind`], so depth
+/// bombs stay [`JsonErrorKind::TooDeep`]); iteration can continue past
+/// a failed line.
+pub fn parse_lines<R: std::io::BufRead>(reader: R) -> ParsedLines<R> {
+    parse_lines_with_depth(reader, MAX_DEPTH)
+}
+
+/// [`parse_lines`] with an explicit per-line nesting limit.
+pub fn parse_lines_with_depth<R: std::io::BufRead>(reader: R, max_depth: usize) -> ParsedLines<R> {
+    ParsedLines {
+        reader,
+        line: 0,
+        buf: String::new(),
+        max_depth,
+    }
+}
+
 /// Convenience: an object builder preserving insertion order.
 pub fn obj(members: Vec<(&str, Json)>) -> Json {
     Json::Obj(
@@ -525,6 +619,52 @@ mod tests {
         let hostile = "{\"k\":".repeat(1_000_000);
         let e = Json::parse(&hostile).unwrap_err();
         assert_eq!(e.kind, JsonErrorKind::TooDeep);
+    }
+
+    #[test]
+    fn parse_lines_yields_numbered_documents() {
+        let text = "# header comment\n{\"a\":1}\n\n  {\"b\":2}\n";
+        let got: Vec<_> = parse_lines(text.as_bytes()).collect();
+        assert_eq!(got.len(), 2);
+        let (line, v) = got[0].as_ref().unwrap();
+        assert_eq!(*line, 2);
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+        let (line, v) = got[1].as_ref().unwrap();
+        assert_eq!(*line, 4, "blank lines still count");
+        assert_eq!(v.get("b").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn parse_lines_errors_are_per_line_and_typed() {
+        let deep = format!("{{\"a\":1}}\n{}\n{{\"b\":2}}\n", "[".repeat(200));
+        let got: Vec<_> = parse_lines(deep.as_bytes()).collect();
+        assert_eq!(got.len(), 3);
+        assert!(got[0].is_ok());
+        match &got[1] {
+            Err(LineError::Json { line: 2, error }) => {
+                assert_eq!(error.kind, JsonErrorKind::TooDeep);
+            }
+            other => panic!("expected TooDeep at line 2, got {other:?}"),
+        }
+        // Iteration continues past the failed line.
+        let (line, _) = got[2].as_ref().unwrap();
+        assert_eq!(*line, 3);
+
+        let bad = "{oops\n";
+        match parse_lines(bad.as_bytes()).next() {
+            Some(Err(e @ LineError::Json { line: 1, .. })) => {
+                assert_eq!(e.line(), 1);
+            }
+            other => panic!("expected syntax error at line 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_lines_matches_whole_input_parsing() {
+        let text = "{\"k\":[1,2]}\n\"str\"\n42\n";
+        let streamed: Vec<Json> = parse_lines(text.as_bytes()).map(|r| r.unwrap().1).collect();
+        let eager: Vec<Json> = text.lines().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(streamed, eager);
     }
 
     #[test]

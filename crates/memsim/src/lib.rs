@@ -38,6 +38,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod delta;
 pub mod engine;
 pub mod fabric;
 pub mod faults;
@@ -45,6 +46,7 @@ pub mod noise;
 pub mod solver;
 
 pub use cache::LlcSpec;
+pub use delta::{ActiveSet, DeltaSolver, DeltaStats, SolvedState};
 pub use engine::{
     Activity, ActivityKind, ActivityReport, Engine, RunReport, SolveCache, SolverStats, TraceSample,
 };

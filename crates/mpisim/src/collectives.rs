@@ -19,6 +19,18 @@ fn coll_tag(op: u32, round: u32) -> Tag {
     Tag(COLL_TAG_BASE | (op << 16) | round)
 }
 
+/// Wait for a round's requests, then forget them. Collective-internal
+/// request ids never escape to the caller, so keeping their completion
+/// records would leak memory linearly in rounds × ranks over a long
+/// replay.
+fn drain(world: &mut World, reqs: &[RequestId]) -> Result<f64, MpiError> {
+    let t = world.wait_all(reqs)?;
+    for &r in reqs {
+        world.forget_request(r);
+    }
+    Ok(t)
+}
+
 /// Blocking send: post and wait.
 pub fn send(
     world: &mut World,
@@ -29,7 +41,9 @@ pub fn send(
     tag: Tag,
 ) -> Result<f64, MpiError> {
     let req = world.isend(from, to, numa, bytes, tag)?;
-    world.wait(req)
+    let t = world.wait(req)?;
+    world.forget_request(req);
+    Ok(t)
 }
 
 /// Blocking receive: post and wait.
@@ -42,7 +56,9 @@ pub fn recv(
     tag: Tag,
 ) -> Result<f64, MpiError> {
     let req = world.irecv(on, from, numa, bytes, tag)?;
-    world.wait(req)
+    let t = world.wait(req)?;
+    world.forget_request(req);
+    Ok(t)
 }
 
 /// Simultaneous exchange between two ranks (MPI_Sendrecv on both sides):
@@ -60,7 +76,7 @@ pub fn exchange(
     let rb = world.irecv(b, a, numa, bytes, tag)?;
     let sa = world.isend(a, b, numa, bytes, tag)?;
     let sb = world.isend(b, a, numa, bytes, tag)?;
-    world.wait_all(&[ra, rb, sa, sb])
+    drain(world, &[ra, rb, sa, sb])
 }
 
 /// Dissemination barrier: ⌈log₂ P⌉ rounds; in round `k`, rank `i` sends a
@@ -82,7 +98,7 @@ pub fn barrier(world: &mut World, numa: NumaId) -> Result<f64, MpiError> {
             requests.push(world.irecv(i, from, numa, 1, coll_tag(1, round))?);
             requests.push(world.isend(i, to, numa, 1, coll_tag(1, round))?);
         }
-        t = world.wait_all(&requests)?;
+        t = drain(world, &requests)?;
         dist <<= 1;
         round += 1;
     }
@@ -109,7 +125,7 @@ pub fn broadcast(world: &mut World, root: Rank, numa: NumaId, bytes: u64) -> Res
             reqs.push(world.irecv(abs(dst), abs(s), numa, bytes, coll_tag(2, round))?);
             reqs.push(world.isend(abs(s), abs(dst), numa, bytes, coll_tag(2, round))?);
         }
-        t = world.wait_all(&reqs)?;
+        t = drain(world, &reqs)?;
         have += senders;
         round += 1;
     }
@@ -129,7 +145,7 @@ pub fn gather(world: &mut World, root: Rank, numa: NumaId, bytes: u64) -> Result
         reqs.push(world.irecv(root, r, numa, bytes, coll_tag(3, r as u32))?);
         reqs.push(world.isend(r, root, numa, bytes, coll_tag(3, r as u32))?);
     }
-    world.wait_all(&reqs)
+    drain(world, &reqs)
 }
 
 /// Flat scatter from `root`: the root sends a distinct `bytes`-sized chunk
@@ -144,7 +160,7 @@ pub fn scatter(world: &mut World, root: Rank, numa: NumaId, bytes: u64) -> Resul
         reqs.push(world.irecv(r, root, numa, bytes, coll_tag(4, r as u32))?);
         reqs.push(world.isend(root, r, numa, bytes, coll_tag(4, r as u32))?);
     }
-    world.wait_all(&reqs)
+    drain(world, &reqs)
 }
 
 /// Ring allgather: `P − 1` rounds; in each round every rank forwards the
@@ -165,7 +181,7 @@ pub fn allgather_ring(
             reqs.push(world.irecv(i, from, numa, bytes_per_rank, coll_tag(5, round))?);
             reqs.push(world.isend(i, to, numa, bytes_per_rank, coll_tag(5, round))?);
         }
-        t = world.wait_all(&reqs)?;
+        t = drain(world, &reqs)?;
     }
     Ok(t)
 }
@@ -185,7 +201,7 @@ pub fn allreduce_ring(world: &mut World, numa: NumaId, bytes: u64) -> Result<f64
             reqs.push(world.irecv(i, from, numa, chunk, coll_tag(6, round))?);
             reqs.push(world.isend(i, to, numa, chunk, coll_tag(6, round))?);
         }
-        t = world.wait_all(&reqs)?;
+        t = drain(world, &reqs)?;
     }
     Ok(t)
 }

@@ -10,8 +10,9 @@
 //! so memory contention on either end slows the wire transfer — exactly the
 //! phenomenon the paper models.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
+use mc_memsim::delta::{ActiveSet, DeltaSolver, DeltaStats};
 use mc_memsim::fabric::{Fabric, StreamSpec};
 use mc_netsim::protocol::ProtocolConfig;
 use mc_topology::{NumaId, Platform};
@@ -25,8 +26,6 @@ struct PendingOp {
     req: RequestId,
     /// Rank that posted the operation.
     rank: Rank,
-    /// Peer rank (destination for sends, source for receives).
-    peer: Rank,
     tag: Tag,
     numa: NumaId,
     bytes: u64,
@@ -66,13 +65,8 @@ struct JobState {
     history_idx: usize,
 }
 
-/// Where a solved stream rate should be routed back to.
-#[derive(Debug, Clone, Copy)]
-enum StreamRef {
-    JobCore(JobId),
-    TransferIn(usize),
-    TransferOut(usize),
-}
+/// Sentinel `history_idx` when history recording is off.
+const NO_HISTORY: usize = usize::MAX;
 
 /// A completed (or in-flight) transfer, for post-mortem analysis and
 /// Gantt rendering.
@@ -103,19 +97,67 @@ pub struct JobRecord {
     pub finished_at: Option<f64>,
 }
 
+/// Counters of the world's incremental rate solving — the evidence that
+/// the delta solver removes progressive-filling work. A from-scratch
+/// solver (the pre-delta implementation) would run the solver once per
+/// [`WorldSolverStats::node_steps`]; the delta path ran it only
+/// [`DeltaStats::full_solves`] times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorldSolverStats {
+    /// `(node, step)` rate evaluations of nodes with active streams —
+    /// exactly the full solves a non-incremental implementation performs.
+    pub node_steps: u64,
+    /// What the delta solver actually did (full solves, cache hits).
+    pub delta: DeltaStats,
+    /// Stream add/remove transitions across all nodes (phase boundaries).
+    pub transitions: u64,
+}
+
+impl WorldSolverStats {
+    /// How many times fewer progressive-filling runs the delta path
+    /// performed than a from-scratch solver would have
+    /// (`node_steps / full_solves`; `inf` when nothing was solved).
+    pub fn reduction(&self) -> f64 {
+        if self.delta.full_solves == 0 {
+            f64::INFINITY
+        } else {
+            self.node_steps as f64 / self.delta.full_solves as f64
+        }
+    }
+}
+
 /// The simulated multi-node world.
+///
+/// All nodes are identical ([`World::homogeneous`]), so one [`Fabric`]
+/// and one [`ProtocolConfig`] are shared by every rank, and one
+/// [`DeltaSolver`] state cache answers rate queries for all of them —
+/// a machine state solved on one node is a cache hit on all others.
 pub struct World {
-    fabrics: Vec<Fabric>,
-    protocols: Vec<ProtocolConfig>,
+    fabric: Fabric,
+    protocol: ProtocolConfig,
+    n: usize,
     time: f64,
     next_id: u64,
     statuses: BTreeMap<RequestId, RequestStatus>,
     jobs: BTreeMap<JobId, JobState>,
+    /// Jobs still streaming, compacted on completion.
+    active_jobs: Vec<JobId>,
     transfers: Vec<Transfer>,
-    pending_sends: Vec<PendingOp>,
-    pending_recvs: Vec<PendingOp>,
+    /// Unmatched operations keyed by `(posting rank, peer rank)`;
+    /// matching only ever pairs identical keys (mirrored), so per-key
+    /// FIFO order preserves MPI's non-overtaking guarantee.
+    pending_sends: HashMap<(Rank, Rank), Vec<PendingOp>>,
+    pending_recvs: HashMap<(Rank, Rank), Vec<PendingOp>>,
     transfer_history: Vec<TransferRecord>,
     job_history: Vec<JobRecord>,
+    record_history: bool,
+    /// Per-node active stream multisets, updated at phase boundaries.
+    node_sets: Vec<ActiveSet>,
+    solver: DeltaSolver,
+    /// Epoch stamps backing [`WorldSolverStats::node_steps`].
+    node_stamp: Vec<u64>,
+    epoch: u64,
+    node_steps: u64,
     /// When false, every stream is granted the bandwidth it would get
     /// *alone* on its fabric (each stream solved in isolation). This is
     /// the uncontended baseline the replay engine divides by to obtain a
@@ -134,17 +176,25 @@ impl World {
         let fabric = Fabric::new(platform);
         let protocol = ProtocolConfig::for_tech(platform.topology.nic.tech);
         World {
-            fabrics: vec![fabric; n],
-            protocols: vec![protocol; n],
+            fabric,
+            protocol,
+            n,
             time: 0.0,
             next_id: 0,
             statuses: BTreeMap::new(),
             jobs: BTreeMap::new(),
+            active_jobs: Vec::new(),
             transfers: Vec::new(),
-            pending_sends: Vec::new(),
-            pending_recvs: Vec::new(),
+            pending_sends: HashMap::new(),
+            pending_recvs: HashMap::new(),
             transfer_history: Vec::new(),
             job_history: Vec::new(),
+            record_history: true,
+            node_sets: (0..n).map(|_| ActiveSet::new()).collect(),
+            solver: DeltaSolver::new(),
+            node_stamp: vec![0; n],
+            epoch: 0,
+            node_steps: 0,
             contended: true,
         }
     }
@@ -156,7 +206,53 @@ impl World {
 
     /// Number of ranks.
     pub fn size(&self) -> usize {
-        self.fabrics.len()
+        self.n
+    }
+
+    /// Solver work performed so far: what a from-scratch implementation
+    /// would have solved versus what the delta solver actually ran.
+    pub fn solver_stats(&self) -> WorldSolverStats {
+        WorldSolverStats {
+            node_steps: self.node_steps,
+            delta: self.solver.stats(),
+            transitions: self.node_sets.iter().map(ActiveSet::transitions).sum(),
+        }
+    }
+
+    /// Enable or disable history recording
+    /// ([`transfer_history`](World::transfer_history) /
+    /// [`job_history`](World::job_history)). On by default; long replays
+    /// turn it off so memory stays bounded by the number of *active*
+    /// entities instead of growing with every event ever simulated.
+    pub fn set_record_history(&mut self, record: bool) {
+        self.record_history = record;
+    }
+
+    /// Drop a completed (or truncated) request's status so the request
+    /// table does not grow with the total number of messages ever sent.
+    /// Returns whether the status was dropped (`false` while the request
+    /// is still pending or in flight — those must stay tracked).
+    pub fn forget_request(&mut self, req: RequestId) -> bool {
+        match self.statuses.get(&req) {
+            Some(status) if status.is_done() => {
+                self.statuses.remove(&req);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drop a completed job's state, the compute counterpart of
+    /// [`forget_request`](World::forget_request). Returns whether the job
+    /// was dropped (`false` while it is still running).
+    pub fn forget_job(&mut self, job: JobId) -> bool {
+        match self.jobs.get(&job) {
+            Some(state) if state.done_at.is_some() => {
+                self.jobs.remove(&job);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Enable or disable memory/wire contention. With contention off the
@@ -224,22 +320,19 @@ impl World {
         let op = PendingOp {
             req,
             rank: from,
-            peer: to,
             tag,
             numa,
             bytes,
         };
         // MPI matching is non-overtaking: match against the earliest
-        // compatible posted receive.
-        if let Some(pos) = self
-            .pending_recvs
-            .iter()
-            .position(|r| r.rank == to && r.peer == from && r.tag.matches(tag))
-        {
-            let recv = self.pending_recvs.remove(pos);
+        // compatible posted receive. Receives posted by `to` for peer
+        // `from` all live under one key, in post order.
+        let queue = self.pending_recvs.entry((to, from)).or_default();
+        if let Some(pos) = queue.iter().position(|r| r.tag.matches(tag)) {
+            let recv = queue.remove(pos);
             self.start_transfer(op, recv);
         } else {
-            self.pending_sends.push(op);
+            self.pending_sends.entry((from, to)).or_default().push(op);
         }
         Ok(req)
     }
@@ -263,20 +356,16 @@ impl World {
         let op = PendingOp {
             req,
             rank: on,
-            peer: from,
             tag,
             numa,
             bytes: max_bytes,
         };
-        if let Some(pos) = self
-            .pending_sends
-            .iter()
-            .position(|s| s.rank == from && s.peer == on && tag.matches(s.tag))
-        {
-            let send = self.pending_sends.remove(pos);
+        let queue = self.pending_sends.entry((from, on)).or_default();
+        if let Some(pos) = queue.iter().position(|s| tag.matches(s.tag)) {
+            let send = queue.remove(pos);
             self.start_transfer(send, op);
         } else {
-            self.pending_recvs.push(op);
+            self.pending_recvs.entry((on, from)).or_default().push(op);
         }
         Ok(req)
     }
@@ -287,17 +376,21 @@ impl World {
             self.statuses.insert(recv.req, RequestStatus::Truncated);
             return;
         }
-        let plan = self.protocols[recv.rank].plan(send.bytes);
+        let plan = self.protocol.plan(send.bytes);
         self.statuses.insert(send.req, RequestStatus::InFlight);
         self.statuses.insert(recv.req, RequestStatus::InFlight);
-        let history_idx = self.transfer_history.len();
-        self.transfer_history.push(TransferRecord {
-            src: send.rank,
-            dst: recv.rank,
-            bytes: send.bytes as f64,
-            matched_at: self.time,
-            finished_at: None,
-        });
+        let history_idx = if self.record_history {
+            self.transfer_history.push(TransferRecord {
+                src: send.rank,
+                dst: recv.rank,
+                bytes: send.bytes as f64,
+                matched_at: self.time,
+                finished_at: None,
+            });
+            self.transfer_history.len() - 1
+        } else {
+            NO_HISTORY
+        };
         self.transfers.push(Transfer {
             send_req: send.req,
             recv_req: recv.req,
@@ -325,18 +418,28 @@ impl World {
         assert!(cores > 0, "a compute job needs at least one core");
         let id = JobId(self.next_id);
         self.next_id += 1;
-        let history_idx = self.job_history.len();
         let done_at = if bytes_per_core == 0 {
             Some(self.time)
         } else {
             None
         };
-        self.job_history.push(JobRecord {
-            rank,
-            cores,
-            started_at: self.time,
-            finished_at: done_at,
-        });
+        let history_idx = if self.record_history {
+            self.job_history.push(JobRecord {
+                rank,
+                cores,
+                started_at: self.time,
+                finished_at: done_at,
+            });
+            self.job_history.len() - 1
+        } else {
+            NO_HISTORY
+        };
+        if done_at.is_none() {
+            self.active_jobs.push(id);
+            for _ in 0..cores {
+                self.node_sets[rank].add(StreamSpec::CpuWrite { numa });
+            }
+        }
         self.jobs.insert(
             id,
             JobState {
@@ -442,72 +545,61 @@ impl World {
         }
     }
 
-    /// Solve rates for every node; returns per-(node) stream lists with
-    /// back references and their granted rates in GB/s.
-    fn solve_rates(&self) -> Vec<(StreamRef, f64)> {
-        let mut out = Vec::new();
-        for node in 0..self.size() {
-            let mut refs: Vec<StreamRef> = Vec::new();
-            let mut specs: Vec<StreamSpec> = Vec::new();
-            for (&jid, job) in &self.jobs {
-                if job.rank == node && job.done_at.is_none() {
-                    for _ in 0..job.cores {
-                        refs.push(StreamRef::JobCore(jid));
-                        specs.push(StreamSpec::CpuWrite { numa: job.numa });
-                    }
-                }
-            }
-            for (ti, tr) in self.transfers.iter().enumerate() {
-                if !matches!(tr.phase, TransferPhase::Streaming(_)) {
-                    continue;
-                }
-                if tr.dst == node {
-                    refs.push(StreamRef::TransferIn(ti));
-                    specs.push(StreamSpec::DmaRecv { numa: tr.dst_numa });
-                }
-                if tr.src == node {
-                    // Sender-side NIC read of the source buffer.
-                    refs.push(StreamRef::TransferOut(ti));
-                    specs.push(StreamSpec::DmaRecv { numa: tr.src_numa });
-                }
-            }
-            if specs.is_empty() {
-                continue;
-            }
-            if self.contended {
-                let solved = self.fabrics[node].solve(&specs);
-                out.extend(refs.into_iter().zip(solved.rates));
-            } else {
-                // Baseline mode: each stream solved in isolation gets its
-                // alone bandwidth — no sharing anywhere.
-                for (r, spec) in refs.into_iter().zip(specs) {
-                    let solved = self.fabrics[node].solve(std::slice::from_ref(&spec));
-                    out.push((r, solved.rates[0]));
-                }
-            }
+    /// The rate one stream of `spec` gets on `node` right now. Contended:
+    /// the node's max-min solution, reused until the node's stream set
+    /// changes and answered from the shared state cache across nodes.
+    /// Baseline: the stream's memoized alone bandwidth.
+    fn stream_rate(&mut self, node: Rank, spec: StreamSpec) -> f64 {
+        if !self.contended {
+            // Baseline mode: each stream solved in isolation gets its
+            // alone bandwidth — no sharing anywhere.
+            return self.solver.alone_rate(&self.fabric, spec);
         }
-        out
+        if self.node_stamp[node] != self.epoch {
+            self.node_stamp[node] = self.epoch;
+            self.node_steps += 1;
+        }
+        let set = &mut self.node_sets[node];
+        let solution = match set.solution() {
+            Some(sol) => sol.clone(),
+            None => self.solver.solve(&self.fabric, set),
+        };
+        solution
+            .rate_of(spec)
+            .expect("an active entity's spec is in its node's stream set")
     }
 
-    /// Effective rate of each active entity: per-core job rates and
-    /// transfer rates (min of both endpoints).
-    fn effective_rates(&self) -> (BTreeMap<JobId, f64>, Vec<f64>) {
-        let solved = self.solve_rates();
-        let mut job_rates: BTreeMap<JobId, f64> = BTreeMap::new();
-        let mut t_in = vec![f64::INFINITY; self.transfers.len()];
-        let mut t_out = vec![f64::INFINITY; self.transfers.len()];
-        for (r, rate) in solved {
-            match r {
-                StreamRef::JobCore(j) => {
-                    // All cores of a job are identical; keep the rate of one
-                    // core (they are equal by max-min symmetry).
-                    job_rates.insert(j, rate);
-                }
-                StreamRef::TransferIn(i) => t_in[i] = rate,
-                StreamRef::TransferOut(i) => t_out[i] = rate,
-            }
+    /// Effective rate of each active entity: per-core job rates (parallel
+    /// to `active_jobs`) and transfer rates (min of both endpoints,
+    /// parallel to `transfers`; non-streaming phases get 0).
+    fn effective_rates(&mut self) -> (Vec<f64>, Vec<f64>) {
+        self.epoch += 1;
+        let mut job_rates = Vec::with_capacity(self.active_jobs.len());
+        for i in 0..self.active_jobs.len() {
+            let jid = self.active_jobs[i];
+            let job = &self.jobs[&jid];
+            let (rank, spec) = (job.rank, StreamSpec::CpuWrite { numa: job.numa });
+            // All cores of a job are identical; the rate of one core
+            // stands for all of them (equal by max-min symmetry).
+            job_rates.push(self.stream_rate(rank, spec));
         }
-        let transfer_rates = t_in.into_iter().zip(t_out).map(|(i, o)| i.min(o)).collect();
+        let mut transfer_rates = Vec::with_capacity(self.transfers.len());
+        for ti in 0..self.transfers.len() {
+            let tr = &self.transfers[ti];
+            if !matches!(tr.phase, TransferPhase::Streaming(_)) {
+                transfer_rates.push(0.0);
+                continue;
+            }
+            let (src, dst) = (tr.src, tr.dst);
+            let (src_spec, dst_spec) = (
+                // Sender-side NIC read of the source buffer.
+                StreamSpec::DmaRecv { numa: tr.src_numa },
+                StreamSpec::DmaRecv { numa: tr.dst_numa },
+            );
+            let rate_in = self.stream_rate(dst, dst_spec);
+            let rate_out = self.stream_rate(src, src_spec);
+            transfer_rates.push(rate_in.min(rate_out));
+        }
         (job_rates, transfer_rates)
     }
 
@@ -518,20 +610,18 @@ impl World {
     /// Advance to the next event (bounded by `deadline`). Returns false if
     /// nothing can progress.
     fn step_until(&mut self, deadline: f64) -> bool {
-        let any_job = self.jobs.values().any(|j| j.done_at.is_none());
-        if self.transfers.is_empty() && !any_job {
+        if self.transfers.is_empty() && self.active_jobs.is_empty() {
             return false;
         }
         let (job_rates, transfer_rates) = self.effective_rates();
 
         // Earliest next event.
         let mut next = deadline;
-        for (jid, job) in &self.jobs {
-            if job.done_at.is_none() {
-                let rate = job_rates.get(jid).copied().unwrap_or(0.0) * GB;
-                if rate > 0.0 {
-                    next = next.min(self.time + job.bytes_left_per_core / rate);
-                }
+        for (i, &jid) in self.active_jobs.iter().enumerate() {
+            let job = &self.jobs[&jid];
+            let rate = job_rates[i] * GB;
+            if rate > 0.0 {
+                next = next.min(self.time + job.bytes_left_per_core / rate);
             }
         }
         for (ti, tr) in self.transfers.iter().enumerate() {
@@ -556,11 +646,10 @@ impl World {
         let dt = next - self.time;
 
         // Integrate.
-        for (jid, job) in self.jobs.iter_mut() {
-            if job.done_at.is_none() {
-                let rate = job_rates.get(jid).copied().unwrap_or(0.0) * GB;
-                job.bytes_left_per_core = (job.bytes_left_per_core - rate * dt).max(0.0);
-            }
+        for (i, &jid) in self.active_jobs.iter().enumerate() {
+            let job = self.jobs.get_mut(&jid).expect("active job exists");
+            let rate = job_rates[i] * GB;
+            job.bytes_left_per_core = (job.bytes_left_per_core - rate * dt).max(0.0);
         }
         for (ti, tr) in self.transfers.iter_mut().enumerate() {
             if let TransferPhase::Streaming(ref mut bytes) = tr.phase {
@@ -570,33 +659,55 @@ impl World {
         }
         self.time = next;
 
-        // Transitions.
-        for job in self.jobs.values_mut() {
-            if job.done_at.is_none() && job.bytes_left_per_core <= 1.0 {
-                job.done_at = Some(self.time);
-                self.job_history[job.history_idx].finished_at = Some(self.time);
-            }
-        }
+        // Transitions. Each one updates the affected nodes' stream sets,
+        // which invalidates only those nodes' cached solutions — the
+        // delta solver re-solves (or cache-hits) exactly where the
+        // active multiset changed.
         let now = self.time;
+        let Self {
+            active_jobs,
+            jobs,
+            node_sets,
+            job_history,
+            transfers,
+            transfer_history,
+            ..
+        } = self;
+        active_jobs.retain(|&jid| {
+            let job = jobs.get_mut(&jid).expect("active job exists");
+            if job.bytes_left_per_core > 1.0 {
+                return true;
+            }
+            job.done_at = Some(now);
+            if job.history_idx != NO_HISTORY {
+                job_history[job.history_idx].finished_at = Some(now);
+            }
+            for _ in 0..job.cores {
+                node_sets[job.rank].remove(StreamSpec::CpuWrite { numa: job.numa });
+            }
+            false
+        });
         let mut finished: Vec<(RequestId, RequestId)> = Vec::new();
-        let mut finished_history: Vec<usize> = Vec::new();
-        for tr in self.transfers.iter_mut() {
+        for tr in transfers.iter_mut() {
             match tr.phase {
                 TransferPhase::Pre(t) if t <= now + EPS => {
                     tr.phase = TransferPhase::Streaming(tr.payload);
+                    node_sets[tr.dst].add(StreamSpec::DmaRecv { numa: tr.dst_numa });
+                    node_sets[tr.src].add(StreamSpec::DmaRecv { numa: tr.src_numa });
                 }
                 TransferPhase::Streaming(bytes) if bytes <= 1.0 => {
                     tr.phase = TransferPhase::Post(now + tr.post_len);
+                    node_sets[tr.dst].remove(StreamSpec::DmaRecv { numa: tr.dst_numa });
+                    node_sets[tr.src].remove(StreamSpec::DmaRecv { numa: tr.src_numa });
                 }
                 TransferPhase::Post(t) if t <= now + EPS => {
                     finished.push((tr.send_req, tr.recv_req));
-                    finished_history.push(tr.history_idx);
+                    if tr.history_idx != NO_HISTORY {
+                        transfer_history[tr.history_idx].finished_at = Some(now);
+                    }
                 }
                 _ => {}
             }
-        }
-        for idx in finished_history {
-            self.transfer_history[idx].finished_at = Some(now);
         }
         if !finished.is_empty() {
             self.transfers

@@ -47,6 +47,7 @@
 pub mod export;
 pub mod recorder;
 pub mod registry;
+pub mod rss;
 pub mod tags;
 
 pub use recorder::{
@@ -54,3 +55,4 @@ pub use recorder::{
     Tag, TagValue,
 };
 pub use registry::{HistogramSummary, MetricsSnapshot, Registry, SpanRecord};
+pub use rss::peak_rss_kb;

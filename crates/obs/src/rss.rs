@@ -1,0 +1,55 @@
+//! Process peak-RSS introspection for memory-boundedness telemetry.
+//!
+//! Large streaming replays claim bounded memory; `replay.peak_rss_kb`
+//! lets benches and CI check the claim from the outside. Linux exposes
+//! the high-water mark as `VmHWM` in `/proc/self/status` — on other
+//! platforms there is no portable std-only equivalent, so this reports
+//! `None` and the metric is simply not emitted.
+
+/// The process's peak resident set size in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where unavailable (non-Linux, or a
+/// restricted `/proc`).
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Extract `VmHWM:   <n> kB` from a `/proc/<pid>/status` body.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))?
+        .trim()
+        .strip_suffix("kB")?
+        .trim()
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_proc_status_body() {
+        let body = "Name:\tmemcontend\nVmPeak:\t  123 kB\nVmHWM:\t  4567 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(body), Some(4567));
+        assert_eq!(parse_vm_hwm("Name:\tx\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tgarbage\n"), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn linux_reports_a_positive_peak() {
+        let kb = peak_rss_kb().expect("/proc/self/status should be readable");
+        assert!(kb > 0);
+    }
+}

@@ -18,15 +18,30 @@
 //! ([`mc_mpisim::World::poll`]); if neither posting nor simulation can
 //! progress the trace is declared stuck (a trace bug, reported as
 //! invalid data).
+//!
+//! ## Memory
+//!
+//! The engine pulls events through the [`EventSource`] cursor
+//! abstraction ([`run_source`]), so it never needs the whole trace in
+//! memory: [`run_once`]/[`replay`] wrap an in-memory [`Trace`], while
+//! [`replay_with`] replays any re-creatable source — a
+//! [`crate::stream::TraceReader`] over a file, or a lazy generator —
+//! twice (contended, then baseline). Completed requests and jobs are
+//! forgotten as they are reaped and world histories are disabled, so
+//! simulator state stays proportional to what is *in flight*, not to
+//! the events already replayed. [`ReplayConfig::timeline_ranks`] caps
+//! how many ranks keep full span timelines; capped ranks still
+//! contribute to busy totals and the makespan.
 
 use std::fmt;
 
 use mc_model::ErrorCategory;
 use mc_mpisim::collectives;
-use mc_mpisim::{JobId, MpiError, RequestId, RequestStatus, Tag, World};
+use mc_mpisim::{JobId, MpiError, RequestId, RequestStatus, Tag, World, WorldSolverStats};
 use mc_obs::{tags, TagValue};
 use mc_topology::{NumaId, Platform};
 
+use crate::stream::{EventSource, TraceSource};
 use crate::trace::{CollectiveOp, EventKind, Trace, TraceError};
 
 /// The event-kind labels, in the fixed order used by reports and
@@ -43,6 +58,12 @@ pub struct ReplayConfig {
     /// Replace every compute phase's core count (total bytes are
     /// preserved, split across the new count).
     pub cores: Option<usize>,
+    /// Keep full per-rank span timelines only for ranks below this
+    /// index (`None` keeps every rank, the default). Capped ranks fold
+    /// their spans into the busy totals and makespan as they complete —
+    /// essential at thousands of ranks, where storing every span would
+    /// defeat the streaming path's bounded memory.
+    pub timeline_ranks: Option<usize>,
 }
 
 /// One completed interval of one rank's timeline.
@@ -176,18 +197,42 @@ enum Blocked {
 
 /// One rank's replay state.
 struct RankState {
-    cursor: usize,
+    /// The rank's event source is exhausted.
+    done: bool,
     blocked: Option<Blocked>,
     /// Posted, not yet reaped: (request, kind, post time).
     reqs: Vec<(RequestId, &'static str, f64)>,
     /// Started, not yet reaped: (job, start time).
     jobs: Vec<(JobId, f64)>,
     spans: Vec<EventSpan>,
+    /// `false` when capped out of [`ReplayConfig::timeline_ranks`]:
+    /// spans are folded into the accumulators below instead of stored.
+    keep_spans: bool,
+    busy_acc: [f64; 5],
+    end_acc: f64,
 }
 
 impl RankState {
-    fn trace_done(&self, program_len: usize) -> bool {
-        self.cursor == program_len && self.blocked.is_none()
+    fn new(keep_spans: bool) -> RankState {
+        RankState {
+            done: false,
+            blocked: None,
+            reqs: Vec::new(),
+            jobs: Vec::new(),
+            spans: Vec::new(),
+            keep_spans,
+            busy_acc: [0.0; 5],
+            end_acc: 0.0,
+        }
+    }
+
+    fn push_span(&mut self, kind: &'static str, t0: f64, t1: f64) {
+        if self.keep_spans {
+            self.spans.push(EventSpan { kind, t0, t1 });
+        } else {
+            self.busy_acc[kind_index(kind)] += t1 - t0;
+            self.end_acc = self.end_acc.max(t1);
+        }
     }
 }
 
@@ -214,7 +259,9 @@ fn reqs_done(world: &World, st: &RankState) -> Result<bool, ReplayError> {
 
 /// Reap every outstanding request and job of `st` into spans; returns
 /// the latest completion time (or `floor` if nothing was outstanding).
-fn reap(world: &World, st: &mut RankState, floor: f64) -> Result<f64, ReplayError> {
+/// Reaped entities are forgotten so the world's bookkeeping stays
+/// bounded by in-flight work.
+fn reap(world: &mut World, st: &mut RankState, floor: f64) -> Result<f64, ReplayError> {
     let mut end = floor;
     for (req, kind, posted) in std::mem::take(&mut st.reqs) {
         let t = match world.status(req)? {
@@ -222,39 +269,34 @@ fn reap(world: &World, st: &mut RankState, floor: f64) -> Result<f64, ReplayErro
             RequestStatus::Truncated => return Err(MpiError::Truncated(req).into()),
             _ => unreachable!("reap called before completion"),
         };
-        st.spans.push(EventSpan {
-            kind,
-            t0: posted,
-            t1: t,
-        });
+        world.forget_request(req);
+        st.push_span(kind, posted, t);
         end = end.max(t);
     }
     for (job, started) in std::mem::take(&mut st.jobs) {
         let t = world
             .job_status(job)?
             .expect("reap called before job completion");
-        st.spans.push(EventSpan {
-            kind: "compute",
-            t0: started,
-            t1: t,
-        });
+        world.forget_job(job);
+        st.push_span("compute", started, t);
         end = end.max(t);
     }
     Ok(end)
 }
 
 /// Post events for every unblocked rank and clear satisfied waits.
-/// Returns whether anything changed.
-fn pump(
+/// Returns whether anything changed. Consumed events are tallied per
+/// kind into `counts` (in [`KINDS`] order).
+fn pump<S: EventSource>(
     world: &mut World,
-    trace: &Trace,
+    src: &mut S,
     config: &ReplayConfig,
     states: &mut [RankState],
     numa_count: usize,
+    counts: &mut [u64; 5],
 ) -> Result<bool, ReplayError> {
     let mut progressed = false;
     for (rank, st) in states.iter_mut().enumerate() {
-        let program = &trace.events[rank];
         loop {
             match &st.blocked {
                 Some(Blocked::Wait { since }) => {
@@ -271,25 +313,25 @@ fn pump(
                         break;
                     }
                     let end = reap(world, st, since)?;
-                    st.spans.push(EventSpan {
-                        kind: "wait",
-                        t0: since,
-                        t1: end,
-                    });
+                    st.push_span("wait", since, end);
                     st.blocked = None;
                     progressed = true;
                 }
                 Some(Blocked::Collective { .. }) => break,
                 None => {}
             }
-            if st.cursor == program.len() {
+            if st.done {
                 break;
             }
+            let Some(ev) = src.peek(rank)? else {
+                st.done = true;
+                break;
+            };
             let now = world.now();
-            match &program[st.cursor] {
+            match ev {
                 EventKind::Compute { numa, cores, bytes } => {
-                    let numa = check_numa(config.comp_numa.unwrap_or(*numa), numa_count)?;
-                    let cores = config.cores.unwrap_or(*cores).max(1);
+                    let numa = check_numa(config.comp_numa.unwrap_or(numa), numa_count)?;
+                    let cores = config.cores.unwrap_or(cores).max(1);
                     let per_core = bytes.div_ceil(cores as u64);
                     let job = world.start_compute(rank, numa, cores, per_core)?;
                     st.jobs.push((job, now));
@@ -300,8 +342,8 @@ fn pump(
                     bytes,
                     tag,
                 } => {
-                    let numa = check_numa(config.comm_numa.unwrap_or(*numa), numa_count)?;
-                    let req = world.isend(rank, *peer, numa, *bytes, Tag(*tag))?;
+                    let numa = check_numa(config.comm_numa.unwrap_or(numa), numa_count)?;
+                    let req = world.isend(rank, peer, numa, bytes, Tag(tag))?;
                     st.reqs.push((req, "send", now));
                 }
                 EventKind::Recv {
@@ -310,24 +352,25 @@ fn pump(
                     bytes,
                     tag,
                 } => {
-                    let numa = check_numa(config.comm_numa.unwrap_or(*numa), numa_count)?;
-                    let req = world.irecv(rank, *peer, numa, *bytes, Tag(*tag))?;
+                    let numa = check_numa(config.comm_numa.unwrap_or(numa), numa_count)?;
+                    let req = world.irecv(rank, peer, numa, bytes, Tag(tag))?;
                     st.reqs.push((req, "recv", now));
                 }
                 EventKind::Collective { op, numa, bytes } => {
-                    let numa = check_numa(config.comm_numa.unwrap_or(*numa), numa_count)?;
+                    let numa = check_numa(config.comm_numa.unwrap_or(numa), numa_count)?;
                     st.blocked = Some(Blocked::Collective {
                         since: now,
-                        op: *op,
+                        op,
                         numa,
-                        bytes: *bytes,
+                        bytes,
                     });
                 }
                 EventKind::Wait => {
                     st.blocked = Some(Blocked::Wait { since: now });
                 }
             }
-            st.cursor += 1;
+            src.advance(rank);
+            counts[kind_index(ev.kind_name())] += 1;
             progressed = true;
         }
     }
@@ -337,11 +380,7 @@ fn pump(
 /// If every rank still executing its trace has arrived at an identical
 /// collective (outstanding point-to-point requests drained), run it.
 /// Returns whether a collective ran.
-fn try_collective(
-    world: &mut World,
-    trace: &Trace,
-    states: &mut [RankState],
-) -> Result<bool, ReplayError> {
+fn try_collective(world: &mut World, states: &mut [RankState]) -> Result<bool, ReplayError> {
     let mut spec: Option<(CollectiveOp, NumaId, u64)> = None;
     let mut arrivals = 0usize;
     let mut finished = 0usize;
@@ -377,7 +416,7 @@ fn try_collective(
             }
             Some(Blocked::Wait { .. }) => return Ok(false),
             None => {
-                if st.trace_done(trace.events[rank].len()) {
+                if st.done {
                     finished += 1;
                 } else {
                     return Ok(false);
@@ -406,49 +445,71 @@ fn try_collective(
     };
     for st in states.iter_mut() {
         if let Some(Blocked::Collective { since, .. }) = st.blocked.take() {
-            st.spans.push(EventSpan {
-                kind: "collective",
-                t0: since,
-                t1: t_end,
-            });
+            st.push_span("collective", since, t_end);
         }
     }
     Ok(true)
 }
 
-/// Replay `trace` once on a fresh world. `contended` selects the real
-/// simulation or the uncontended baseline (see
-/// [`mc_mpisim::World::set_contended`]).
-pub fn run_once(
+/// One [`run_source`] result: the run plus the events consumed per
+/// kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceRun {
+    /// The completed run.
+    pub run: ReplayRun,
+    /// Events consumed per kind, in [`KINDS`] order.
+    pub counts: [u64; 5],
+    /// Solver work the world performed: what a from-scratch
+    /// implementation would have solved ([`WorldSolverStats::node_steps`])
+    /// versus the full solves the delta path actually ran.
+    pub solver: WorldSolverStats,
+}
+
+impl SourceRun {
+    /// Total events consumed.
+    pub fn events(&self) -> usize {
+        self.counts.iter().sum::<u64>() as usize
+    }
+}
+
+/// Replay any [`EventSource`] once on a fresh world — the engine's
+/// core. `contended` selects the real simulation or the uncontended
+/// baseline (see [`mc_mpisim::World::set_contended`]). Memory stays
+/// bounded by in-flight work: histories are off, reaped entities are
+/// forgotten, and ranks past [`ReplayConfig::timeline_ranks`] fold
+/// their spans into totals instead of storing them.
+pub fn run_source<S: EventSource>(
     platform: &Platform,
-    trace: &Trace,
+    src: &mut S,
     config: &ReplayConfig,
     contended: bool,
-) -> Result<ReplayRun, ReplayError> {
-    trace.validate()?;
+) -> Result<SourceRun, ReplayError> {
+    let ranks = src.ranks();
+    if ranks < 2 {
+        return Err(TraceError::TooFewRanks(ranks).into());
+    }
     let numa_count = platform.topology.numa_count();
-    let mut world = World::homogeneous(platform, trace.ranks());
+    let mut world = World::homogeneous(platform, ranks);
     world.set_contended(contended);
-    let mut states: Vec<RankState> = (0..trace.ranks())
-        .map(|_| RankState {
-            cursor: 0,
-            blocked: None,
-            reqs: Vec::new(),
-            jobs: Vec::new(),
-            spans: Vec::new(),
-        })
-        .collect();
+    world.set_record_history(false);
+    let keep = config.timeline_ranks.unwrap_or(usize::MAX);
+    let mut states: Vec<RankState> = (0..ranks).map(|r| RankState::new(r < keep)).collect();
+    let mut counts = [0u64; 5];
 
     loop {
-        let progressed = pump(&mut world, trace, config, &mut states, numa_count)?;
-        let all_done = states
-            .iter()
-            .enumerate()
-            .all(|(r, st)| st.trace_done(trace.events[r].len()));
+        let progressed = pump(
+            &mut world,
+            src,
+            config,
+            &mut states,
+            numa_count,
+            &mut counts,
+        )?;
+        let all_done = states.iter().all(|st| st.done && st.blocked.is_none());
         if all_done {
             break;
         }
-        if try_collective(&mut world, trace, &mut states)? {
+        if try_collective(&mut world, &mut states)? {
             continue;
         }
         if progressed {
@@ -463,42 +524,141 @@ pub fn run_once(
     for st in &mut states {
         for (req, kind, posted) in std::mem::take(&mut st.reqs) {
             let t = world.wait(req)?;
-            st.spans.push(EventSpan {
-                kind,
-                t0: posted,
-                t1: t,
-            });
+            world.forget_request(req);
+            st.push_span(kind, posted, t);
         }
         for (job, started) in std::mem::take(&mut st.jobs) {
             let t = world.wait_job(job)?;
-            st.spans.push(EventSpan {
-                kind: "compute",
-                t0: started,
-                t1: t,
-            });
+            world.forget_job(job);
+            st.push_span("compute", started, t);
         }
     }
 
     let mut makespan = 0.0f64;
     let mut busy = [0.0f64; 5];
-    let mut timelines = Vec::with_capacity(states.len());
+    let mut timelines = Vec::new();
     for st in states {
-        let mut spans = st.spans;
-        spans.sort_by(|a, b| {
-            a.t0.total_cmp(&b.t0)
-                .then(a.t1.total_cmp(&b.t1))
-                .then(kind_index(a.kind).cmp(&kind_index(b.kind)))
-        });
-        for s in &spans {
-            makespan = makespan.max(s.t1);
-            busy[kind_index(s.kind)] += s.t1 - s.t0;
+        if st.keep_spans {
+            let mut spans = st.spans;
+            spans.sort_by(|a, b| {
+                a.t0.total_cmp(&b.t0)
+                    .then(a.t1.total_cmp(&b.t1))
+                    .then(kind_index(a.kind).cmp(&kind_index(b.kind)))
+            });
+            for s in &spans {
+                makespan = makespan.max(s.t1);
+                busy[kind_index(s.kind)] += s.t1 - s.t0;
+            }
+            timelines.push(spans);
+        } else {
+            makespan = makespan.max(st.end_acc);
+            for (total, acc) in busy.iter_mut().zip(st.busy_acc) {
+                *total += acc;
+            }
         }
-        timelines.push(spans);
     }
-    Ok(ReplayRun {
-        makespan,
-        timelines,
-        busy,
+    Ok(SourceRun {
+        run: ReplayRun {
+            makespan,
+            timelines,
+            busy,
+        },
+        counts,
+        solver: world.solver_stats(),
+    })
+}
+
+/// Replay `trace` once on a fresh world. `contended` selects the real
+/// simulation or the uncontended baseline (see
+/// [`mc_mpisim::World::set_contended`]).
+pub fn run_once(
+    platform: &Platform,
+    trace: &Trace,
+    config: &ReplayConfig,
+    contended: bool,
+) -> Result<ReplayRun, ReplayError> {
+    trace.validate()?;
+    let mut src = TraceSource::new(trace);
+    Ok(run_source(platform, &mut src, config, contended)?.run)
+}
+
+/// Replay a re-creatable [`EventSource`] twice — contended, then
+/// uncontended baseline — and report the whole-program slowdown.
+/// `make_source` is called once per pass (a streamed file is re-opened,
+/// a lazy generator re-wound), so no pass ever needs the whole trace in
+/// memory. Emits the same `replay.*` telemetry as [`replay`], plus
+/// `replay.peak_rss_kb` where the platform exposes it.
+pub fn replay_with<S, F>(
+    platform: &Platform,
+    mut make_source: F,
+    config: &ReplayConfig,
+) -> Result<ReplayOutcome, ReplayError>
+where
+    S: EventSource,
+    F: FnMut() -> Result<S, ReplayError>,
+{
+    let mut src = make_source()?;
+    let ranks = src.ranks();
+    let _span = mc_obs::span(
+        "replay",
+        &[
+            (tags::PLATFORM, TagValue::Str(platform.name())),
+            (tags::RANKS, TagValue::U64(ranks as u64)),
+        ],
+    );
+    let contended = run_source(platform, &mut src, config, true)?;
+    drop(src);
+    let mut src = make_source()?;
+    if src.ranks() != ranks {
+        return Err(ReplayError::Trace(TraceError::Schema {
+            line: 1,
+            message: format!(
+                "source changed between passes: {ranks} ranks, then {}",
+                src.ranks()
+            ),
+        }));
+    }
+    let baseline = run_source(platform, &mut src, config, false)?;
+    let slowdown = if baseline.run.makespan > 0.0 {
+        contended.run.makespan / baseline.run.makespan
+    } else {
+        1.0
+    };
+    if let Some(rec) = mc_obs::recorder() {
+        rec.add("replay.ranks", &[], ranks as u64);
+        for (kind, count) in KINDS.iter().zip(contended.counts) {
+            if count > 0 {
+                rec.add(
+                    "replay.events",
+                    &[(tags::EVENT, TagValue::Str(kind))],
+                    count,
+                );
+            }
+        }
+        rec.observe(
+            "replay.makespan_seconds",
+            &[(tags::PLATFORM, TagValue::Str(platform.name()))],
+            contended.run.makespan,
+        );
+        for (kind, total) in KINDS.iter().zip(contended.run.busy) {
+            if total > 0.0 {
+                rec.observe(
+                    "replay.event_seconds",
+                    &[(tags::EVENT, TagValue::Str(kind))],
+                    total,
+                );
+            }
+        }
+        if let Some(kb) = mc_obs::peak_rss_kb() {
+            rec.add("replay.peak_rss_kb", &[], kb);
+        }
+    }
+    Ok(ReplayOutcome {
+        ranks,
+        events: contended.events(),
+        contended: contended.run,
+        baseline: baseline.run,
+        slowdown,
     })
 }
 
@@ -511,61 +671,8 @@ pub fn replay(
     trace: &Trace,
     config: &ReplayConfig,
 ) -> Result<ReplayOutcome, ReplayError> {
-    let ranks = trace.ranks();
-    let events = trace.event_count();
-    let _span = mc_obs::span(
-        "replay",
-        &[
-            (tags::PLATFORM, TagValue::Str(platform.name())),
-            (tags::RANKS, TagValue::U64(ranks as u64)),
-        ],
-    );
-    let contended = run_once(platform, trace, config, true)?;
-    let baseline = run_once(platform, trace, config, false)?;
-    let slowdown = if baseline.makespan > 0.0 {
-        contended.makespan / baseline.makespan
-    } else {
-        1.0
-    };
-    if let Some(rec) = mc_obs::recorder() {
-        rec.add("replay.ranks", &[], ranks as u64);
-        let mut counts = [0u64; 5];
-        for program in &trace.events {
-            for ev in program {
-                counts[kind_index(ev.kind_name())] += 1;
-            }
-        }
-        for (kind, count) in KINDS.iter().zip(counts) {
-            if count > 0 {
-                rec.add(
-                    "replay.events",
-                    &[(tags::EVENT, TagValue::Str(kind))],
-                    count,
-                );
-            }
-        }
-        rec.observe(
-            "replay.makespan_seconds",
-            &[(tags::PLATFORM, TagValue::Str(platform.name()))],
-            contended.makespan,
-        );
-        for (kind, total) in KINDS.iter().zip(contended.busy) {
-            if total > 0.0 {
-                rec.observe(
-                    "replay.event_seconds",
-                    &[(tags::EVENT, TagValue::Str(kind))],
-                    total,
-                );
-            }
-        }
-    }
-    Ok(ReplayOutcome {
-        ranks,
-        events,
-        contended,
-        baseline,
-        slowdown,
-    })
+    trace.validate()?;
+    replay_with(platform, || Ok(TraceSource::new(trace)), config)
 }
 
 #[cfg(test)]

@@ -4,10 +4,22 @@
 //! pipeline of stages streaming microbatches. All generators are pure
 //! functions of their parameters — the same [`GenParams`] always yields
 //! the same byte-identical trace.
+//!
+//! Every pattern is defined *lazily* ([`LazyGen`]): a per-rank
+//! iteration block plus a tag schedule, from which events are produced
+//! on demand. The eager functions ([`halo2d`], [`allreduce_step`],
+//! [`pipeline`]) collect the lazy form into a [`Trace`];
+//! [`LazyGen::source`] feeds the replay engine directly and
+//! [`LazyGen::write_interleaved`] streams the trace to disk — both in
+//! memory bounded by ranks × events-per-iteration, independent of the
+//! iteration count.
+
+use std::io::{self, Write};
 
 use mc_topology::NumaId;
 
-use crate::trace::{CollectiveOp, EventKind, Trace};
+use crate::stream::EventSource;
+use crate::trace::{render_event_line, CollectiveOp, EventKind, Trace, TraceError};
 
 /// Knobs shared by every generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,11 +62,191 @@ pub fn names() -> &'static [&'static str] {
 
 /// Look a generator up by name.
 pub fn by_name(name: &str, p: &GenParams) -> Option<Trace> {
-    match name {
-        "halo2d" => Some(halo2d(p)),
-        "allreduce" => Some(allreduce_step(p)),
-        "pipeline" => Some(pipeline(p)),
-        _ => None,
+    LazyGen::new(name, p).map(|g| g.collect())
+}
+
+/// How a pattern's tags evolve across iterations (the iteration block
+/// itself is tag-templated at iteration 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagSchedule {
+    /// Tags advance by a fixed stride per iteration (halo2d: 4
+    /// directions per step).
+    Stride(u32),
+    /// The tag *is* the iteration index (pipeline microbatches).
+    Iteration,
+    /// Tags are unused (allreduce: collectives carry no tags).
+    None,
+}
+
+/// A lazily-evaluated synthetic trace: one iteration block per rank
+/// (the events of iteration 0) plus a [`TagSchedule`] mapping the block
+/// onto later iterations. Holds ranks × block-size events, independent
+/// of the iteration count — the memory form the streaming replay path
+/// and [`write_interleaved`](LazyGen::write_interleaved) rely on.
+pub struct LazyGen {
+    iters: usize,
+    schedule: TagSchedule,
+    /// `blocks[r]` is rank `r`'s iteration-0 event block.
+    blocks: Vec<Vec<EventKind>>,
+}
+
+impl LazyGen {
+    /// Build the lazy form of pattern `name` (see [`names`]); `None`
+    /// for unknown names.
+    pub fn new(name: &str, p: &GenParams) -> Option<LazyGen> {
+        let (schedule, blocks) = match name {
+            "halo2d" => (TagSchedule::Stride(4), halo2d_blocks(p)),
+            "allreduce" => (TagSchedule::None, allreduce_blocks(p)),
+            "pipeline" => (TagSchedule::Iteration, pipeline_blocks(p)),
+            _ => return None,
+        };
+        Some(LazyGen {
+            iters: p.iters,
+            schedule,
+            blocks,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of events the full trace contains.
+    pub fn event_count(&self) -> usize {
+        self.iters * self.blocks.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The `pos`-th event of rank `rank`'s `iter`-th iteration.
+    fn event(&self, rank: usize, iter: usize, pos: usize) -> EventKind {
+        let ev = self.blocks[rank][pos];
+        match (self.schedule, ev) {
+            (
+                TagSchedule::Stride(stride),
+                EventKind::Send {
+                    peer,
+                    numa,
+                    bytes,
+                    tag,
+                },
+            ) => EventKind::Send {
+                peer,
+                numa,
+                bytes,
+                tag: tag + stride * iter as u32,
+            },
+            (
+                TagSchedule::Stride(stride),
+                EventKind::Recv {
+                    peer,
+                    numa,
+                    bytes,
+                    tag,
+                },
+            ) => EventKind::Recv {
+                peer,
+                numa,
+                bytes,
+                tag: tag + stride * iter as u32,
+            },
+            (
+                TagSchedule::Iteration,
+                EventKind::Send {
+                    peer, numa, bytes, ..
+                },
+            ) => EventKind::Send {
+                peer,
+                numa,
+                bytes,
+                tag: iter as u32,
+            },
+            (
+                TagSchedule::Iteration,
+                EventKind::Recv {
+                    peer, numa, bytes, ..
+                },
+            ) => EventKind::Recv {
+                peer,
+                numa,
+                bytes,
+                tag: iter as u32,
+            },
+            (_, ev) => ev,
+        }
+    }
+
+    /// Materialize the full trace (the eager generators).
+    pub fn collect(&self) -> Trace {
+        let events = (0..self.ranks())
+            .map(|rank| {
+                let block = self.blocks[rank].len();
+                (0..self.iters)
+                    .flat_map(|iter| (0..block).map(move |pos| (iter, pos)))
+                    .map(|(iter, pos)| self.event(rank, iter, pos))
+                    .collect()
+            })
+            .collect();
+        Trace { events }
+    }
+
+    /// An [`EventSource`] over this pattern for the streaming replay
+    /// path: per-rank `(iteration, position)` cursors, no trace ever
+    /// materialized.
+    pub fn source(&self) -> GenSource<'_> {
+        GenSource {
+            gen: self,
+            cursors: vec![(0, 0); self.ranks()],
+        }
+    }
+
+    /// Stream the trace as JSON lines: the `{"ranks":N}` header, then
+    /// all ranks' events iteration-major (every rank's iteration 0,
+    /// then iteration 1, …). Interleaving by iteration keeps a
+    /// [`crate::stream::TraceReader`] replaying the file to bounded
+    /// read-ahead. Returns the number of event lines written.
+    pub fn write_interleaved<W: Write>(&self, out: &mut W) -> io::Result<usize> {
+        writeln!(out, "{{\"ranks\":{}}}", self.ranks())?;
+        let mut written = 0;
+        for iter in 0..self.iters {
+            for rank in 0..self.ranks() {
+                for pos in 0..self.blocks[rank].len() {
+                    let ev = self.event(rank, iter, pos);
+                    writeln!(out, "{}", render_event_line(rank, &ev))?;
+                    written += 1;
+                }
+            }
+        }
+        Ok(written)
+    }
+}
+
+/// Lazy [`EventSource`] over a [`LazyGen`] — see [`LazyGen::source`].
+pub struct GenSource<'a> {
+    gen: &'a LazyGen,
+    /// Per-rank `(iteration, position-in-block)` cursor.
+    cursors: Vec<(usize, usize)>,
+}
+
+impl EventSource for GenSource<'_> {
+    fn ranks(&self) -> usize {
+        self.gen.ranks()
+    }
+
+    fn peek(&mut self, rank: usize) -> Result<Option<EventKind>, TraceError> {
+        let (iter, pos) = self.cursors[rank];
+        if iter >= self.gen.iters || self.gen.blocks[rank].is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(self.gen.event(rank, iter, pos)))
+    }
+
+    fn advance(&mut self, rank: usize) {
+        let (iter, pos) = self.cursors[rank];
+        self.cursors[rank] = if pos + 1 < self.gen.blocks[rank].len() {
+            (iter, pos + 1)
+        } else {
+            (iter + 1, 0)
+        };
     }
 }
 
@@ -79,110 +271,118 @@ fn grid_x(n: usize) -> usize {
 /// mismatch, even on 2-wide axes where both neighbours are the same
 /// rank. Axes of extent 1 are skipped (no self-messages).
 pub fn halo2d(p: &GenParams) -> Trace {
+    LazyGen::new("halo2d", p).expect("known pattern").collect()
+}
+
+/// One halo iteration per rank, tagged for iteration 0 (the tag *is*
+/// the direction of travel; later iterations stride by 4).
+fn halo2d_blocks(p: &GenParams) -> Vec<Vec<EventKind>> {
     assert!(p.ranks >= 2, "halo2d needs at least 2 ranks");
     let px = grid_x(p.ranks);
     let py = p.ranks / px;
-    let mut events: Vec<Vec<EventKind>> = vec![Vec::new(); p.ranks];
-    for iter in 0..p.iters {
-        let tag = |dir: u32| 4 * iter as u32 + dir;
-        for (rank, ev) in events.iter_mut().enumerate() {
-            let (x, y) = (rank % px, rank / px);
-            let east = y * px + (x + 1) % px;
-            let west = y * px + (x + px - 1) % px;
-            let north = ((y + 1) % py) * px + x;
-            let south = ((y + py - 1) % py) * px + x;
-            ev.push(EventKind::Compute {
-                numa: p.comp_numa,
-                cores: p.cores,
-                bytes: p.compute_bytes,
+    let mut blocks: Vec<Vec<EventKind>> = vec![Vec::new(); p.ranks];
+    for (rank, ev) in blocks.iter_mut().enumerate() {
+        let (x, y) = (rank % px, rank / px);
+        let east = y * px + (x + 1) % px;
+        let west = y * px + (x + px - 1) % px;
+        let north = ((y + 1) % py) * px + x;
+        let south = ((y + py - 1) % py) * px + x;
+        ev.push(EventKind::Compute {
+            numa: p.comp_numa,
+            cores: p.cores,
+            bytes: p.compute_bytes,
+        });
+        // Directions of travel: 0 = eastward, 1 = westward,
+        // 2 = northward, 3 = southward. A rank receives the eastward
+        // message from its west neighbour, and so on.
+        if px > 1 {
+            ev.push(EventKind::Recv {
+                peer: west,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 0,
             });
-            // Directions of travel: 0 = eastward, 1 = westward,
-            // 2 = northward, 3 = southward. A rank receives the eastward
-            // message from its west neighbour, and so on.
-            if px > 1 {
-                ev.push(EventKind::Recv {
-                    peer: west,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: tag(0),
-                });
-                ev.push(EventKind::Recv {
-                    peer: east,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: tag(1),
-                });
-            }
-            if py > 1 {
-                ev.push(EventKind::Recv {
-                    peer: south,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: tag(2),
-                });
-                ev.push(EventKind::Recv {
-                    peer: north,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: tag(3),
-                });
-            }
-            if px > 1 {
-                ev.push(EventKind::Send {
-                    peer: east,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: tag(0),
-                });
-                ev.push(EventKind::Send {
-                    peer: west,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: tag(1),
-                });
-            }
-            if py > 1 {
-                ev.push(EventKind::Send {
-                    peer: north,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: tag(2),
-                });
-                ev.push(EventKind::Send {
-                    peer: south,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: tag(3),
-                });
-            }
-            ev.push(EventKind::Wait);
+            ev.push(EventKind::Recv {
+                peer: east,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 1,
+            });
         }
+        if py > 1 {
+            ev.push(EventKind::Recv {
+                peer: south,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 2,
+            });
+            ev.push(EventKind::Recv {
+                peer: north,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 3,
+            });
+        }
+        if px > 1 {
+            ev.push(EventKind::Send {
+                peer: east,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 0,
+            });
+            ev.push(EventKind::Send {
+                peer: west,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 1,
+            });
+        }
+        if py > 1 {
+            ev.push(EventKind::Send {
+                peer: north,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 2,
+            });
+            ev.push(EventKind::Send {
+                peer: south,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 3,
+            });
+        }
+        ev.push(EventKind::Wait);
     }
-    Trace { events }
+    blocks
 }
 
 /// Data-parallel training step: each iteration is a compute phase (the
 /// forward/backward pass) followed by a ring allreduce of the gradient
 /// buffer, then a wait.
 pub fn allreduce_step(p: &GenParams) -> Trace {
+    LazyGen::new("allreduce", p)
+        .expect("known pattern")
+        .collect()
+}
+
+/// One training iteration per rank; every rank's block is identical and
+/// tag-free (collectives match by program order, not tag).
+fn allreduce_blocks(p: &GenParams) -> Vec<Vec<EventKind>> {
     assert!(p.ranks >= 2, "allreduce needs at least 2 ranks");
-    let mut events: Vec<Vec<EventKind>> = vec![Vec::new(); p.ranks];
-    for _ in 0..p.iters {
-        for program in &mut events {
-            program.push(EventKind::Compute {
-                numa: p.comp_numa,
-                cores: p.cores,
-                bytes: p.compute_bytes,
-            });
-            program.push(EventKind::Collective {
-                op: CollectiveOp::Allreduce,
-                numa: p.comm_numa,
-                bytes: p.comm_bytes,
-            });
-            program.push(EventKind::Wait);
-        }
-    }
-    Trace { events }
+    let block = vec![
+        EventKind::Compute {
+            numa: p.comp_numa,
+            cores: p.cores,
+            bytes: p.compute_bytes,
+        },
+        EventKind::Collective {
+            op: CollectiveOp::Allreduce,
+            numa: p.comm_numa,
+            bytes: p.comm_bytes,
+        },
+        EventKind::Wait,
+    ];
+    vec![block; p.ranks]
 }
 
 /// Pipeline of `ranks` stages streaming `iters` microbatches: each
@@ -193,37 +393,43 @@ pub fn allreduce_step(p: &GenParams) -> Trace {
 /// itself overlaps the next microbatch (drained by the next wait).
 /// Tags carry the microbatch index so the stream never mismatches.
 pub fn pipeline(p: &GenParams) -> Trace {
+    LazyGen::new("pipeline", p)
+        .expect("known pattern")
+        .collect()
+}
+
+/// One microbatch per stage, tagged for microbatch 0 (the
+/// [`TagSchedule::Iteration`] schedule stamps later microbatches).
+fn pipeline_blocks(p: &GenParams) -> Vec<Vec<EventKind>> {
     assert!(p.ranks >= 2, "pipeline needs at least 2 stages");
     let last = p.ranks - 1;
-    let mut events: Vec<Vec<EventKind>> = vec![Vec::new(); p.ranks];
-    for m in 0..p.iters {
-        for (rank, program) in events.iter_mut().enumerate() {
-            if rank > 0 {
-                program.push(EventKind::Recv {
-                    peer: rank - 1,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: m as u32,
-                });
-                program.push(EventKind::Wait);
-            }
-            program.push(EventKind::Compute {
-                numa: p.comp_numa,
-                cores: p.cores,
-                bytes: p.compute_bytes,
+    let mut blocks: Vec<Vec<EventKind>> = vec![Vec::new(); p.ranks];
+    for (rank, program) in blocks.iter_mut().enumerate() {
+        if rank > 0 {
+            program.push(EventKind::Recv {
+                peer: rank - 1,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 0,
             });
             program.push(EventKind::Wait);
-            if rank < last {
-                program.push(EventKind::Send {
-                    peer: rank + 1,
-                    numa: p.comm_numa,
-                    bytes: p.comm_bytes,
-                    tag: m as u32,
-                });
-            }
+        }
+        program.push(EventKind::Compute {
+            numa: p.comp_numa,
+            cores: p.cores,
+            bytes: p.compute_bytes,
+        });
+        program.push(EventKind::Wait);
+        if rank < last {
+            program.push(EventKind::Send {
+                peer: rank + 1,
+                numa: p.comm_numa,
+                bytes: p.comm_bytes,
+                tag: 0,
+            });
         }
     }
-    Trace { events }
+    blocks
 }
 
 #[cfg(test)]
@@ -321,6 +527,47 @@ mod tests {
         assert!(t.events[1]
             .iter()
             .any(|e| matches!(e, EventKind::Recv { .. })));
+    }
+
+    #[test]
+    fn lazy_source_matches_the_collected_trace() {
+        let p = GenParams {
+            ranks: 6,
+            iters: 3,
+            ..GenParams::default()
+        };
+        for name in names() {
+            let lazy = LazyGen::new(name, &p).unwrap();
+            let trace = lazy.collect();
+            assert_eq!(lazy.event_count(), trace.event_count(), "{name}");
+            let mut src = lazy.source();
+            assert_eq!(src.ranks(), trace.ranks(), "{name}");
+            for (rank, program) in trace.events.iter().enumerate() {
+                for ev in program {
+                    assert_eq!(src.peek(rank).unwrap(), Some(*ev), "{name}");
+                    src.advance(rank);
+                }
+                assert_eq!(src.peek(rank).unwrap(), None, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_interleaved_round_trips_through_the_eager_parser() {
+        let p = GenParams {
+            ranks: 4,
+            iters: 3,
+            ..GenParams::default()
+        };
+        for name in names() {
+            let lazy = LazyGen::new(name, &p).unwrap();
+            let mut bytes = Vec::new();
+            let written = lazy.write_interleaved(&mut bytes).unwrap();
+            assert_eq!(written, lazy.event_count(), "{name}");
+            let text = String::from_utf8(bytes).unwrap();
+            let parsed = Trace::from_json_lines(&text).unwrap();
+            assert_eq!(parsed.events, lazy.collect().events, "{name}");
+        }
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   byte-stable writing;
 //! * [`generate`] — synthetic traces (2D halo exchange, ring-allreduce
 //!   training step, pipeline stages);
+//! * [`stream`] — streaming ingestion: the [`EventSource`] cursor
+//!   abstraction and [`TraceReader`], which replays JSON-lines traces
+//!   straight off a [`std::io::BufRead`] in memory bounded by ranks,
+//!   not events;
 //! * [`engine`] — the replay loop on [`mc_mpisim::World`];
 //! * [`search`] — brute-force placement search over `(n, m_comp,
 //!   m_comm)` plus a cross-check against the model's advisor;
@@ -40,12 +44,15 @@ pub mod engine;
 pub mod generate;
 pub mod report;
 pub mod search;
+pub mod stream;
 pub mod trace;
 
 pub use engine::{
-    replay, run_once, EventSpan, ReplayConfig, ReplayError, ReplayOutcome, ReplayRun, KINDS,
+    replay, replay_with, run_once, run_source, EventSpan, ReplayConfig, ReplayError, ReplayOutcome,
+    ReplayRun, SourceRun, KINDS,
 };
 pub use search::{
     advisor_crosscheck, phase_profile, search, Crosscheck, SearchOutcome, SearchPoint,
 };
+pub use stream::{EventSource, TraceReader, TraceSource};
 pub use trace::{CollectiveOp, EventKind, Trace, TraceError};

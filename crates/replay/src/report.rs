@@ -44,6 +44,12 @@ pub fn render(outcome: &ReplayOutcome, platform: &str) -> String {
         }
         out.push('\n');
     }
+    let hidden = outcome.ranks - outcome.contended.timelines.len();
+    if hidden > 0 {
+        out.push_str(&format!(
+            "  (+{hidden} more ranks folded into the busy totals above)\n"
+        ));
+    }
     out
 }
 
@@ -60,13 +66,24 @@ pub fn render_search(search: &SearchOutcome) -> String {
     out
 }
 
+/// Maximum individual rank rows in a replay Gantt chart. A 4096-row
+/// SVG is unreadable and enormous; past this many ranks the rest
+/// collapse into a single aggregate busy band.
+pub const GANTT_MAX_ROWS: usize = 64;
+
 /// Build a per-rank Gantt chart of the contended timeline: compute
 /// bars in the computation colour, communication (send/recv/
 /// collective) in the communication colour, waits in grey.
+///
+/// Only the first [`GANTT_MAX_ROWS`] ranks get individual rows; the
+/// remaining timelines are union-merged (waits excluded) into one
+/// `busy band` row. Ranks replayed without stored timelines (see
+/// [`crate::ReplayConfig::timeline_ranks`]) are noted in a final
+/// bar-less row.
 pub fn gantt(outcome: &ReplayOutcome, title: &str) -> Gantt {
-    let rows = outcome
-        .contended
-        .timelines
+    let timelines = &outcome.contended.timelines;
+    let shown = timelines.len().min(GANTT_MAX_ROWS);
+    let mut rows: Vec<GanttRow> = timelines[..shown]
         .iter()
         .enumerate()
         .map(|(rank, spans)| GanttRow {
@@ -86,6 +103,43 @@ pub fn gantt(outcome: &ReplayOutcome, title: &str) -> Gantt {
                 .collect(),
         })
         .collect();
+    if timelines.len() > shown {
+        let mut ivals: Vec<(f64, f64)> = timelines[shown..]
+            .iter()
+            .flatten()
+            .filter(|s| s.kind != "wait")
+            .map(|s| (s.t0, s.t1))
+            .collect();
+        ivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (t0, t1) in ivals {
+            match merged.last_mut() {
+                Some(last) if t0 <= last.1 => last.1 = last.1.max(t1),
+                _ => merged.push((t0, t1)),
+            }
+        }
+        rows.push(GanttRow {
+            label: format!("ranks {shown}..{} (busy band)", timelines.len() - 1),
+            bars: merged
+                .into_iter()
+                .map(|(t0, t1)| GanttBar {
+                    t0,
+                    t1,
+                    color: COMP_COLOR.to_string(),
+                    label: "busy".to_string(),
+                })
+                .collect(),
+        });
+    }
+    if outcome.ranks > timelines.len() {
+        rows.push(GanttRow {
+            label: format!(
+                "(+{} ranks without timelines)",
+                outcome.ranks - timelines.len()
+            ),
+            bars: Vec::new(),
+        });
+    }
     Gantt {
         title: title.to_string(),
         rows,
@@ -120,6 +174,53 @@ mod tests {
             "{a}"
         );
         assert!(a.contains("contention slowdown:"), "{a}");
+    }
+
+    #[test]
+    fn gantt_caps_rows_and_notes_missing_timelines() {
+        use crate::engine::{EventSpan, ReplayRun};
+        // 70 stored timelines out of 80 ranks: 64 rows + an aggregate
+        // band for ranks 64..69 + a note for the 10 capped ranks.
+        let span = |k: &'static str, t0: f64, t1: f64| EventSpan { kind: k, t0, t1 };
+        let timelines: Vec<Vec<EventSpan>> = (0..70)
+            .map(|r| {
+                let off = r as f64 * 0.5;
+                vec![
+                    span("compute", off, off + 1.0),
+                    span("wait", off + 1.0, off + 1.25),
+                ]
+            })
+            .collect();
+        let run = ReplayRun {
+            makespan: 36.25,
+            timelines,
+            busy: [70.0, 0.0, 0.0, 0.0, 17.5],
+        };
+        let outcome = ReplayOutcome {
+            ranks: 80,
+            events: 140,
+            contended: run.clone(),
+            baseline: run,
+            slowdown: 1.0,
+        };
+        let g = gantt(&outcome, "capped");
+        assert_eq!(g.rows.len(), GANTT_MAX_ROWS + 2);
+        let band = &g.rows[GANTT_MAX_ROWS];
+        assert_eq!(band.label, "ranks 64..69 (busy band)");
+        // Overlapping compute spans (0.5s stagger, 1s long) merge into
+        // one interval; waits are excluded from the band.
+        assert_eq!(band.bars.len(), 1);
+        assert_eq!(
+            g.rows[GANTT_MAX_ROWS + 1].label,
+            "(+10 ranks without timelines)"
+        );
+        assert!(g.rows[GANTT_MAX_ROWS + 1].bars.is_empty());
+
+        let text = render(&outcome, "henri");
+        assert!(
+            text.contains("(+10 more ranks folded into the busy totals above)"),
+            "{text}"
+        );
     }
 
     #[test]

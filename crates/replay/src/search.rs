@@ -78,6 +78,7 @@ pub fn search(
                     comp_numa: Some(NumaId::new(comp)),
                     comm_numa: Some(NumaId::new(comm)),
                     cores,
+                    ..ReplayConfig::default()
                 };
                 let out = replay(platform, trace, &config)?;
                 points.push(SearchPoint {
@@ -210,6 +211,7 @@ mod tests {
                         comp_numa: Some(NumaId::new(comp)),
                         comm_numa: Some(NumaId::new(comm)),
                         cores: None,
+                        ..ReplayConfig::default()
                     },
                     true,
                 )

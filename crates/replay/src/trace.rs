@@ -66,7 +66,7 @@ impl CollectiveOp {
 }
 
 /// One event of one rank's program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// Start a compute phase: `cores` cores streaming `bytes` in total
     /// through `numa`.
@@ -154,6 +154,16 @@ pub enum TraceError {
         /// What was wrong.
         message: String,
     },
+    /// Reading the trace from its stream failed (streaming ingestion
+    /// only; whole-file parsing surfaces I/O failures before parsing
+    /// starts).
+    Io {
+        /// 1-based line number being read when the failure hit.
+        line: usize,
+        /// The I/O error, rendered (kept as text so the error stays
+        /// comparable and cloneable).
+        message: String,
+    },
     /// The trace contains no events at all.
     Empty,
     /// The trace names fewer than two ranks (a world needs ≥ 2).
@@ -185,6 +195,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::Schema { line, message } => {
                 write!(f, "trace line {line}: {message}")
+            }
+            TraceError::Io { line, message } => {
+                write!(f, "trace line {line}: read failed: {message}")
             }
             TraceError::Empty => write!(f, "trace has no events"),
             TraceError::TooFewRanks(n) => {
@@ -222,6 +235,149 @@ fn member_numa(v: &Json, line: usize) -> Result<NumaId, TraceError> {
         .map_err(|_| schema(line, format!("`numa` {n} out of range")))
 }
 
+/// Is this parsed line the optional `{"ranks":N}` stream header?
+/// (An object declaring the rank count, with no `event` member.)
+pub(crate) fn header_ranks(v: &Json) -> Option<usize> {
+    if v.get("event").is_some() || v.get("rank").is_some() {
+        return None;
+    }
+    v.get("ranks").and_then(Json::as_u64).map(|n| n as usize)
+}
+
+/// Parse one already-JSON-parsed trace line into `(rank, event)`,
+/// enforcing the per-line schema. Shared by the whole-file parser and
+/// the streaming [`crate::stream::TraceReader`].
+pub(crate) fn parse_event_line(v: &Json, line: usize) -> Result<(usize, EventKind), TraceError> {
+    let rank = member_u64(v, "rank", line)? as usize;
+    if rank >= 1 << 20 {
+        return Err(schema(line, format!("implausible rank {rank}")));
+    }
+    let event = v
+        .get("event")
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema(line, "missing or non-string `event`"))?;
+    let kind = match event {
+        "compute" => {
+            let cores = member_u64(v, "cores", line)? as usize;
+            if cores == 0 {
+                return Err(schema(line, "`cores` must be >= 1"));
+            }
+            EventKind::Compute {
+                numa: member_numa(v, line)?,
+                cores,
+                bytes: member_u64(v, "bytes", line)?,
+            }
+        }
+        "send" | "recv" => {
+            let peer = member_u64(v, "peer", line)? as usize;
+            if peer == rank {
+                return Err(schema(line, format!("rank {rank} messages itself")));
+            }
+            let numa = member_numa(v, line)?;
+            let bytes = member_u64(v, "bytes", line)?;
+            let tag = u32::try_from(member_u64(v, "tag", line)?)
+                .map_err(|_| schema(line, "`tag` out of u32 range"))?;
+            if event == "send" {
+                EventKind::Send {
+                    peer,
+                    numa,
+                    bytes,
+                    tag,
+                }
+            } else {
+                EventKind::Recv {
+                    peer,
+                    numa,
+                    bytes,
+                    tag,
+                }
+            }
+        }
+        "collective" => {
+            let op_name = v
+                .get("op")
+                .and_then(Json::as_str)
+                .ok_or_else(|| schema(line, "missing or non-string `op`"))?;
+            let op = CollectiveOp::from_name(op_name).ok_or_else(|| {
+                schema(
+                    line,
+                    format!(
+                        "unknown collective `{op_name}` \
+                         (expected barrier|allreduce|allgather|broadcast)"
+                    ),
+                )
+            })?;
+            EventKind::Collective {
+                op,
+                numa: member_numa(v, line)?,
+                bytes: member_u64(v, "bytes", line)?,
+            }
+        }
+        "wait" => EventKind::Wait,
+        other => {
+            return Err(schema(
+                line,
+                format!(
+                    "unknown event `{other}` \
+                     (expected compute|send|recv|collective|wait)"
+                ),
+            ))
+        }
+    };
+    Ok((rank, kind))
+}
+
+/// Render one event as its JSON trace line (no trailing newline). The
+/// member order is fixed, so output is byte-stable; [`Trace::to_json_lines`]
+/// and the streaming generator writer share these bytes.
+pub fn render_event_line(rank: usize, ev: &EventKind) -> String {
+    let r = ("rank", Json::Num(rank as f64));
+    let json = match ev {
+        EventKind::Compute { numa, cores, bytes } => obj(vec![
+            r,
+            ("event", Json::Str("compute".into())),
+            ("numa", Json::Num(numa.index() as f64)),
+            ("cores", Json::Num(*cores as f64)),
+            ("bytes", Json::Num(*bytes as f64)),
+        ]),
+        EventKind::Send {
+            peer,
+            numa,
+            bytes,
+            tag,
+        } => obj(vec![
+            r,
+            ("event", Json::Str("send".into())),
+            ("peer", Json::Num(*peer as f64)),
+            ("numa", Json::Num(numa.index() as f64)),
+            ("bytes", Json::Num(*bytes as f64)),
+            ("tag", Json::Num(*tag as f64)),
+        ]),
+        EventKind::Recv {
+            peer,
+            numa,
+            bytes,
+            tag,
+        } => obj(vec![
+            r,
+            ("event", Json::Str("recv".into())),
+            ("peer", Json::Num(*peer as f64)),
+            ("numa", Json::Num(numa.index() as f64)),
+            ("bytes", Json::Num(*bytes as f64)),
+            ("tag", Json::Num(*tag as f64)),
+        ]),
+        EventKind::Collective { op, numa, bytes } => obj(vec![
+            r,
+            ("event", Json::Str("collective".into())),
+            ("op", Json::Str(op.name().into())),
+            ("numa", Json::Num(numa.index() as f64)),
+            ("bytes", Json::Num(*bytes as f64)),
+        ]),
+        EventKind::Wait => obj(vec![r, ("event", Json::Str("wait".into()))]),
+    };
+    json.render()
+}
+
 impl Trace {
     /// Number of ranks (highest rank mentioned, plus one).
     pub fn ranks(&self) -> usize {
@@ -234,10 +390,13 @@ impl Trace {
     }
 
     /// Parse a JSON-lines trace. Blank lines and lines starting with `#`
-    /// are skipped; everything else must be one schema-conforming object.
+    /// are skipped; an optional leading `{"ranks":N}` header (written by
+    /// the streaming generators) declares the rank count; everything
+    /// else must be one schema-conforming object.
     pub fn from_json_lines(text: &str) -> Result<Trace, TraceError> {
         let mut per_rank: Vec<Vec<EventKind>> = Vec::new();
         let mut any = false;
+        let mut first = true;
         for (idx, raw) in text.lines().enumerate() {
             let line = idx + 1;
             let trimmed = raw.trim();
@@ -245,82 +404,16 @@ impl Trace {
                 continue;
             }
             let v = Json::parse(trimmed).map_err(|error| TraceError::Json { line, error })?;
-            let rank = member_u64(&v, "rank", line)? as usize;
-            if rank >= 1 << 20 {
-                return Err(schema(line, format!("implausible rank {rank}")));
+            if first {
+                first = false;
+                if let Some(ranks) = header_ranks(&v) {
+                    // The header pre-declares ranks so a trailing rank
+                    // with no events still counts toward the world size.
+                    per_rank.resize_with(ranks.max(per_rank.len()), Vec::new);
+                    continue;
+                }
             }
-            let event = v
-                .get("event")
-                .and_then(Json::as_str)
-                .ok_or_else(|| schema(line, "missing or non-string `event`"))?;
-            let kind = match event {
-                "compute" => {
-                    let cores = member_u64(&v, "cores", line)? as usize;
-                    if cores == 0 {
-                        return Err(schema(line, "`cores` must be >= 1"));
-                    }
-                    EventKind::Compute {
-                        numa: member_numa(&v, line)?,
-                        cores,
-                        bytes: member_u64(&v, "bytes", line)?,
-                    }
-                }
-                "send" | "recv" => {
-                    let peer = member_u64(&v, "peer", line)? as usize;
-                    if peer == rank {
-                        return Err(schema(line, format!("rank {rank} messages itself")));
-                    }
-                    let numa = member_numa(&v, line)?;
-                    let bytes = member_u64(&v, "bytes", line)?;
-                    let tag = u32::try_from(member_u64(&v, "tag", line)?)
-                        .map_err(|_| schema(line, "`tag` out of u32 range"))?;
-                    if event == "send" {
-                        EventKind::Send {
-                            peer,
-                            numa,
-                            bytes,
-                            tag,
-                        }
-                    } else {
-                        EventKind::Recv {
-                            peer,
-                            numa,
-                            bytes,
-                            tag,
-                        }
-                    }
-                }
-                "collective" => {
-                    let op_name = v
-                        .get("op")
-                        .and_then(Json::as_str)
-                        .ok_or_else(|| schema(line, "missing or non-string `op`"))?;
-                    let op = CollectiveOp::from_name(op_name).ok_or_else(|| {
-                        schema(
-                            line,
-                            format!(
-                                "unknown collective `{op_name}` \
-                                 (expected barrier|allreduce|allgather|broadcast)"
-                            ),
-                        )
-                    })?;
-                    EventKind::Collective {
-                        op,
-                        numa: member_numa(&v, line)?,
-                        bytes: member_u64(&v, "bytes", line)?,
-                    }
-                }
-                "wait" => EventKind::Wait,
-                other => {
-                    return Err(schema(
-                        line,
-                        format!(
-                            "unknown event `{other}` \
-                             (expected compute|send|recv|collective|wait)"
-                        ),
-                    ))
-                }
-            };
+            let (rank, kind) = parse_event_line(&v, line)?;
             if per_rank.len() <= rank {
                 per_rank.resize_with(rank + 1, Vec::new);
             }
@@ -365,51 +458,7 @@ impl Trace {
         let mut out = String::new();
         for (rank, program) in self.events.iter().enumerate() {
             for ev in program {
-                let r = ("rank", Json::Num(rank as f64));
-                let json = match ev {
-                    EventKind::Compute { numa, cores, bytes } => obj(vec![
-                        r,
-                        ("event", Json::Str("compute".into())),
-                        ("numa", Json::Num(numa.index() as f64)),
-                        ("cores", Json::Num(*cores as f64)),
-                        ("bytes", Json::Num(*bytes as f64)),
-                    ]),
-                    EventKind::Send {
-                        peer,
-                        numa,
-                        bytes,
-                        tag,
-                    } => obj(vec![
-                        r,
-                        ("event", Json::Str("send".into())),
-                        ("peer", Json::Num(*peer as f64)),
-                        ("numa", Json::Num(numa.index() as f64)),
-                        ("bytes", Json::Num(*bytes as f64)),
-                        ("tag", Json::Num(*tag as f64)),
-                    ]),
-                    EventKind::Recv {
-                        peer,
-                        numa,
-                        bytes,
-                        tag,
-                    } => obj(vec![
-                        r,
-                        ("event", Json::Str("recv".into())),
-                        ("peer", Json::Num(*peer as f64)),
-                        ("numa", Json::Num(numa.index() as f64)),
-                        ("bytes", Json::Num(*bytes as f64)),
-                        ("tag", Json::Num(*tag as f64)),
-                    ]),
-                    EventKind::Collective { op, numa, bytes } => obj(vec![
-                        r,
-                        ("event", Json::Str("collective".into())),
-                        ("op", Json::Str(op.name().into())),
-                        ("numa", Json::Num(numa.index() as f64)),
-                        ("bytes", Json::Num(*bytes as f64)),
-                    ]),
-                    EventKind::Wait => obj(vec![r, ("event", Json::Str("wait".into()))]),
-                };
-                out.push_str(&json.render());
+                out.push_str(&render_event_line(rank, ev));
                 out.push('\n');
             }
         }
@@ -555,6 +604,28 @@ mod tests {
         assert_eq!(back, t);
         // And the writer is byte-stable.
         assert_eq!(back.to_json_lines(), text);
+    }
+
+    #[test]
+    fn ranks_header_is_tolerated_and_declares_trailing_ranks() {
+        let text =
+            "{\"ranks\":2}\n{\"rank\":0,\"event\":\"wait\"}\n{\"rank\":1,\"event\":\"wait\"}\n";
+        let t = Trace::from_json_lines(text).unwrap();
+        assert_eq!(t.ranks(), 2);
+        assert_eq!(t.event_count(), 2);
+        // A header can declare more ranks than the events mention; the
+        // extra ranks exist with empty programs.
+        let text =
+            "{\"ranks\":3}\n{\"rank\":0,\"event\":\"wait\"}\n{\"rank\":1,\"event\":\"wait\"}\n";
+        let t = Trace::from_json_lines(text).unwrap();
+        assert_eq!(t.ranks(), 3);
+        assert!(t.events[2].is_empty());
+        // Only the first non-comment line can be a header.
+        let text = "{\"rank\":0,\"event\":\"wait\"}\n{\"ranks\":2}\n";
+        assert!(matches!(
+            Trace::from_json_lines(text),
+            Err(TraceError::Schema { line: 2, .. })
+        ));
     }
 
     #[test]

@@ -89,6 +89,7 @@ fn search_winner_is_the_brute_force_minimum_on_a_two_numa_platform() {
                     comp_numa: Some(NumaId::new(comp)),
                     comm_numa: Some(NumaId::new(comm)),
                     cores: None,
+                    ..ReplayConfig::default()
                 },
                 true,
             )

@@ -107,6 +107,50 @@ fn repeated_replays_are_bit_identical() {
     }
 }
 
+/// A lighter schedule for large worlds: history recording off so the
+/// run stays memory-bounded, one barrier, one ring allreduce, one
+/// cross-world exchange. Returns the three completion times.
+fn run_large_schedule(world_size: usize) -> Vec<f64> {
+    let p = platforms::henri_subnuma();
+    let mut w = World::homogeneous(&p, world_size);
+    w.set_record_history(false);
+    vec![
+        barrier(&mut w, n(0)).unwrap(),
+        allreduce_ring(&mut w, n(2), 1 << 20).unwrap(),
+        exchange(&mut w, 0, world_size - 1, n(3), MB8, Tag(9)).unwrap(),
+        w.now(),
+    ]
+}
+
+#[test]
+fn large_worlds_complete_and_replay_bit_identically() {
+    // The streaming replay path leans on the same World mechanics at
+    // 4096 ranks; 64 and 256 keep the test quick while exercising the
+    // many-stream solver paths (256 concurrent streams per allreduce
+    // round) far beyond the small-world cases above.
+    for size in [64usize, 256] {
+        let a = run_large_schedule(size);
+        // Phase completions are strictly increasing; the final clock
+        // reading coincides with the last completion.
+        for w in a[..3].windows(2) {
+            assert!(w[0] < w[1], "P={size}: out of order: {a:?}");
+        }
+        assert!(a[3] >= a[2], "P={size}: clock ran backwards: {a:?}");
+        for &t in &a {
+            assert!(t.is_finite() && t > 0.0, "P={size}: bad timestamp {t}");
+        }
+        let b = run_large_schedule(size);
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "P={size}: timestamp {i} differs across replays: {x} vs {y}"
+            );
+        }
+    }
+}
+
 #[test]
 fn uncontended_baseline_never_exceeds_contended_time() {
     for size in [4usize, 8] {
