@@ -14,7 +14,16 @@ pub struct Args {
     pub command: String,
     /// `--key value` pairs, keys without the leading dashes.
     pub options: BTreeMap<String, String>,
+    /// Every value of each repeatable flag (see [`REPEATABLE`]), in the
+    /// order given. Non-repeatable flags never appear here.
+    multi: BTreeMap<String, Vec<String>>,
 }
+
+/// Flags that may be given more than once. Everything else repeating is
+/// still a [`CliError::DuplicateFlag`] — last-wins would silently drop a
+/// value. `--warm` repeats because its value embeds a file path, and
+/// paths may contain the `,` the single-flag list form splits on.
+const REPEATABLE: &[&str] = &["warm"];
 
 /// CLI errors: usage mistakes plus everything the model pipeline can
 /// report ([`McError`]), with a distinct exit code per class.
@@ -55,6 +64,10 @@ pub enum CliError {
     /// A flag combination that the grammar cannot express as a single
     /// missing/bad option (e.g. mutually exclusive flags).
     Usage(String),
+    /// A tenant exceeded its admission credits on the listen transport.
+    /// Surfaced in-band as the `overload` error class so clients can
+    /// back off and retry; never escapes to the process boundary.
+    Overload(String),
     /// Unknown `--generate` pattern name.
     UnknownPattern(String),
     /// A trace failed to parse or replay (invalid data, exit 3).
@@ -128,6 +141,7 @@ impl fmt::Display for CliError {
             CliError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
             CliError::Protocol(m) => write!(f, "bad request: {m}"),
             CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Overload(m) => write!(f, "overloaded: {m}"),
             CliError::UnknownPattern(p) => write!(
                 f,
                 "unknown pattern '{p}' (expected one of: {})",
@@ -180,6 +194,7 @@ impl Args {
             return Err(CliError::NoCommand);
         }
         let mut options = BTreeMap::new();
+        let mut multi: BTreeMap<String, Vec<String>> = BTreeMap::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
                 // Both `--key value` and `--key=value` spellings are
@@ -193,27 +208,42 @@ impl Args {
                         (key.to_string(), value)
                     }
                 };
-                if options.insert(key.clone(), value).is_some() {
+                if REPEATABLE.contains(&key.as_str()) {
+                    multi.entry(key).or_default().push(value);
+                } else if options.insert(key.clone(), value).is_some() {
                     return Err(CliError::DuplicateFlag(key));
                 }
             } else {
                 return Err(CliError::UnexpectedPositional(arg));
             }
         }
-        Ok(Args { command, options })
+        Ok(Args {
+            command,
+            options,
+            multi,
+        })
     }
 
-    /// A required string option.
+    /// A required string option (for a repeatable flag, its last value).
     pub fn require(&self, key: &'static str) -> Result<&str, CliError> {
-        self.options
-            .get(key)
-            .map(String::as_str)
-            .ok_or(CliError::MissingOption(key))
+        self.get(key).ok_or(CliError::MissingOption(key))
     }
 
-    /// An optional string option.
+    /// An optional string option. For a repeatable flag given more than
+    /// once, this is the *last* value; [`Args::get_all`] has them all.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(String::as_str)
+        self.options.get(key).map(String::as_str).or_else(|| {
+            self.multi
+                .get(key)
+                .and_then(|v| v.last())
+                .map(String::as_str)
+        })
+    }
+
+    /// Every value a repeatable flag was given, in order; empty when the
+    /// flag is absent (or not repeatable — those live in `options`).
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.multi.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// A required numeric option.
@@ -276,6 +306,31 @@ mod tests {
             assert!(e.is_usage());
             assert!(e.to_string().contains("--platform"));
         }
+    }
+
+    #[test]
+    fn warm_repeats_instead_of_erroring() {
+        // Paths may contain commas; the repeated-flag form is the
+        // unambiguous spelling, so --warm must not hit DuplicateFlag.
+        let a = Args::parse([
+            "serve",
+            "--warm",
+            "henri=models/a,b.txt",
+            "--warm=dahu=d.txt",
+        ])
+        .unwrap();
+        assert_eq!(a.get_all("warm"), ["henri=models/a,b.txt", "dahu=d.txt"]);
+        // get() on a repeated flag reports the last value.
+        assert_eq!(a.get("warm"), Some("dahu=d.txt"));
+        // A single occurrence is visible through both accessors.
+        let a = Args::parse(["serve", "--warm", "henri=m.txt"]).unwrap();
+        assert_eq!(a.get_all("warm"), ["henri=m.txt"]);
+        assert_eq!(a.get("warm"), Some("henri=m.txt"));
+        // Absent: empty slice, not a panic.
+        assert!(Args::parse(["serve"]).unwrap().get_all("warm").is_empty());
+        // Non-repeatable flags still reject duplication.
+        let e = Args::parse(["serve", "--workers", "2", "--workers", "3"]).unwrap_err();
+        assert_eq!(e, CliError::DuplicateFlag("workers".into()));
     }
 
     #[test]

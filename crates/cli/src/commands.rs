@@ -38,7 +38,9 @@ usage:
                        [--comm-numa B] [--search yes] [--gantt FILE] \\
                        [--save-trace FILE] [--stream yes]
   memcontend serve     [--workers N] [--capacity N] \\
-                       [--warm PLATFORM=FILE[,PLATFORM=FILE...]]
+                       [--warm PLATFORM=FILE]... \\
+                       [--listen HOST:PORT] [--credits N] [--queue N] \\
+                       [--wait-ms MS] [--max-conns N]
 
 replay predicts the whole-program slowdown a JSON-lines event trace
 suffers from memory contention (patterns: halo2d, allreduce, pipeline;
@@ -54,10 +56,21 @@ full trace and is incompatible).
 
 serve reads one JSON request per stdin line and writes one JSON response
 per stdout line: {\"op\":\"predict\"|\"calibrate\"|\"evaluate\"|\"recommend\"|
-\"replay\", ...} or {\"batch\":[...]} to fan requests over a worker pool.
-Calibrated models are cached in a sharded LRU registry (--capacity
-models; --warm seeds it from saved model files). EOF ends the service
-with exit code 0.
+\"replay\"|\"stats\", ...} or {\"batch\":[...]} to fan requests over a
+worker pool. Calibrated models are cached in a sharded LRU registry
+(--capacity models; --warm seeds it from saved model files and may be
+repeated; the comma form still works when paths are comma-free). EOF
+ends the service with exit code 0.
+
+With --listen HOST:PORT serve becomes a TCP service instead: it prints
+{\"listening\":\"ADDR\"} (resolving port 0) and accepts many concurrent
+connections, each speaking the same JSON-lines protocol after a first
+{\"hello\":{\"tenant\":ID}} line. Every tenant holds --credits request
+credits (a batch costs one per item, returned as responses are written);
+floods past the budget wait boundedly (--queue deep, --wait-ms long) and
+then receive {\"ok\":false,\"error\":{\"class\":\"overload\",...}}.
+{\"op\":\"shutdown\"} stops the service cleanly; a failed connection
+tears down only itself.
 
 global options (any subcommand):
   --metrics FILE   export pipeline counters/histograms as JSON lines
@@ -506,7 +519,20 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "serve" => {
             // The one long-lived subcommand: streams responses directly
             // rather than rendering a string.
-            crate::serve::serve_loop(args, std::io::stdin().lock(), std::io::stdout().lock())?;
+            if args.get("listen").is_some() {
+                let server = crate::net::NetServer::bind(args)?;
+                // The announce line is the only place a client learns an
+                // ephemeral port, so it must be flushed before serving.
+                {
+                    let mut out = std::io::stdout().lock();
+                    writeln!(out, "{}", server.announce_line())
+                        .and_then(|()| out.flush())
+                        .map_err(|e| mc_model::McError::io("stdout", e))?;
+                }
+                server.run()?;
+            } else {
+                crate::serve::serve_loop(args, std::io::stdin().lock(), std::io::stdout().lock())?;
+            }
             Ok(String::new())
         }
         "help" => Ok(USAGE.to_string()),

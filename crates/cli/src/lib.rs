@@ -12,12 +12,15 @@
 //!                       --comp-numa A --comm-numa B
 //! memcontend advise     --platform NAME --compute-gb X --comm-gb Y
 //! memcontend evaluate   --platform NAME
-//! memcontend serve      [--workers N] [--capacity N] [--warm PLAT=FILE,..]
+//! memcontend serve      [--workers N] [--capacity N] [--warm PLAT=FILE]... \
+//!                       [--listen HOST:PORT] [--credits N]
 //! ```
 //!
 //! `serve` is the exception to "function to rendered string": it runs a
-//! long-lived JSON-lines request/response loop over stdin/stdout, backed
-//! by a sharded LRU registry of calibrated models (see [`serve`]).
+//! long-lived JSON-lines request/response loop — over stdin/stdout, or
+//! with `--listen` over TCP for many credit-gated tenant connections
+//! (see [`net`]) — backed by a sharded LRU registry of calibrated
+//! models (see [`serve`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,6 +28,7 @@
 pub mod args;
 pub mod commands;
 pub mod json;
+pub mod net;
 pub mod serve;
 
 pub use args::{Args, CliError, EXIT_INVALID_DATA, EXIT_IO, EXIT_USAGE};

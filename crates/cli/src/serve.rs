@@ -78,13 +78,10 @@ fn default_workers() -> usize {
         .min(MAX_DEFAULT_WORKERS)
 }
 
-/// Run the serve loop over arbitrary line-oriented transports (the
-/// binary passes locked stdin/stdout; tests pass buffers).
-pub fn serve_loop(
-    args: &Args,
-    input: impl BufRead,
-    mut output: impl Write,
-) -> Result<(), CliError> {
+/// Parse `--workers`/`--capacity` and build the warm-loaded registry.
+/// Failures here are *startup* failures — the only fatal (exit 2/3/4)
+/// path a serve transport keeps.
+pub(crate) fn build_registry(args: &Args) -> Result<(ModelRegistry, usize), CliError> {
     let workers: usize = args.num_or("workers", default_workers())?;
     if workers == 0 {
         return Err(CliError::NonPositive("workers"));
@@ -94,19 +91,41 @@ pub fn serve_loop(
         return Err(CliError::NonPositive("capacity"));
     }
     let registry = ModelRegistry::new(capacity);
-    if let Some(spec) = args.get("warm") {
-        warm_load(&registry, spec)?;
-    }
+    warm_load(&registry, args)?;
+    Ok((registry, workers))
+}
 
-    let _span = mc_obs::span("serve", &[(tags::WORKERS, TagValue::U64(workers as u64))]);
+/// Run the stdin/stdout serve loop (the binary passes locked
+/// stdin/stdout; tests pass buffers).
+///
+/// Startup failures (bad flags, an unreadable `--warm` file) are fatal.
+/// A transport that dies *mid-session* — a truncated pipe, a read error
+/// — ends the session like EOF instead of aborting the process: the
+/// requests already answered stay answered, and the exit code stays 0.
+pub fn serve_loop(
+    args: &Args,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<(), CliError> {
+    let (registry, workers) = build_registry(args)?;
+
+    let _span = mc_obs::span(
+        "serve",
+        &[
+            (tags::WORKERS, TagValue::U64(workers as u64)),
+            (tags::TRANSPORT, TagValue::Str("stdio")),
+        ],
+    );
     // The shared line-oriented parser: skips blank and `#` lines,
     // bounds nesting depth against hostile requests, and attributes
     // syntax errors to their line number.
     for item in mc_json::parse_lines(input) {
         let response = match item {
             Ok((_line, request)) => dispatch(&registry, &request, workers),
-            Err(mc_json::LineError::Io { error, .. }) => {
-                return Err(McError::io("<stdin>", error).into())
+            Err(mc_json::LineError::Io { line, error }) => {
+                count_disconnect("stdio");
+                eprintln!("serve: input failed at line {line} ({error}); ending session");
+                break;
             }
             Err(mc_json::LineError::Json { line, error }) => {
                 count_request("invalid", "usage");
@@ -116,39 +135,78 @@ pub fn serve_loop(
                 )
             }
         };
-        writeln!(output, "{}", response.render()).map_err(|e| McError::io("<stdout>", e))?;
-        // Clients block on the reply: never let it sit in a buffer.
-        output.flush().map_err(|e| McError::io("<stdout>", e))?;
+        if write_response(&mut output, &response).is_err() {
+            count_disconnect("stdio");
+            eprintln!("serve: output failed; ending session");
+            break;
+        }
     }
     Ok(())
 }
 
-/// Seed the registry from `PLATFORM=FILE[,PLATFORM=FILE...]` at startup.
-/// Failures here are fatal (exit 2/3/4): a service that silently starts
-/// cold when asked to start warm would defeat the point of the flag.
-fn warm_load(registry: &ModelRegistry, spec: &str) -> Result<(), CliError> {
-    for part in spec.split(',') {
-        let Some((name, path)) = part.split_once('=') else {
-            return Err(CliError::Protocol(format!(
-                "--warm entry '{part}' is not PLATFORM=FILE"
-            )));
-        };
-        let platform =
-            platforms::by_name(name).ok_or_else(|| CliError::UnknownPlatform(name.to_string()))?;
-        let text = std::fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
-        registry
-            .warm_from_text(platform_key(&platform), &text)
-            .map_err(CliError::from)?;
+/// Write one response line and flush — clients block on the reply, so it
+/// must never sit in a buffer.
+pub(crate) fn write_response(output: &mut impl Write, response: &Json) -> std::io::Result<()> {
+    writeln!(output, "{}", response.render())?;
+    output.flush()
+}
+
+/// Count a session torn down by a transport failure (tagged with the
+/// transport so a stdio pipe break and a dropped TCP client stay
+/// distinguishable).
+pub(crate) fn count_disconnect(transport: &str) {
+    if let Some(rec) = mc_obs::recorder() {
+        rec.add(
+            "serve.disconnects",
+            &[(tags::TRANSPORT, TagValue::Str(transport))],
+            1,
+        );
+    }
+}
+
+/// Seed the registry from every `--warm` flag at startup. Failures here
+/// are fatal (exit 2/3/4): a service that silently starts cold when
+/// asked to start warm would defeat the point of the flag.
+fn warm_load(registry: &ModelRegistry, args: &Args) -> Result<(), CliError> {
+    for spec in args.get_all("warm") {
+        for part in split_warm_spec(spec) {
+            let Some((name, path)) = part.split_once('=') else {
+                return Err(CliError::Protocol(format!(
+                    "--warm entry '{part}' is not PLATFORM=FILE"
+                )));
+            };
+            let platform = platforms::by_name(name)
+                .ok_or_else(|| CliError::UnknownPlatform(name.to_string()))?;
+            let text = std::fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
+            registry
+                .warm_from_text(platform_key(&platform), &text)
+                .map_err(CliError::from)?;
+        }
     }
     Ok(())
 }
 
-fn platform_key(platform: &Platform) -> RegistryKey {
+/// Split one `--warm` value into entries. The historical
+/// `PLAT=FILE,PLAT=FILE` list form is honoured only when *every*
+/// comma-separated segment contains `=`; otherwise the commas belong to
+/// a file path and the value is a single entry. Paths whose comma-split
+/// tails happen to contain `=` must use one `--warm` flag per entry —
+/// the unambiguous form.
+fn split_warm_spec(spec: &str) -> Vec<&str> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() > 1 && parts.iter().all(|p| p.contains('=')) {
+        parts
+    } else {
+        vec![spec]
+    }
+}
+
+pub(crate) fn platform_key(platform: &Platform) -> RegistryKey {
     RegistryKey::new(platform.name(), "default", calibration_placements(platform))
 }
 
 /// Route one parsed line: batch envelope or single request.
-fn dispatch(registry: &ModelRegistry, request: &Json, workers: usize) -> Json {
+pub(crate) fn dispatch(registry: &ModelRegistry, request: &Json, workers: usize) -> Json {
     if request.get("batch").is_some() {
         handle_batch(registry, request, workers)
     } else {
@@ -273,6 +331,7 @@ fn try_request(registry: &ModelRegistry, request: &Json) -> Result<Json, CliErro
         "evaluate" => evaluate_op(registry, request),
         "recommend" => recommend(registry, request),
         "replay" => replay_op(request),
+        "stats" => stats_op(registry),
         other => Err(CliError::Protocol(format!("unknown op '{other}'"))),
     }
 }
@@ -572,16 +631,43 @@ fn replay_op(request: &Json) -> Result<Json, CliError> {
     ]))
 }
 
-/// The error class string for a response: mirrors the exit-code contract.
-fn class_of(e: &CliError) -> &'static str {
-    match e.exit_code() {
-        EXIT_INVALID_DATA => "data",
-        EXIT_IO => "io",
-        _ => "usage",
+/// `{"op":"stats"}`: the service's own health numbers — registry
+/// counters (the hit-rate a load generator snapshots) and resident-set
+/// telemetry. `current_rss_kb` is the instantaneous `VmRSS`, usable for
+/// in-process deltas; `peak_rss_kb` is the process-lifetime high-water
+/// mark. Off Linux both are `null`.
+fn stats_op(registry: &ModelRegistry) -> Result<Json, CliError> {
+    let s = registry.stats();
+    let rss = |v: Option<u64>| v.map_or(Json::Null, |kb| Json::Num(kb as f64));
+    Ok(obj(vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("stats".into())),
+        ("models", Json::Num(s.len as f64)),
+        ("hits", Json::Num(s.hits as f64)),
+        ("misses", Json::Num(s.misses as f64)),
+        ("evictions", Json::Num(s.evictions as f64)),
+        ("hit_rate", Json::Num(s.hit_rate())),
+        ("current_rss_kb", rss(mc_obs::current_rss_kb())),
+        ("peak_rss_kb", rss(mc_obs::peak_rss_kb())),
+    ]))
+}
+
+/// The error class string for a response: the exit-code contract's
+/// `usage`/`data`/`io`, plus `overload` for admission rejections (a
+/// transient service condition, not a caller mistake — clients back off
+/// and retry rather than fixing the request).
+pub(crate) fn class_of(e: &CliError) -> &'static str {
+    match e {
+        CliError::Overload(_) => "overload",
+        _ => match e.exit_code() {
+            EXIT_INVALID_DATA => "data",
+            EXIT_IO => "io",
+            _ => "usage",
+        },
     }
 }
 
-fn error_response(id: Option<&Json>, e: &CliError) -> Json {
+pub(crate) fn error_response(id: Option<&Json>, e: &CliError) -> Json {
     let mut members = vec![("ok", Json::Bool(false))];
     if let Some(id) = id {
         members.push(("id", id.clone()));
@@ -608,7 +694,7 @@ fn prepend_id(response: Json, id: Json) -> Json {
     }
 }
 
-fn count_request(op: &str, result: &str) {
+pub(crate) fn count_request(op: &str, result: &str) {
     if let Some(rec) = mc_obs::recorder() {
         rec.add(
             "serve.requests",
@@ -798,6 +884,115 @@ mod tests {
             "warm-loaded model must make the very first request a hit"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A reader that yields its canned bytes, then fails with an I/O
+    /// error — a client whose pipe breaks mid-session.
+    struct TruncatedReader {
+        data: std::io::Cursor<Vec<u8>>,
+        failed: bool,
+    }
+
+    impl std::io::Read for TruncatedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match std::io::Read::read(&mut self.data, buf)? {
+                0 => {
+                    self.failed = true;
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "transport died mid-session",
+                    ))
+                }
+                n => Ok(n),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_session_read_failure_ends_the_session_not_the_process() {
+        // Regression (ISSUE 7): serve_loop used to return Err on any
+        // LineError::Io, turning one broken client pipe into exit 4.
+        // The requests answered before the failure must stay answered
+        // and the loop must end like EOF.
+        let req = r#"{"op":"predict","platform":"henri","cores":4,"comp_numa":0,"comm_numa":0}"#;
+        let reader = std::io::BufReader::new(TruncatedReader {
+            data: std::io::Cursor::new(format!("{req}\n").into_bytes()),
+            failed: false,
+        });
+        let args = Args::parse(["serve"]).unwrap();
+        let mut out = Vec::new();
+        serve_loop(&args, reader, &mut out).expect("a dying transport is not a process failure");
+        let lines: Vec<Json> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 1, "the request before the break was answered");
+        assert!(ok(&lines[0]));
+    }
+
+    #[test]
+    fn warm_paths_with_commas_load_via_repeated_flags() {
+        let dir =
+            std::env::temp_dir().join(format!("memcontend-warm-comma-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // The path the comma list form would shred.
+        let path = dir.join("henri,v2.txt");
+        let p = platforms::henri();
+        let (local, remote) = calibration_sweeps(&p, BenchConfig::default());
+        let model = ContentionModel::calibrate(&p.topology, &local, &remote).unwrap();
+        std::fs::write(&path, mc_model::model_to_text(&model)).unwrap();
+        let warm = format!("henri={}", path.display());
+        let out = serve(
+            "{\"op\":\"predict\",\"platform\":\"henri\",\"cores\":4,\"comp_numa\":0,\"comm_numa\":0}\n",
+            &["--warm", &warm],
+        );
+        assert!(ok(&out[0]), "{:?}", out[0]);
+        assert_eq!(
+            out[0].get("cached"),
+            Some(&Json::Bool(true)),
+            "a comma-bearing path must warm-load via a dedicated flag"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn warm_spec_splitting_keeps_comma_lists_and_comma_paths_apart() {
+        // Back-compat list: every segment has '='.
+        assert_eq!(split_warm_spec("a=x,b=y"), ["a=x", "b=y"]);
+        // A comma inside a path: one entry.
+        assert_eq!(
+            split_warm_spec("henri=models/a,b.txt"),
+            ["henri=models/a,b.txt"]
+        );
+        // Degenerate inputs stay single entries for the parser to reject.
+        assert_eq!(split_warm_spec("nonsense"), ["nonsense"]);
+        assert_eq!(split_warm_spec("a=x"), ["a=x"]);
+    }
+
+    #[test]
+    fn stats_op_reports_registry_counters_and_rss() {
+        let lines = concat!(
+            r#"{"op":"predict","platform":"henri","cores":4,"comp_numa":0,"comm_numa":0}"#,
+            "\n",
+            r#"{"op":"predict","platform":"henri","cores":8,"comp_numa":0,"comm_numa":0}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+        );
+        let out = serve(lines, &[]);
+        let stats = &out[2];
+        assert!(ok(stats), "{stats:?}");
+        assert_eq!(stats.get("models").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(stats.get("misses").and_then(Json::as_u64), Some(1));
+        assert!((stats.get("hit_rate").unwrap().as_f64().unwrap() - 0.5).abs() < 1e-12);
+        #[cfg(target_os = "linux")]
+        {
+            let current = stats.get("current_rss_kb").unwrap().as_u64().unwrap();
+            let peak = stats.get("peak_rss_kb").unwrap().as_u64().unwrap();
+            assert!(current > 0 && current <= peak);
+        }
     }
 
     #[test]

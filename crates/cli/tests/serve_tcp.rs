@@ -1,0 +1,298 @@
+//! Black-box tests for `memcontend serve --listen`: the binary is
+//! spawned listening on an ephemeral port, discovered via its
+//! `{"listening":"ADDR"}` announce line, and driven over real TCP
+//! connections. They pin the multi-tenant contract end to end:
+//!
+//! * the golden transcript (`tests/golden/serve_tcp_session.jsonl`,
+//!   `"> "` requests / `"< "` responses, regenerate with
+//!   `UPDATE_GOLDEN=1 cargo test --test serve_tcp`) — hello handshake,
+//!   dispatch, typed overload, shutdown ack, byte-stable;
+//! * per-connection response ordering under concurrent clients;
+//! * the isolation claims: a tenant flooding past its credit budget
+//!   collects `overload` errors while other tenants complete untouched,
+//!   and a connection dying mid-line takes down nothing but itself.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// A serve process listening on an ephemeral port.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawn `memcontend serve --listen 127.0.0.1:0 <flags>` and parse
+    /// the announce line for the bound address.
+    fn start(flags: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_memcontend"))
+            .args(["serve", "--listen", "127.0.0.1:0"])
+            .args(flags)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("memcontend serve spawns");
+        let mut announce = String::new();
+        BufReader::new(child.stdout.take().expect("piped stdout"))
+            .read_line(&mut announce)
+            .expect("announce line");
+        let addr = announce
+            .split("\"listening\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or_else(|| panic!("announce line malformed: {announce:?}"))
+            .to_string();
+        assert!(
+            !addr.ends_with(":0"),
+            "ephemeral port must be resolved in the announce line, got {addr}"
+        );
+        Server { child, addr }
+    }
+
+    /// Ask the server to exit via the protocol and assert exit code 0.
+    fn shutdown(mut self) {
+        let mut admin = Client::connect(&self.addr, "admin");
+        let ack = admin.send(r#"{"op":"shutdown"}"#);
+        assert!(ack.contains("\"ok\":true"), "shutdown ack, got {ack}");
+        let status = self.child.wait().expect("serve exits");
+        assert_eq!(status.code(), Some(0), "clean shutdown is exit 0");
+    }
+}
+
+/// One authenticated JSON-lines connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect and complete the hello handshake as `tenant`.
+    fn connect(addr: &str, tenant: &str) -> Client {
+        let mut client = Client::connect_raw(addr);
+        let ack = client.send(&format!("{{\"hello\":{{\"tenant\":\"{tenant}\"}}}}"));
+        assert!(ack.contains("\"ok\":true"), "hello refused: {ack}");
+        client
+    }
+
+    /// Connect without the handshake (for tests that probe it).
+    fn connect_raw(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to serve");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    /// One request line, one response line.
+    fn send(&mut self, request: &str) -> String {
+        writeln!(self.writer, "{request}").expect("request written");
+        self.recv()
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("response read");
+        assert!(n > 0, "connection closed while awaiting a response");
+        line.trim_end().to_string()
+    }
+}
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/serve_tcp_session.jsonl"
+);
+
+/// The scripted session behind the golden transcript. Everything in it
+/// is deterministic: the simulation is seeded, the hello ack echoes the
+/// fixed `--credits 2` configuration, and the overload message quotes
+/// only the request's own numbers. (`stats` is deliberately absent —
+/// its RSS fields vary run to run.)
+const GOLDEN_REQUESTS: &[&str] = &[
+    r#"{"hello":{"tenant":"gold"}}"#,
+    r#"{"id":1,"op":"calibrate","platform":"henri"}"#,
+    r#"{"id":2,"op":"predict","platform":"henri","cores":17,"comp_numa":0,"comm_numa":1}"#,
+    r#"{"id":3,"batch":[{"op":"predict","platform":"henri","cores":4,"comp_numa":0,"comm_numa":0},{"op":"predict","platform":"henri","cores":8,"comp_numa":0,"comm_numa":0}]}"#,
+    r#"{"id":4,"batch":[{"op":"stats"},{"op":"stats"},{"op":"stats"}]}"#,
+    r#"{"id":5,"op":"nonsense"}"#,
+    r#"{"op":"shutdown"}"#,
+];
+
+#[test]
+fn golden_tcp_session_replays_byte_for_byte() {
+    let server = Server::start(&["--credits", "2", "--workers", "2"]);
+    let mut client = Client::connect_raw(&server.addr);
+    let responses: Vec<String> = GOLDEN_REQUESTS
+        .iter()
+        .map(|request| client.send(request))
+        .collect();
+    let status = server.child.wait_with_output().expect("serve exits");
+    assert_eq!(status.status.code(), Some(0), "shutdown request is exit 0");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let mut transcript = String::new();
+        for (request, response) in GOLDEN_REQUESTS.iter().zip(&responses) {
+            transcript.push_str(&format!("> {request}\n< {response}\n"));
+        }
+        std::fs::write(GOLDEN, transcript).expect("golden written");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden transcript present");
+    let expected: Vec<&str> = golden
+        .lines()
+        .filter_map(|l| l.strip_prefix("< "))
+        .collect();
+    assert_eq!(responses.len(), expected.len(), "one response per request");
+    for (i, (got, want)) in responses.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "response {} diverged from the transcript \
+             (rerun with UPDATE_GOLDEN=1 if the change is intentional)",
+            i + 1
+        );
+    }
+    let scripted: Vec<&str> = golden
+        .lines()
+        .filter_map(|l| l.strip_prefix("> "))
+        .collect();
+    assert_eq!(scripted, GOLDEN_REQUESTS, "transcript requests drifted");
+}
+
+#[test]
+fn concurrent_connections_get_their_own_responses_in_order() {
+    let server = Server::start(&["--workers", "2"]);
+    let addr = &server.addr;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr, &format!("tenant{t}"));
+                    for i in 0..20 {
+                        let id = t * 100 + i;
+                        let response = client.send(&format!(
+                            "{{\"id\":{id},\"op\":\"predict\",\"platform\":\"henri\",\
+                             \"cores\":4,\"comp_numa\":0,\"comm_numa\":0}}"
+                        ));
+                        // In-order and never another connection's id.
+                        assert!(
+                            response.contains(&format!("\"id\":{id},")),
+                            "connection {t} got a response for someone else: {response}"
+                        );
+                        assert!(response.contains("\"ok\":true"), "{response}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("client thread");
+        }
+    });
+    server.shutdown();
+}
+
+/// The acceptance criterion: one tenant flooding past its credit budget
+/// collects typed `overload` rejections while a well-behaved tenant on
+/// another connection completes every request — no cross-tenant
+/// starvation, no aborted connections.
+#[test]
+fn flooding_tenant_is_rejected_while_others_complete() {
+    let server = Server::start(&["--credits", "2", "--queue", "1", "--wait-ms", "40"]);
+    let addr = &server.addr;
+    std::thread::scope(|scope| {
+        let flood = scope.spawn(move || {
+            let mut hog = Client::connect(addr, "hog");
+            let mut overloads = 0;
+            for i in 0..30 {
+                // Three items against a two-credit budget: impossible to
+                // grant, rejected without waiting.
+                let response = hog.send(&format!(
+                    "{{\"id\":{i},\"batch\":[{{\"op\":\"stats\"}},{{\"op\":\"stats\"}},\
+                     {{\"op\":\"stats\"}}]}}"
+                ));
+                assert!(response.contains("\"ok\":false"), "{response}");
+                if response.contains("\"class\":\"overload\"") {
+                    overloads += 1;
+                }
+            }
+            overloads
+        });
+        let quiet = scope.spawn(move || {
+            let mut client = Client::connect(addr, "quiet");
+            for i in 0..30 {
+                let response = client.send(&format!(
+                    "{{\"id\":{i},\"op\":\"predict\",\"platform\":\"henri\",\"cores\":2,\
+                     \"comp_numa\":0,\"comm_numa\":0}}"
+                ));
+                assert!(
+                    response.contains("\"ok\":true"),
+                    "the quiet tenant must be untouched by the flood: {response}"
+                );
+            }
+        });
+        assert_eq!(
+            flood.join().expect("hog thread"),
+            30,
+            "every flood rejected"
+        );
+        quiet.join().expect("quiet thread");
+    });
+    server.shutdown();
+}
+
+/// Fault isolation: a connection dying mid-line (half a JSON object,
+/// then gone) must not disturb an established session or the accept
+/// loop.
+#[test]
+fn dead_connection_tears_down_only_itself() {
+    let server = Server::start(&[]);
+
+    let mut survivor = Client::connect(&server.addr, "steady");
+    // A connection that hellos, starts a request, and vanishes.
+    {
+        let mut dying = Client::connect(&server.addr, "flaky");
+        dying
+            .writer
+            .write_all(b"{\"op\":\"pred")
+            .expect("partial line written");
+        // Dropped here: the server sees EOF mid-line on that connection.
+    }
+
+    // The established session still answers…
+    let response = survivor
+        .send(r#"{"op":"predict","platform":"henri","cores":4,"comp_numa":0,"comm_numa":0}"#);
+    assert!(response.contains("\"ok\":true"), "{response}");
+    // …and the accept loop still accepts.
+    let mut fresh = Client::connect(&server.addr, "late");
+    let response = fresh.send(r#"{"op":"stats"}"#);
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    server.shutdown();
+}
+
+/// The hello contract: the first line must authenticate, bad tenants
+/// are refused with a `usage` error, and the refusal closes only that
+/// connection.
+#[test]
+fn hello_is_mandatory_and_validated() {
+    let server = Server::start(&[]);
+
+    let mut rude = Client::connect_raw(&server.addr);
+    let refused = rude.send(r#"{"op":"stats"}"#);
+    assert!(refused.contains("\"ok\":false"), "{refused}");
+    assert!(refused.contains("\"class\":\"usage\""), "{refused}");
+
+    let mut spacey = Client::connect_raw(&server.addr);
+    let refused = spacey.send(r#"{"hello":{"tenant":"a b"}}"#);
+    assert!(refused.contains("\"ok\":false"), "{refused}");
+
+    // A valid hello still works after both refusals.
+    Client::connect(&server.addr, "polite");
+    server.shutdown();
+}

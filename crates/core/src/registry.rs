@@ -98,6 +98,19 @@ pub struct RegistryStats {
     pub len: usize,
 }
 
+impl RegistryStats {
+    /// Fraction of lookups answered from the cache, in `[0, 1]`; `0.0`
+    /// before any lookup (a cold registry has no hit rate worth 1.0).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Sharded LRU cache of calibrated models. See the module docs.
 pub struct ModelRegistry {
     shards: Vec<Mutex<Shard>>,
@@ -409,6 +422,19 @@ mod tests {
         let stats = reg.stats();
         assert_eq!(stats.hits + stats.misses, 8);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_tracks_the_counters() {
+        let reg = ModelRegistry::new(4);
+        assert_eq!(reg.stats().hit_rate(), 0.0, "cold registry");
+        let key = key_for("henri");
+        reg.get_or_insert_with(&key, || build_for("henri")).unwrap();
+        assert_eq!(reg.stats().hit_rate(), 0.0, "one miss");
+        for _ in 0..3 {
+            reg.get(&key).unwrap();
+        }
+        assert!((reg.stats().hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

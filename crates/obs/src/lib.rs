@@ -55,4 +55,4 @@ pub use recorder::{
     Tag, TagValue,
 };
 pub use registry::{HistogramSummary, MetricsSnapshot, Registry, SpanRecord};
-pub use rss::peak_rss_kb;
+pub use rss::{current_rss_kb, peak_rss_kb};

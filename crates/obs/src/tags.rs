@@ -13,7 +13,8 @@
 //!   [`COMMAND`], [`WORKERS`], [`PREDICTOR`];
 //! * serving tags (PR 4): [`OP`], [`RESULT`], [`CACHE`], [`BATCH_SIZE`],
 //!   [`CONFIG`];
-//! * replay tags (PR 5): [`RANKS`], [`EVENT`], [`PATTERN`].
+//! * replay tags (PR 5): [`RANKS`], [`EVENT`], [`PATTERN`];
+//! * multi-tenant serving tags (PR 7): [`TENANT`], [`TRANSPORT`].
 
 /// Platform name (`henri`, `dahu`, …) or `file:<path>` pseudo-platforms.
 pub const PLATFORM: &str = "platform";
@@ -57,6 +58,12 @@ pub const EVENT: &str = "event";
 /// Synthetic trace generator (`halo2d`, `allreduce`, `pipeline`).
 pub const PATTERN: &str = "pattern";
 
+/// Authenticated tenant id of a serve connection (`anonymous` for the
+/// stdin transport).
+pub const TENANT: &str = "tenant";
+/// Serve transport a session arrived on (`stdio`, `tcp`).
+pub const TRANSPORT: &str = "transport";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -81,6 +88,8 @@ mod tests {
             super::RANKS,
             super::EVENT,
             super::PATTERN,
+            super::TENANT,
+            super::TRANSPORT,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();
