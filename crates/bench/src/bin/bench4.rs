@@ -1,0 +1,162 @@
+//! `bench4` — one BENCH_4 scheduling measurement per process.
+//!
+//! ```text
+//! bench4 [--jobs N] [--nodes N] [--platform NAME] [--max-slowdown X] [--seed N]
+//! ```
+//!
+//! Builds a deterministic mixed queue of send-heavy and compute-heavy
+//! jobs — the worst case for contention-blind placement, because
+//! packing two bandwidth hogs together saturates the memory bus while
+//! a compute job would have shared it for free — schedules it with all
+//! three policies on an identical fleet, and prints one JSON object
+//! with each policy's cluster makespan, throughput, and threshold
+//! violations plus the contention-aware speedup over the naive
+//! baselines. A shell loop over queue sizes assembles `BENCH_4.json`
+//! (see EXPERIMENTS.md).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mc_model::{ModelRegistry, PhaseProfile};
+use mc_sched::{policy_by_name, policy_names, Evaluator, Fleet, JobSpec, SchedulePlan};
+use mc_topology::platforms;
+
+fn usage() -> &'static str {
+    "usage: bench4 [--jobs N] [--nodes N] [--platform NAME] [--max-slowdown X] [--seed N]"
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench4: {msg}");
+    eprintln!("{}", usage());
+    ExitCode::from(2)
+}
+
+/// The adversarial queue: alternate comm-heavy shuffles with
+/// compute-heavy solvers so arrival order anti-correlates with the
+/// pairing a contention-aware packer would choose. Sizes cycle through
+/// three tiers to keep the queue heterogeneous at any length.
+fn mixed_queue(jobs: usize) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|i| {
+            let tier = 1.0 + (i / 2 % 3) as f64 * 0.5;
+            let (name, compute_gb, comm_gb) = if i % 2 == 0 {
+                ("shuffle", 2.0 * tier, 12.0 * tier)
+            } else {
+                ("solver", 25.0 * tier, 1.0 * tier)
+            };
+            JobSpec {
+                name: format!("{name}{i}"),
+                profile: PhaseProfile {
+                    compute_bytes: compute_gb * 1e9,
+                    comm_bytes: comm_gb * 1e9,
+                    max_cores: 8,
+                },
+            }
+        })
+        .collect()
+}
+
+fn plan_json(p: &SchedulePlan) -> String {
+    format!(
+        "{{\"makespan_s\":{:.6},\"throughput_jobs_per_s\":{:.4},\"colocated\":{},\
+         \"violations\":{}}}",
+        p.makespan, p.throughput, p.colocated, p.violations
+    )
+}
+
+fn main() -> ExitCode {
+    let mut jobs = 8usize;
+    let mut nodes = 4usize;
+    let mut platform_name = "henri".to_string();
+    let mut max_slowdown = 1.25f64;
+    let mut seed = 42u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => jobs = v,
+                None => return fail("--jobs needs a number"),
+            },
+            "--nodes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => nodes = v,
+                None => return fail("--nodes needs a number"),
+            },
+            "--platform" => match args.next() {
+                Some(v) => platform_name = v,
+                None => return fail("--platform needs a name"),
+            },
+            "--max-slowdown" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_slowdown = v,
+                None => return fail("--max-slowdown needs a number"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return fail("--seed needs a number"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unexpected argument '{other}'")),
+        }
+    }
+    if jobs == 0 || nodes == 0 {
+        return fail("--jobs and --nodes must be at least 1");
+    }
+    let Some(platform) = platforms::by_name(&platform_name) else {
+        return fail(&format!("unknown platform '{platform_name}'"));
+    };
+
+    let queue = mixed_queue(jobs);
+    let registry = ModelRegistry::new(8);
+    let fleet = match Fleet::build(vec![platform; nodes], &registry) {
+        Ok(f) => f,
+        Err(e) => return fail(&e.to_string()),
+    };
+    if let Err(e) = fleet.validate_jobs(&queue) {
+        return fail(&e.to_string());
+    }
+
+    let mut ev = Evaluator::new(&queue, &fleet);
+    let t0 = Instant::now();
+    let mut plans = Vec::new();
+    for name in policy_names() {
+        let policy = policy_by_name(name, max_slowdown, seed).expect("known policy");
+        let assignment = policy.assign(&mut ev);
+        plans.push(ev.plan(name, &assignment, max_slowdown));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let aware = plans
+        .iter()
+        .find(|p| p.policy == "contention_aware")
+        .expect("contention_aware ran");
+    let speedup = |p: &SchedulePlan| {
+        if aware.makespan > 0.0 {
+            p.makespan / aware.makespan
+        } else {
+            1.0
+        }
+    };
+    let per_policy = plans
+        .iter()
+        .map(|p| format!("\"{}\":{}", p.policy, plan_json(p)))
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "{{\"jobs\":{},\"fleet\":\"{}\",\"max_slowdown\":{},\"seed\":{},\"wall_s\":{:.3},\
+         \"node_simulations\":{},{},\"speedup_vs_first_fit\":{:.4},\
+         \"speedup_vs_round_robin\":{:.4}}}",
+        jobs,
+        fleet.describe(),
+        max_slowdown,
+        seed,
+        wall,
+        ev.sims(),
+        per_policy,
+        speedup(plans.iter().find(|p| p.policy == "first_fit").unwrap()),
+        speedup(plans.iter().find(|p| p.policy == "round_robin").unwrap()),
+    );
+    ExitCode::SUCCESS
+}

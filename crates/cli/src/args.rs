@@ -72,6 +72,9 @@ pub enum CliError {
     UnknownPattern(String),
     /// A trace failed to parse or replay (invalid data, exit 3).
     Replay(mc_replay::ReplayError),
+    /// The scheduler rejected its inputs (degenerate queue or fleet,
+    /// exit 3) or failed reading a trace file (exit 4).
+    Sched(mc_sched::SchedError),
     /// The model pipeline failed (bad data or I/O).
     Data(McError),
 }
@@ -94,6 +97,10 @@ impl CliError {
                 ErrorCategory::Io => EXIT_IO,
             },
             CliError::Replay(e) => match e.category() {
+                ErrorCategory::InvalidData => EXIT_INVALID_DATA,
+                ErrorCategory::Io => EXIT_IO,
+            },
+            CliError::Sched(e) => match e.category() {
                 ErrorCategory::InvalidData => EXIT_INVALID_DATA,
                 ErrorCategory::Io => EXIT_IO,
             },
@@ -148,6 +155,7 @@ impl fmt::Display for CliError {
                 mc_replay::generate::names().join(", ")
             ),
             CliError::Replay(e) => write!(f, "{e}"),
+            CliError::Sched(e) => write!(f, "{e}"),
             CliError::Data(e) => write!(f, "{e}"),
         }
     }
@@ -158,6 +166,7 @@ impl std::error::Error for CliError {
         match self {
             CliError::Data(e) => Some(e),
             CliError::Replay(e) => Some(e),
+            CliError::Sched(e) => Some(e),
             _ => None,
         }
     }
@@ -172,6 +181,12 @@ impl From<McError> for CliError {
 impl From<mc_replay::ReplayError> for CliError {
     fn from(e: mc_replay::ReplayError) -> Self {
         CliError::Replay(e)
+    }
+}
+
+impl From<mc_sched::SchedError> for CliError {
+    fn from(e: mc_sched::SchedError) -> Self {
+        CliError::Sched(e)
     }
 }
 
@@ -409,5 +424,14 @@ mod tests {
             message: "no such file".into(),
         });
         assert_eq!(io.exit_code(), EXIT_IO);
+        // Scheduler errors route through their category: degenerate
+        // inputs are data errors, trace-file failures are I/O.
+        let sched = CliError::from(mc_sched::SchedError::EmptyQueue);
+        assert_eq!(sched.exit_code(), EXIT_INVALID_DATA);
+        let sched_io = CliError::Sched(mc_sched::SchedError::Io {
+            path: "q.jsonl".into(),
+            message: "no such file".into(),
+        });
+        assert_eq!(sched_io.exit_code(), EXIT_IO);
     }
 }

@@ -10,8 +10,9 @@ use mc_membench::{
 };
 use mc_model::{
     evaluate, format_percent, model_from_text, model_to_text, rank, ContentionModel, McError,
-    PhaseProfile,
+    ModelRegistry, PhaseProfile,
 };
+use mc_obs::{tags, TagValue};
 use mc_replay::generate::{self, GenParams};
 use mc_replay::{report, ReplayConfig, Trace, TraceReader};
 use mc_topology::{platforms, NumaId, Platform};
@@ -37,6 +38,10 @@ usage:
                        [--compute-mb X] [--comm-mb Y] [--comp-numa A] \\
                        [--comm-numa B] [--search yes] [--gantt FILE] \\
                        [--save-trace FILE] [--stream yes]
+  memcontend schedule  --jobs QUEUE.jsonl \\
+                       (--platform NAME [--nodes N] | --fleet NAME*N,...) \\
+                       [--policy first_fit|round_robin|contention_aware|all] \\
+                       [--max-slowdown X] [--seed N]
   memcontend serve     [--workers N] [--capacity N] \\
                        [--warm PLATFORM=FILE]... \\
                        [--listen HOST:PORT] [--credits N] [--queue N] \\
@@ -53,6 +58,16 @@ the generator. --stream yes replays without materializing the trace:
 run lazily, memory stays bounded by ranks not events, and per-rank
 timelines are kept for the first 64 ranks only (--search needs the
 full trace and is incompatible).
+
+schedule places a JSON-lines job queue (one job object per line: inline
+{\"name\",\"compute_gb\",\"comm_gb\",\"max_cores\"}, a synthetic
+{\"pattern\",\"ranks\",...}, or a recorded {\"trace\":FILE}) onto a fleet
+of simulated nodes and prints per-job placements, predicted finish
+times, makespan and throughput. --fleet mixes platforms
+(henri*2,dahu*1); --policy all compares every policy. The
+contention-aware policy co-locates jobs only while the predicted
+slowdown of every affected job stays under --max-slowdown (default
+1.25), using the calibrated model plus a per-node fluid simulation.
 
 serve reads one JSON request per stdin line and writes one JSON response
 per stdout line: {\"op\":\"predict\"|\"calibrate\"|\"evaluate\"|\"recommend\"|
@@ -506,6 +521,121 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The fleet a `schedule` run places onto: `--fleet henri*2,dahu*1`
+/// (mixed) or `--platform NAME --nodes N` (uniform).
+fn fleet_platforms(args: &Args) -> Result<Vec<Platform>, CliError> {
+    match (args.get("fleet"), args.get("platform")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "--fleet and --platform are mutually exclusive".into(),
+        )),
+        (Some(spec), None) => {
+            let mut out = Vec::new();
+            for part in spec.split(',') {
+                let part = part.trim();
+                let (name, count) = match part.split_once('*') {
+                    None => (part, 1usize),
+                    Some((n, c)) => {
+                        let count: usize = c
+                            .trim()
+                            .parse()
+                            .map_err(|_| CliError::BadValue("fleet", part.to_string()))?;
+                        (n.trim(), count)
+                    }
+                };
+                if count == 0 {
+                    return Err(CliError::NonPositive("fleet"));
+                }
+                let p = platforms::by_name(name)
+                    .ok_or_else(|| CliError::UnknownPlatform(name.to_string()))?;
+                out.extend(std::iter::repeat_n(p, count));
+            }
+            Ok(out)
+        }
+        (None, _) => {
+            let p = platform(args)?;
+            let nodes: usize = args.num_or("nodes", 2)?;
+            if nodes == 0 {
+                return Err(CliError::NonPositive("nodes"));
+            }
+            Ok(vec![p; nodes])
+        }
+    }
+}
+
+/// `schedule`: place a JSON-lines job queue onto a simulated fleet under
+/// one or all policies and report placements, finish times, makespan and
+/// throughput.
+pub fn schedule_cmd(args: &Args) -> Result<String, CliError> {
+    let jobs_path = args.require("jobs")?;
+    let policy_sel = args.get("policy").unwrap_or("contention_aware");
+    let names: Vec<&str> = if policy_sel == "all" {
+        mc_sched::policy_names().to_vec()
+    } else if mc_sched::policy_names().contains(&policy_sel) {
+        vec![policy_sel]
+    } else {
+        return Err(CliError::Usage(format!(
+            "unknown --policy '{policy_sel}' (expected one of: {}, all)",
+            mc_sched::policy_names().join(", ")
+        )));
+    };
+    let max_slowdown: f64 = args.num_or("max-slowdown", 1.25)?;
+    if !max_slowdown.is_finite() || max_slowdown < 1.0 {
+        return Err(CliError::Usage(format!(
+            "--max-slowdown must be at least 1.0 (co-location cannot speed a job up), \
+             got {max_slowdown}"
+        )));
+    }
+    let seed: u64 = args.num_or("seed", 42)?;
+    let fleet_spec = fleet_platforms(args)?;
+    let text = fs::read_to_string(jobs_path).map_err(|e| McError::io(jobs_path, e))?;
+    let jobs = mc_sched::parse_jobs(&text)?;
+    let registry = ModelRegistry::new(8);
+    let fleet = mc_sched::Fleet::build(fleet_spec, &registry)?;
+    fleet.validate_jobs(&jobs)?;
+    let fleet_desc = fleet.describe();
+    let _span = mc_obs::span(
+        "schedule",
+        &[
+            (tags::FLEET, TagValue::Str(&fleet_desc)),
+            (tags::WORKERS, TagValue::U64(jobs.len() as u64)),
+        ],
+    );
+    if let Some(rec) = mc_obs::recorder() {
+        rec.add("sched.jobs", &[], jobs.len() as u64);
+        rec.add("sched.nodes", &[], fleet.nodes.len() as u64);
+    }
+    let mut ev = mc_sched::Evaluator::new(&jobs, &fleet);
+    let mut plans = Vec::with_capacity(names.len());
+    for name in &names {
+        let _policy_span = mc_obs::span("schedule.policy", &[(tags::POLICY, TagValue::Str(name))]);
+        let policy = mc_sched::policy_by_name(name, max_slowdown, seed)
+            .expect("policy names were validated above");
+        let assignment = policy.assign(&mut ev);
+        let plan = ev.plan(name, &assignment, max_slowdown);
+        if let Some(rec) = mc_obs::recorder() {
+            rec.observe(
+                "sched.makespan_seconds",
+                &[(tags::POLICY, TagValue::Str(name))],
+                plan.makespan,
+            );
+            for p in &plan.placements {
+                rec.observe(
+                    "sched.slowdown",
+                    &[(tags::POLICY, TagValue::Str(name))],
+                    p.slowdown,
+                );
+            }
+        }
+        plans.push(plan);
+    }
+    if let Some(rec) = mc_obs::recorder() {
+        rec.add("sched.simulations", &[], ev.sims() as u64);
+    }
+    let mut out = mc_sched::report::render(&fleet, &jobs, &plans, max_slowdown);
+    let _ = writeln!(out, "\nnode simulations: {}", ev.sims());
+    Ok(out)
+}
+
 /// Dispatch a parsed command line.
 pub fn run(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -516,6 +646,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "advise" => advise(args),
         "evaluate" => evaluate_cmd(args),
         "replay" => replay_cmd(args),
+        "schedule" => schedule_cmd(args),
         "serve" => {
             // The one long-lived subcommand: streams responses directly
             // rather than rendering a string.
@@ -902,5 +1033,126 @@ mod tests {
     #[test]
     fn help_prints_usage() {
         assert!(run_line(&["help"]).unwrap().contains("memcontend"));
+    }
+
+    fn write_queue(tag: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!(
+            "memcontend-queue-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, contents).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    const SMALL_QUEUE: &str = "\
+        {\"name\":\"solver\",\"compute_gb\":25,\"comm_gb\":2,\"max_cores\":8}\n\
+        {\"name\":\"shuffle\",\"compute_gb\":2,\"comm_gb\":10,\"max_cores\":8}\n\
+        {\"name\":\"mix\",\"compute_gb\":12,\"comm_gb\":4,\"max_cores\":8}\n";
+
+    #[test]
+    fn schedule_compares_policies_and_reports_placements() {
+        let path = write_queue("compare", SMALL_QUEUE);
+        let out = run_line(&[
+            "schedule",
+            "--jobs",
+            &path,
+            "--platform",
+            "henri",
+            "--nodes",
+            "2",
+            "--policy",
+            "all",
+        ])
+        .unwrap();
+        for policy in ["first_fit", "round_robin", "contention_aware"] {
+            assert!(out.contains(&format!("policy {policy}")), "{out}");
+        }
+        assert!(out.contains("policy comparison"), "{out}");
+        assert!(out.contains("solver"), "{out}");
+        assert!(out.contains("makespan_s "), "{out}");
+        assert!(out.contains("node simulations:"), "{out}");
+        // Same invocation, same bytes: the report is deterministic.
+        let again = run_line(&[
+            "schedule",
+            "--jobs",
+            &path,
+            "--platform",
+            "henri",
+            "--nodes",
+            "2",
+            "--policy",
+            "all",
+        ])
+        .unwrap();
+        assert_eq!(out, again);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn schedule_accepts_mixed_fleets_and_pattern_jobs() {
+        let path = write_queue(
+            "mixed",
+            "{\"name\":\"halo\",\"pattern\":\"halo2d\",\"ranks\":4,\"iters\":1,\
+             \"cores\":2,\"compute_mb\":64,\"comm_mb\":16,\"max_cores\":6}\n\
+             {\"name\":\"inline\",\"compute_gb\":8}\n",
+        );
+        let out = run_line(&["schedule", "--jobs", &path, "--fleet", "henri*1,dahu*1"]).unwrap();
+        assert!(out.contains("henri x1 + dahu x1"), "{out}");
+        assert!(out.contains("halo"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn schedule_degenerate_inputs_are_typed_errors_not_panics() {
+        let path = write_queue("degenerate", SMALL_QUEUE);
+        let base = ["schedule", "--jobs", &path, "--platform", "henri"];
+
+        // Zero-node fleet: usage error (exit 2).
+        let e = run_line(&[&base[..], &["--nodes", "0"]].concat()).unwrap_err();
+        assert_eq!(e, CliError::NonPositive("nodes"));
+        // Sub-1.0 slowdown threshold: usage error.
+        let e = run_line(&[&base[..], &["--max-slowdown", "0.5"]].concat()).unwrap_err();
+        assert!(e.is_usage(), "{e}");
+        assert!(e.to_string().contains("max-slowdown"), "{e}");
+        // Unknown policy: usage error naming the candidates.
+        let e = run_line(&[&base[..], &["--policy", "zzz"]].concat()).unwrap_err();
+        assert!(e.is_usage(), "{e}");
+        assert!(e.to_string().contains("contention_aware"), "{e}");
+        // Bad fleet specs: usage errors.
+        let e = run_line(&["schedule", "--jobs", &path, "--fleet", "henri*x"]).unwrap_err();
+        assert!(matches!(e, CliError::BadValue("fleet", _)), "{e}");
+        let e = run_line(&["schedule", "--jobs", &path, "--fleet", "zzz*2"]).unwrap_err();
+        assert!(matches!(e, CliError::UnknownPlatform(_)), "{e}");
+        let e = run_line(&["schedule", "--jobs", &path, "--fleet", "henri*0"]).unwrap_err();
+        assert_eq!(e, CliError::NonPositive("fleet"));
+
+        // Empty queue: invalid data (exit 3), not a panic.
+        let empty = write_queue("empty", "\n");
+        let e = run_line(&["schedule", "--jobs", &empty, "--platform", "henri"]).unwrap_err();
+        assert_eq!(e.exit_code(), crate::args::EXIT_INVALID_DATA, "{e}");
+        assert!(e.to_string().contains("empty"), "{e}");
+        std::fs::remove_file(empty).ok();
+
+        // A job wider than every node: invalid data naming the job.
+        let wide = write_queue(
+            "wide",
+            "{\"name\":\"huge\",\"compute_gb\":4,\"max_cores\":4096}\n",
+        );
+        let e = run_line(&["schedule", "--jobs", &wide, "--platform", "henri"]).unwrap_err();
+        assert_eq!(e.exit_code(), crate::args::EXIT_INVALID_DATA, "{e}");
+        assert!(e.to_string().contains("huge"), "{e}");
+        std::fs::remove_file(wide).ok();
+
+        // Missing queue file: I/O (exit 4).
+        let e = run_line(&[
+            "schedule",
+            "--jobs",
+            "/nonexistent/queue.jsonl",
+            "--platform",
+            "henri",
+        ])
+        .unwrap_err();
+        assert_eq!(e.exit_code(), crate::args::EXIT_IO, "{e}");
+        std::fs::remove_file(path).ok();
     }
 }

@@ -276,6 +276,65 @@ fn dead_connection_tears_down_only_itself() {
     server.shutdown();
 }
 
+/// A tenant whose *every* request is rejected by admission must leave
+/// the registry untouched — `stats` reports zero hits, zero misses and
+/// a hit rate of exactly 0 (not NaN) — while the per-tenant overload
+/// counters account for the whole flood.
+#[test]
+fn all_rejected_session_keeps_stats_and_counters_honest() {
+    let metrics_path = std::env::temp_dir().join(format!(
+        "memcontend-overload-metrics-{}.jsonl",
+        std::process::id()
+    ));
+    let metrics = metrics_path.to_str().unwrap().to_string();
+    let server = Server::start(&["--credits", "2", "--metrics", &metrics]);
+
+    // Every request this tenant makes is oversized — three credits
+    // against a two-credit budget — so none ever reaches dispatch.
+    let mut hog = Client::connect(&server.addr, "reject-all");
+    for i in 0..10 {
+        let response = hog.send(&format!(
+            "{{\"id\":{i},\"batch\":[{{\"op\":\"stats\"}},{{\"op\":\"stats\"}},\
+             {{\"op\":\"stats\"}}]}}"
+        ));
+        assert!(response.contains("\"ok\":false"), "{response}");
+        assert!(response.contains("\"class\":\"overload\""), "{response}");
+    }
+
+    // A second tenant audits the registry: the flood never touched it.
+    let mut auditor = Client::connect(&server.addr, "auditor");
+    let stats = auditor.send(r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"ok\":true"), "{stats}");
+    assert!(stats.contains("\"hits\":0"), "{stats}");
+    assert!(stats.contains("\"misses\":0"), "{stats}");
+    assert!(stats.contains("\"hit_rate\":0"), "{stats}");
+    assert!(!stats.contains("NaN"), "hit rate must be a number: {stats}");
+
+    server.shutdown();
+
+    // The exported counters attribute every rejection to the tenant.
+    let lines = std::fs::read_to_string(&metrics_path).expect("metrics exported");
+    let overload = lines
+        .lines()
+        .find(|l| {
+            l.contains("\"serve.overload\"")
+                && l.contains("\"reject-all\"")
+                && l.contains("\"too_large\"")
+        })
+        .unwrap_or_else(|| panic!("no per-tenant overload counter in:\n{lines}"));
+    assert!(overload.contains("\"value\":10"), "{overload}");
+    let admission = lines
+        .lines()
+        .find(|l| {
+            l.contains("\"serve.requests\"")
+                && l.contains("\"admission\"")
+                && l.contains("\"overload\"")
+        })
+        .unwrap_or_else(|| panic!("no admission-overload counter in:\n{lines}"));
+    assert!(admission.contains("\"value\":10"), "{admission}");
+    std::fs::remove_file(&metrics_path).ok();
+}
+
 /// The hello contract: the first line must authenticate, bad tenants
 /// are refused with a `usage` error, and the refusal closes only that
 /// connection.

@@ -42,6 +42,7 @@ pub mod delta;
 pub mod engine;
 pub mod fabric;
 pub mod faults;
+pub mod node;
 pub mod noise;
 pub mod solver;
 
@@ -52,5 +53,6 @@ pub use engine::{
 };
 pub use fabric::{Fabric, FabricScratch, ResourceKind, SolveResult, StreamSpec};
 pub use faults::{inject, inject_all, EngineFault};
+pub use node::{JobFinish, JobLoad, NodeRun, NodeWorld};
 pub use noise::Noise;
 pub use solver::{allocate, allocate_into, Allocation, FlowClass, FlowReq, FlowSet, SolverScratch};

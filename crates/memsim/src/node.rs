@@ -1,0 +1,299 @@
+//! Multi-job node world: finite workloads sharing one fabric.
+//!
+//! The engine ([`crate::engine`]) measures *steady-state* bandwidths of
+//! activities that restart forever; the scheduler needs the opposite —
+//! **finite** jobs (so many compute bytes, so many communication bytes)
+//! co-located on one node, each finishing at some instant. `NodeWorld`
+//! closes that gap with a fluid simulation directly on the progressive-
+//! filling solver: between stream starts/stops every active stream moves
+//! at the rate [`Fabric::solve_into`] assigns it, the earliest phase
+//! completion is the next event, and the multiset of streams shrinks as
+//! phases drain. A node hosting `k` jobs therefore costs at most `2k`
+//! solves — one per phase completion.
+//!
+//! Each job is the scheduler-level view of the paper's workload: a
+//! memory-bound compute phase (`cores` non-temporal writers on
+//! `comp_numa`) overlapped with a communication phase (one NIC DMA
+//! stream into `comm_numa`). With one job this reduces to the advisor's
+//! two-phase makespan, computed on the simulated fabric instead of the
+//! calibrated closed form.
+
+use mc_topology::{NumaId, Platform};
+
+use crate::fabric::{Fabric, FabricScratch, SolveResult, StreamSpec};
+
+/// One finite job placed on the node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobLoad {
+    /// Computing cores granted to the job (0 is allowed iff the job has
+    /// no compute bytes).
+    pub cores: usize,
+    /// NUMA node holding the job's computation data.
+    pub comp_numa: NumaId,
+    /// NUMA node holding the job's communication buffers.
+    pub comm_numa: NumaId,
+    /// Bytes the compute phase must move through memory.
+    pub compute_bytes: f64,
+    /// Bytes the communication phase must move over the NIC.
+    pub comm_bytes: f64,
+}
+
+/// Per-job outcome of a node run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobFinish {
+    /// Seconds until the job's compute phase drained.
+    pub compute_done: f64,
+    /// Seconds until the job's communication phase drained.
+    pub comm_done: f64,
+}
+
+impl JobFinish {
+    /// Seconds until both phases drained — the job's completion time.
+    pub fn finish(&self) -> f64 {
+        self.compute_done.max(self.comm_done)
+    }
+}
+
+/// Outcome of running a set of co-located jobs to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRun {
+    /// Per-job phase completion times, input order.
+    pub jobs: Vec<JobFinish>,
+    /// Time the last phase drained (0 for an empty or all-empty set).
+    pub makespan: f64,
+    /// Progressive-filling solves performed (≤ 2 × jobs).
+    pub solves: usize,
+}
+
+/// One simulated cluster node: a platform's fabric plus reusable solver
+/// scratch. Cheap to keep per fleet entry; `run` is `&mut self` only for
+/// the scratch.
+#[derive(Debug)]
+pub struct NodeWorld {
+    fabric: Fabric,
+    scratch: FabricScratch,
+    result: SolveResult,
+}
+
+/// Remaining work of one job inside the event loop.
+#[derive(Debug, Clone, Copy)]
+struct Residual {
+    compute: f64,
+    comm: f64,
+    compute_done: f64,
+    comm_done: f64,
+}
+
+impl NodeWorld {
+    /// Build the node for one platform.
+    pub fn new(platform: &Platform) -> Self {
+        NodeWorld {
+            fabric: Fabric::new(platform),
+            scratch: FabricScratch::default(),
+            result: SolveResult::default(),
+        }
+    }
+
+    /// The platform this node simulates.
+    pub fn platform(&self) -> &Platform {
+        self.fabric.platform()
+    }
+
+    /// Run `jobs` from a common start to completion and report when each
+    /// phase drains. Deterministic: same jobs, same answer, bit for bit.
+    pub fn run(&mut self, jobs: &[JobLoad]) -> NodeRun {
+        let mut residual: Vec<Residual> = jobs
+            .iter()
+            .map(|j| Residual {
+                compute: if j.cores > 0 { j.compute_bytes } else { 0.0 },
+                comm: j.comm_bytes,
+                compute_done: 0.0,
+                comm_done: 0.0,
+            })
+            .collect();
+        let mut now = 0.0f64;
+        let mut solves = 0usize;
+        let mut streams: Vec<StreamSpec> = Vec::new();
+        // Stream ownership, parallel to `streams`: (job index, is_comm).
+        let mut owner: Vec<(usize, bool)> = Vec::new();
+        loop {
+            streams.clear();
+            owner.clear();
+            for (i, (job, res)) in jobs.iter().zip(residual.iter()).enumerate() {
+                if res.compute > 0.0 {
+                    for _ in 0..job.cores {
+                        streams.push(StreamSpec::CpuWrite {
+                            numa: job.comp_numa,
+                        });
+                        owner.push((i, false));
+                    }
+                }
+                if res.comm > 0.0 {
+                    streams.push(StreamSpec::DmaRecv {
+                        numa: job.comm_numa,
+                    });
+                    owner.push((i, true));
+                }
+            }
+            if streams.is_empty() {
+                break;
+            }
+            self.fabric
+                .solve_into(&streams, 1.0, &mut self.scratch, &mut self.result);
+            solves += 1;
+            // Aggregate per-phase rates (bytes/s); the solver reports GB/s
+            // per stream and a job's compute phase is the sum of its cores.
+            let mut comp_rate = vec![0.0f64; jobs.len()];
+            let mut comm_rate = vec![0.0f64; jobs.len()];
+            for (&(job, is_comm), &rate) in owner.iter().zip(self.result.rates.iter()) {
+                if is_comm {
+                    comm_rate[job] += rate * 1e9;
+                } else {
+                    comp_rate[job] += rate * 1e9;
+                }
+            }
+            // Earliest phase completion is the next event.
+            let mut dt = f64::INFINITY;
+            for (i, res) in residual.iter().enumerate() {
+                if res.compute > 0.0 && comp_rate[i] > 0.0 {
+                    dt = dt.min(res.compute / comp_rate[i]);
+                }
+                if res.comm > 0.0 && comm_rate[i] > 0.0 {
+                    dt = dt.min(res.comm / comm_rate[i]);
+                }
+            }
+            if !dt.is_finite() {
+                // Every remaining stream got rate 0 — cannot happen on a
+                // well-formed fabric (capacities are positive), but a
+                // stall must not loop forever.
+                break;
+            }
+            now += dt;
+            for (i, res) in residual.iter_mut().enumerate() {
+                if res.compute > 0.0 {
+                    res.compute -= comp_rate[i] * dt;
+                    if res.compute <= res.compute.abs().max(1.0) * 1e-12 {
+                        res.compute = 0.0;
+                        res.compute_done = now;
+                    }
+                }
+                if res.comm > 0.0 {
+                    res.comm -= comm_rate[i] * dt;
+                    if res.comm <= res.comm.abs().max(1.0) * 1e-12 {
+                        res.comm = 0.0;
+                        res.comm_done = now;
+                    }
+                }
+            }
+        }
+        let jobs_out: Vec<JobFinish> = residual
+            .iter()
+            .map(|r| JobFinish {
+                compute_done: r.compute_done,
+                comm_done: r.comm_done,
+            })
+            .collect();
+        let makespan = jobs_out.iter().map(JobFinish::finish).fold(0.0, f64::max);
+        NodeRun {
+            jobs: jobs_out,
+            makespan,
+            solves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_topology::platforms;
+
+    fn job(cores: usize, comp: u16, comm: u16, compute_gb: f64, comm_gb: f64) -> JobLoad {
+        JobLoad {
+            cores,
+            comp_numa: NumaId::new(comp),
+            comm_numa: NumaId::new(comm),
+            compute_bytes: compute_gb * 1e9,
+            comm_bytes: comm_gb * 1e9,
+        }
+    }
+
+    #[test]
+    fn empty_node_finishes_instantly() {
+        let mut node = NodeWorld::new(&platforms::henri());
+        let run = node.run(&[]);
+        assert_eq!(run.makespan, 0.0);
+        assert_eq!(run.solves, 0);
+        let run = node.run(&[job(4, 0, 0, 0.0, 0.0)]);
+        assert_eq!(run.makespan, 0.0);
+        assert_eq!(run.jobs[0].finish(), 0.0);
+    }
+
+    #[test]
+    fn single_job_matches_hand_computed_two_phase_run() {
+        let p = platforms::henri();
+        let mut node = NodeWorld::new(&p);
+        let j = job(8, 0, 1, 40.0, 10.0);
+        let run = node.run(&[j]);
+        assert_eq!(run.jobs.len(), 1);
+        // Both phases drain, in at most two solver segments.
+        assert!(run.solves <= 2, "solves {}", run.solves);
+        assert!(run.makespan > 0.0);
+        // The makespan can't beat either phase running alone at full rate.
+        let fabric = Fabric::new(&p);
+        let comp_alone = fabric
+            .solve(&Fabric::benchmark_streams(8, Some(NumaId::new(0)), None))
+            .rates
+            .iter()
+            .sum::<f64>()
+            * 1e9;
+        let comm_alone = fabric
+            .solve(&[StreamSpec::DmaRecv {
+                numa: NumaId::new(1),
+            }])
+            .rates[0]
+            * 1e9;
+        let lower = (j.compute_bytes / comp_alone).max(j.comm_bytes / comm_alone);
+        assert!(run.makespan >= lower - 1e-9);
+    }
+
+    #[test]
+    fn colocation_never_speeds_either_job_up() {
+        let p = platforms::henri();
+        let mut node = NodeWorld::new(&p);
+        let a = job(8, 0, 0, 30.0, 6.0);
+        let b = job(8, 0, 0, 20.0, 12.0);
+        let alone_a = node.run(&[a]).jobs[0].finish();
+        let alone_b = node.run(&[b]).jobs[0].finish();
+        let both = node.run(&[a, b]);
+        assert!(both.jobs[0].finish() >= alone_a - 1e-9);
+        assert!(both.jobs[1].finish() >= alone_b - 1e-9);
+        assert!(both.makespan >= alone_a.max(alone_b) - 1e-9);
+    }
+
+    #[test]
+    fn separated_numa_placement_beats_piling_on_one_node() {
+        let p = platforms::henri();
+        let mut node = NodeWorld::new(&p);
+        let piled = node.run(&[job(8, 0, 0, 30.0, 8.0), job(8, 0, 0, 30.0, 8.0)]);
+        let spread = node.run(&[job(8, 0, 1, 30.0, 8.0), job(8, 1, 0, 30.0, 8.0)]);
+        assert!(
+            spread.makespan < piled.makespan,
+            "spread {} vs piled {}",
+            spread.makespan,
+            piled.makespan
+        );
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let p = platforms::dahu();
+        let mut node = NodeWorld::new(&p);
+        let jobs = [job(4, 0, 1, 25.0, 5.0), job(2, 1, 0, 5.0, 20.0)];
+        let a = node.run(&jobs);
+        let b = node.run(&jobs);
+        assert_eq!(a, b);
+        for (x, y) in a.jobs.iter().zip(b.jobs.iter()) {
+            assert_eq!(x.finish().to_bits(), y.finish().to_bits());
+        }
+    }
+}

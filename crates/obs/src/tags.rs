@@ -14,7 +14,8 @@
 //! * serving tags (PR 4): [`OP`], [`RESULT`], [`CACHE`], [`BATCH_SIZE`],
 //!   [`CONFIG`];
 //! * replay tags (PR 5): [`RANKS`], [`EVENT`], [`PATTERN`];
-//! * multi-tenant serving tags (PR 7): [`TENANT`], [`TRANSPORT`].
+//! * multi-tenant serving tags (PR 7): [`TENANT`], [`TRANSPORT`];
+//! * scheduler tags (PR 8): [`POLICY`], [`FLEET`].
 
 /// Platform name (`henri`, `dahu`, …) or `file:<path>` pseudo-platforms.
 pub const PLATFORM: &str = "platform";
@@ -64,6 +65,12 @@ pub const TENANT: &str = "tenant";
 /// Serve transport a session arrived on (`stdio`, `tcp`).
 pub const TRANSPORT: &str = "transport";
 
+/// Cluster scheduling policy (`first_fit`, `round_robin`,
+/// `contention_aware`).
+pub const POLICY: &str = "policy";
+/// Fleet composition a schedule ran against (`henri x2 + dahu x1`).
+pub const FLEET: &str = "fleet";
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -90,6 +97,8 @@ mod tests {
             super::PATTERN,
             super::TENANT,
             super::TRANSPORT,
+            super::POLICY,
+            super::FLEET,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();

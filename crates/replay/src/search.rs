@@ -115,8 +115,13 @@ pub struct Crosscheck {
 }
 
 /// Distill a [`PhaseProfile`] from a trace: average per-rank compute
-/// bytes and incoming communication bytes (receives plus collective
-/// payloads).
+/// bytes and communication bytes. Communication counts **both
+/// directions** — receives (NIC DMA writing into memory), sends (NIC
+/// DMA reading the outgoing buffer), and collective payloads — because
+/// either direction crosses the memory bus and contends with the
+/// computation. Earlier versions dropped `Send` bytes, so send-heavy
+/// traces distilled to `comm_bytes ≈ 0` and the advisor saw them as
+/// compute-only.
 pub fn phase_profile(trace: &Trace, max_cores: usize) -> PhaseProfile {
     let ranks = trace.ranks().max(1) as f64;
     let mut compute = 0.0f64;
@@ -125,9 +130,10 @@ pub fn phase_profile(trace: &Trace, max_cores: usize) -> PhaseProfile {
         for ev in program {
             match ev {
                 EventKind::Compute { bytes, .. } => compute += *bytes as f64,
+                EventKind::Send { bytes, .. } => comm += *bytes as f64,
                 EventKind::Recv { bytes, .. } => comm += *bytes as f64,
                 EventKind::Collective { bytes, .. } => comm += *bytes as f64,
-                _ => {}
+                EventKind::Wait => {}
             }
         }
     }
@@ -241,6 +247,52 @@ mod tests {
         assert_eq!(out.points.len(), 8); // 2 cores × 4 placements
         assert!(out.points.iter().any(|pt| pt.n_cores == 2));
         assert!(out.points.iter().any(|pt| pt.n_cores == 8));
+    }
+
+    #[test]
+    fn phase_profile_counts_send_bytes() {
+        // Regression: a send-heavy trace must not distill to
+        // `comm_bytes ≈ 0`. Outgoing DMA reads cross the memory bus just
+        // like incoming DMA writes, so both directions are comm volume.
+        let trace = Trace {
+            events: vec![
+                vec![EventKind::Send {
+                    peer: 1,
+                    numa: mc_topology::NumaId::new(0),
+                    bytes: 64,
+                    tag: 0,
+                }],
+                vec![EventKind::Recv {
+                    peer: 0,
+                    numa: mc_topology::NumaId::new(0),
+                    bytes: 64,
+                    tag: 0,
+                }],
+            ],
+        };
+        let prof = phase_profile(&trace, 4);
+        assert_eq!(prof.compute_bytes, 0.0);
+        assert_eq!(prof.comm_bytes, 64.0); // (64 sent + 64 received) / 2 ranks
+                                           // A paired pattern distills symmetrically: halo2d sends exactly
+                                           // what it receives, so comm volume is twice the receive volume.
+        let halo = generate::halo2d(&GenParams {
+            ranks: 4,
+            iters: 1,
+            compute_bytes: 0,
+            comm_bytes: 10,
+            ..GenParams::default()
+        });
+        let recv_bytes: u64 = halo
+            .events
+            .iter()
+            .flatten()
+            .filter_map(|ev| match ev {
+                EventKind::Recv { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        let prof = phase_profile(&halo, 4);
+        assert_eq!(prof.comm_bytes * 4.0, 2.0 * recv_bytes as f64);
     }
 
     #[test]

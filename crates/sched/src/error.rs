@@ -1,0 +1,92 @@
+//! Typed scheduler errors, mapped onto the workspace's exit-code
+//! contract (invalid data → 3, I/O → 4) through
+//! [`SchedError::category`]. Degenerate inputs — an empty job queue, a
+//! zero-node fleet, a job no node can host — are errors, never panics.
+
+use std::fmt;
+
+use mc_model::{ErrorCategory, McError};
+
+/// Why scheduling failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The job queue parsed to zero jobs.
+    EmptyQueue,
+    /// The fleet has zero nodes.
+    EmptyFleet,
+    /// A job requests more cores than any node in the fleet has, so no
+    /// placement can honour it.
+    JobTooWide {
+        /// Job name.
+        job: String,
+        /// Cores the job requested.
+        max_cores: usize,
+        /// Compute cores of the widest fleet node.
+        widest: usize,
+    },
+    /// A job-queue line failed to parse or validate.
+    BadJob {
+        /// 1-based line number in the queue file.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Reading a referenced trace file failed.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The OS error.
+        message: String,
+    },
+    /// Calibrating a fleet node's model failed.
+    Model(McError),
+}
+
+impl SchedError {
+    /// Which exit-code class the error belongs to.
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            SchedError::Io { .. } => ErrorCategory::Io,
+            SchedError::Model(e) => e.category(),
+            _ => ErrorCategory::InvalidData,
+        }
+    }
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::EmptyQueue => write!(f, "the job queue is empty: nothing to schedule"),
+            SchedError::EmptyFleet => write!(f, "the fleet has no nodes: nowhere to schedule"),
+            SchedError::JobTooWide {
+                job,
+                max_cores,
+                widest,
+            } => write!(
+                f,
+                "job '{job}' requests {max_cores} cores but the widest fleet node \
+                 has {widest}: no node can host it"
+            ),
+            SchedError::BadJob { line, message } => {
+                write!(f, "job queue line {line}: {message}")
+            }
+            SchedError::Io { path, message } => write!(f, "{path}: {message}"),
+            SchedError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<McError> for SchedError {
+    fn from(e: McError) -> Self {
+        SchedError::Model(e)
+    }
+}

@@ -1,0 +1,161 @@
+//! The fleet: simulated nodes with calibrated models.
+//!
+//! Every node is one [`Platform`] plus the calibrated
+//! [`ContentionModel`] the contention-aware policy consults. Models
+//! come out of the shared [`ModelRegistry`], so a fleet of N identical
+//! nodes calibrates **once** — the registry's populate-once semantics
+//! (PR 4) do the deduplication, and a server embedding the scheduler
+//! reuses whatever the serve path already cached.
+
+use std::sync::Arc;
+
+use mc_membench::{calibration_placements, calibration_sweeps, BenchConfig};
+use mc_model::{ContentionModel, McError, ModelRegistry, RegistryKey};
+use mc_topology::Platform;
+
+use crate::error::SchedError;
+use crate::job::JobSpec;
+
+/// One simulated cluster node.
+#[derive(Debug, Clone)]
+pub struct FleetNode {
+    /// The node's hardware.
+    pub platform: Platform,
+    /// The model calibrated for that hardware (shared via the registry).
+    pub model: Arc<ContentionModel>,
+    /// Compute cores the scheduler may grant (the platform's benchmended
+    /// compute-core budget, NIC-reserved core excluded).
+    pub cores: usize,
+}
+
+/// The whole fleet, node index = position.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    /// The nodes, in command-line order.
+    pub nodes: Vec<FleetNode>,
+}
+
+impl Fleet {
+    /// Build a fleet from platforms, calibrating each **distinct**
+    /// platform once through `registry`. An empty platform list is a
+    /// typed error, not a panic.
+    pub fn build(platforms: Vec<Platform>, registry: &ModelRegistry) -> Result<Fleet, SchedError> {
+        if platforms.is_empty() {
+            return Err(SchedError::EmptyFleet);
+        }
+        let mut nodes = Vec::with_capacity(platforms.len());
+        for p in platforms {
+            let key = RegistryKey::new(p.name(), "default", calibration_placements(&p));
+            let (model, _cached) = registry
+                .get_or_insert_with(&key, || {
+                    let (local, remote) = calibration_sweeps(&p, BenchConfig::default());
+                    ContentionModel::calibrate(&p.topology, &local, &remote).map_err(McError::from)
+                })
+                .map_err(SchedError::Model)?;
+            let cores = p.max_compute_cores();
+            nodes.push(FleetNode {
+                platform: p,
+                model,
+                cores,
+            });
+        }
+        Ok(Fleet { nodes })
+    }
+
+    /// Compute cores of the widest node (0 only for an empty fleet).
+    pub fn widest(&self) -> usize {
+        self.nodes.iter().map(|n| n.cores).max().unwrap_or(0)
+    }
+
+    /// Reject degenerate queues: empty, or containing a job whose core
+    /// request no node can honour.
+    pub fn validate_jobs(&self, jobs: &[JobSpec]) -> Result<(), SchedError> {
+        if jobs.is_empty() {
+            return Err(SchedError::EmptyQueue);
+        }
+        let widest = self.widest();
+        for j in jobs {
+            if j.profile.max_cores > widest {
+                return Err(SchedError::JobTooWide {
+                    job: j.name.clone(),
+                    max_cores: j.profile.max_cores,
+                    widest,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Human description of the fleet's composition, e.g.
+    /// `henri x4` or `henri x2 + dahu x1` (run-length over node order).
+    pub fn describe(&self) -> String {
+        let mut parts: Vec<(String, usize)> = Vec::new();
+        for n in &self.nodes {
+            match parts.last_mut() {
+                Some((name, count)) if *name == n.platform.name() => *count += 1,
+                _ => parts.push((n.platform.name().to_string(), 1)),
+            }
+        }
+        parts
+            .iter()
+            .map(|(name, count)| format!("{name} x{count}"))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_model::PhaseProfile;
+    use mc_topology::platforms;
+
+    fn job(name: &str, max_cores: usize) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            profile: PhaseProfile {
+                compute_bytes: 1e9,
+                comm_bytes: 1e9,
+                max_cores,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_a_typed_error() {
+        let reg = ModelRegistry::new(4);
+        match Fleet::build(Vec::new(), &reg) {
+            Err(SchedError::EmptyFleet) => {}
+            other => panic!("expected EmptyFleet, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_platforms_calibrate_once_via_the_registry() {
+        let reg = ModelRegistry::new(4);
+        let p = platforms::henri();
+        let fleet = Fleet::build(vec![p.clone(), p.clone(), p], &reg).unwrap();
+        assert_eq!(fleet.nodes.len(), 3);
+        let stats = reg.stats();
+        assert_eq!(stats.misses, 1, "one calibration for three nodes");
+        assert_eq!(stats.hits, 2);
+        assert_eq!(fleet.describe(), "henri x3");
+        // All three nodes share one model allocation.
+        assert!(Arc::ptr_eq(&fleet.nodes[0].model, &fleet.nodes[2].model));
+    }
+
+    #[test]
+    fn job_validation_catches_degenerate_queues() {
+        let reg = ModelRegistry::new(4);
+        let fleet = Fleet::build(vec![platforms::henri()], &reg).unwrap();
+        assert_eq!(fleet.validate_jobs(&[]), Err(SchedError::EmptyQueue));
+        let widest = fleet.widest();
+        let e = fleet.validate_jobs(&[job("wide", widest + 1)]).unwrap_err();
+        assert!(matches!(e, SchedError::JobTooWide { .. }), "{e}");
+        assert_eq!(e.category(), mc_model::ErrorCategory::InvalidData);
+        // Uncapped (0) and exactly-widest jobs pass.
+        fleet
+            .validate_jobs(&[job("ok", 0), job("full", widest)])
+            .unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! # mc-sched — contention-aware cluster scheduling simulation
+//!
+//! The advisor places one job on one empty node; production is a queue
+//! of heterogeneous jobs competing for a fleet. This crate closes that
+//! gap: a [`JobSpec`] queue (inline phase profiles, synthetic patterns,
+//! or recorded replay traces distilled through
+//! `mc_replay::phase_profile`), a [`Fleet`] of simulated nodes (one
+//! [`Platform`](mc_topology::Platform) plus a calibrated
+//! [`ContentionModel`](mc_model::ContentionModel) each, shared through
+//! the [`ModelRegistry`](mc_model::ModelRegistry)), and a set of
+//! placement [`Policy`] implementations that assign every job to a
+//! node.
+//!
+//! Three policies ship behind the one trait:
+//!
+//! * [`FirstFit`] — core-counting bin packing, blind to memory
+//!   contention;
+//! * [`RoundRobin`] — uniform spreading, blind to job heterogeneity;
+//! * [`ContentionAware`] — jobs ordered by model-predicted solo
+//!   makespan, greedily placed where the predicted cluster makespan
+//!   grows least subject to a `--max-slowdown` co-location threshold,
+//!   then refined by a seeded annealing search ([`search::anneal`]).
+//!
+//! Assignments are evaluated by simulating every node's co-located job
+//! set on the platform's memory fabric ([`mc_memsim::NodeWorld`]): the
+//! same progressive-filling solver the calibrated model was fitted to,
+//! generalised from the paper's one-compute-one-comm scenario to an
+//! arbitrary multiset of finite streams. The exhaustive
+//! [`search::exhaustive`] oracle defines optimality on small cases and
+//! property-tests the heuristic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod fleet;
+pub mod job;
+pub mod plan;
+pub mod policy;
+pub mod report;
+pub mod search;
+
+pub use error::SchedError;
+pub use fleet::{Fleet, FleetNode};
+pub use job::{parse_jobs, JobSpec};
+pub use plan::{Evaluator, Placement, SchedulePlan, Score};
+pub use policy::{policy_by_name, policy_names, ContentionAware, FirstFit, Policy, RoundRobin};
+pub use search::{anneal, exhaustive};

@@ -1,0 +1,404 @@
+//! Assignment evaluation: two-layer allocation + node simulation.
+//!
+//! An *assignment* maps every job to a node. Turning that into
+//! predicted finish times happens in two layers, after the wright build
+//! scheduler's "how many jobs × how many cores each" split:
+//!
+//! 1. **cores-per-job** — a node hosting `k` jobs grants each
+//!    `min(request, cores/k)` cores (never below one), the
+//!    `total_cpus / active_dockyards` share rule;
+//! 2. **placement** — co-located jobs spread across NUMA nodes
+//!    round-robin (slot `s` computes on node `s mod numa`) with
+//!    communication buffers homed one NUMA node over, the separated
+//!    placement the paper's advisor prefers.
+//!
+//! The resulting finite stream multiset runs on the node's simulated
+//! fabric ([`NodeWorld`]); per-job *slowdown* is the finish time under
+//! co-location divided by the job's finish time with the node to
+//! itself. Node evaluations are memoized by (platform, job set) — the
+//! search layers revisit the same sets constantly, so an exhaustive
+//! small-case sweep or a long anneal costs few distinct simulations.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use mc_memsim::{JobLoad, NodeWorld};
+use mc_topology::NumaId;
+
+use crate::fleet::{Fleet, FleetNode};
+use crate::job::JobSpec;
+
+/// Objective value of one assignment: lexicographically fewer
+/// `--max-slowdown` violations first, then smaller cluster makespan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Co-located jobs whose slowdown exceeds the threshold.
+    pub violations: usize,
+    /// Cluster makespan, seconds (max over node makespans).
+    pub makespan: f64,
+}
+
+impl Score {
+    /// Total order: fewer violations, then smaller makespan.
+    pub fn order(&self, other: &Score) -> std::cmp::Ordering {
+        self.violations
+            .cmp(&other.violations)
+            .then(self.makespan.total_cmp(&other.makespan))
+    }
+}
+
+/// One job's placement in a finished plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Job index into the queue.
+    pub job: usize,
+    /// Fleet node the job runs on.
+    pub node: usize,
+    /// Cores granted (≤ the job's request).
+    pub cores: usize,
+    /// NUMA node holding the job's computation data.
+    pub m_comp: NumaId,
+    /// NUMA node holding the job's communication buffers.
+    pub m_comm: NumaId,
+    /// Predicted finish time, seconds from the common start.
+    pub finish: f64,
+    /// Finish time relative to having the node alone (≥ 1).
+    pub slowdown: f64,
+}
+
+/// A fully evaluated schedule for one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulePlan {
+    /// Policy that produced the assignment.
+    pub policy: String,
+    /// Per-job placements, queue order.
+    pub placements: Vec<Placement>,
+    /// Cluster makespan, seconds.
+    pub makespan: f64,
+    /// Jobs per second at that makespan.
+    pub throughput: f64,
+    /// Jobs sharing their node with at least one other job.
+    pub colocated: usize,
+    /// Co-located jobs whose slowdown exceeds the threshold.
+    pub violations: usize,
+}
+
+/// Memoized evaluation of one node's co-located job set.
+#[derive(Debug)]
+pub struct NodeEval {
+    /// Allocation per set slot (same order as the sorted set).
+    pub allocs: Vec<JobLoad>,
+    /// Finish time per set slot.
+    pub finish: Vec<f64>,
+    /// Node makespan.
+    pub makespan: f64,
+}
+
+/// Two-layer allocation for a sorted job set on one node.
+fn alloc_for(node: &FleetNode, jobs: &[JobSpec], set: &[u32]) -> Vec<JobLoad> {
+    let k = set.len().max(1);
+    let share = (node.cores / k).max(1);
+    let numa = node.platform.topology.numa_count() as u16;
+    set.iter()
+        .enumerate()
+        .map(|(slot, &j)| {
+            let prof = &jobs[j as usize].profile;
+            let cap = if prof.max_cores == 0 {
+                node.cores
+            } else {
+                prof.max_cores
+            };
+            let comp = NumaId::new(slot as u16 % numa);
+            let comm = if numa > 1 {
+                NumaId::new((slot as u16 + 1) % numa)
+            } else {
+                NumaId::new(0)
+            };
+            JobLoad {
+                cores: cap.min(share).max(1),
+                comp_numa: comp,
+                comm_numa: comm,
+                compute_bytes: prof.compute_bytes,
+                comm_bytes: prof.comm_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Memoizing evaluator shared by every policy and search over one
+/// (queue, fleet) pair.
+pub struct Evaluator<'a> {
+    /// The job queue.
+    pub jobs: &'a [JobSpec],
+    /// The fleet.
+    pub fleet: &'a Fleet,
+    /// One simulated node per *distinct* platform.
+    worlds: Vec<NodeWorld>,
+    /// Fleet node index → world index.
+    node_world: Vec<usize>,
+    cache: HashMap<(usize, Vec<u32>), Rc<NodeEval>>,
+    sims: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Build an evaluator; nodes of the same platform share a world and
+    /// a memo table.
+    pub fn new(jobs: &'a [JobSpec], fleet: &'a Fleet) -> Self {
+        let mut worlds: Vec<NodeWorld> = Vec::new();
+        let mut names: Vec<String> = Vec::new();
+        let node_world = fleet
+            .nodes
+            .iter()
+            .map(|n| {
+                let name = n.platform.name().to_string();
+                match names.iter().position(|x| *x == name) {
+                    Some(i) => i,
+                    None => {
+                        names.push(name);
+                        worlds.push(NodeWorld::new(&n.platform));
+                        worlds.len() - 1
+                    }
+                }
+            })
+            .collect();
+        Evaluator {
+            jobs,
+            fleet,
+            worlds,
+            node_world,
+            cache: HashMap::new(),
+            sims: 0,
+        }
+    }
+
+    /// Distinct node simulations run so far (cache misses).
+    pub fn sims(&self) -> usize {
+        self.sims
+    }
+
+    /// Evaluate one node's job set (`set` must be sorted ascending).
+    /// Memoized per (platform, set).
+    pub fn node_eval(&mut self, node: usize, set: &[u32]) -> Rc<NodeEval> {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be sorted");
+        let world = self.node_world[node];
+        if let Some(hit) = self.cache.get(&(world, set.to_vec())) {
+            return Rc::clone(hit);
+        }
+        let allocs = alloc_for(&self.fleet.nodes[node], self.jobs, set);
+        let run = self.worlds[world].run(&allocs);
+        self.sims += 1;
+        let eval = Rc::new(NodeEval {
+            allocs,
+            finish: run.jobs.iter().map(|j| j.finish()).collect(),
+            makespan: run.makespan,
+        });
+        self.cache.insert((world, set.to_vec()), Rc::clone(&eval));
+        eval
+    }
+
+    /// Finish time of `job` with `node` all to itself.
+    pub fn solo_finish(&mut self, node: usize, job: u32) -> f64 {
+        self.node_eval(node, &[job]).makespan
+    }
+
+    /// Slowdown each member of `set` suffers on `node` (parallel to the
+    /// set), plus the node makespan.
+    pub fn slowdowns(&mut self, node: usize, set: &[u32]) -> (Vec<f64>, f64) {
+        let eval = self.node_eval(node, set);
+        let makespan = eval.makespan;
+        let finishes: Vec<f64> = eval.finish.clone();
+        let out = set
+            .iter()
+            .zip(finishes)
+            .map(|(&j, f)| {
+                let solo = self.solo_finish(node, j);
+                if solo > 0.0 {
+                    // Co-location can only add streams, so a ratio below
+                    // 1 is event-ordering rounding noise, not a speedup.
+                    (f / solo).max(1.0)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        (out, makespan)
+    }
+
+    /// Per-node sorted job sets of an assignment.
+    pub fn sets_of(&self, assignment: &[usize]) -> Vec<Vec<u32>> {
+        let mut sets: Vec<Vec<u32>> = vec![Vec::new(); self.fleet.nodes.len()];
+        for (j, &d) in assignment.iter().enumerate() {
+            sets[d].push(j as u32);
+        }
+        sets
+    }
+
+    /// Objective value of an assignment under `max_slowdown`.
+    pub fn score(&mut self, assignment: &[usize], max_slowdown: f64) -> Score {
+        let sets = self.sets_of(assignment);
+        let mut makespan = 0.0f64;
+        let mut violations = 0usize;
+        for (d, set) in sets.iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            let (slow, node_ms) = self.slowdowns(d, set);
+            makespan = makespan.max(node_ms);
+            if set.len() > 1 {
+                violations += slow
+                    .iter()
+                    .filter(|&&s| s > max_slowdown * (1.0 + 1e-9))
+                    .count();
+            }
+        }
+        Score {
+            violations,
+            makespan,
+        }
+    }
+
+    /// Expand an assignment into the full per-job plan.
+    pub fn plan(&mut self, policy: &str, assignment: &[usize], max_slowdown: f64) -> SchedulePlan {
+        let sets = self.sets_of(assignment);
+        let mut placements = vec![
+            Placement {
+                job: 0,
+                node: 0,
+                cores: 0,
+                m_comp: NumaId::new(0),
+                m_comm: NumaId::new(0),
+                finish: 0.0,
+                slowdown: 1.0,
+            };
+            assignment.len()
+        ];
+        let mut makespan = 0.0f64;
+        let mut colocated = 0usize;
+        let mut violations = 0usize;
+        for (d, set) in sets.iter().enumerate() {
+            if set.is_empty() {
+                continue;
+            }
+            let (slow, node_ms) = self.slowdowns(d, set);
+            let eval = self.node_eval(d, set);
+            makespan = makespan.max(node_ms);
+            for (slot, &j) in set.iter().enumerate() {
+                let a = eval.allocs[slot];
+                placements[j as usize] = Placement {
+                    job: j as usize,
+                    node: d,
+                    cores: a.cores,
+                    m_comp: a.comp_numa,
+                    m_comm: a.comm_numa,
+                    finish: eval.finish[slot],
+                    slowdown: slow[slot],
+                };
+                if set.len() > 1 {
+                    colocated += 1;
+                    if slow[slot] > max_slowdown * (1.0 + 1e-9) {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        let throughput = if makespan > 0.0 {
+            assignment.len() as f64 / makespan
+        } else {
+            0.0
+        };
+        SchedulePlan {
+            policy: policy.to_string(),
+            placements,
+            makespan,
+            throughput,
+            colocated,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_model::{ModelRegistry, PhaseProfile};
+    use mc_topology::platforms;
+
+    fn fixture() -> (Vec<JobSpec>, Fleet) {
+        let reg = ModelRegistry::new(4);
+        let p = platforms::henri();
+        let fleet = Fleet::build(vec![p.clone(), p], &reg).unwrap();
+        let job = |name: &str, comp: f64, comm: f64| JobSpec {
+            name: name.into(),
+            profile: PhaseProfile {
+                compute_bytes: comp * 1e9,
+                comm_bytes: comm * 1e9,
+                max_cores: 8,
+            },
+        };
+        (
+            vec![
+                job("a", 30.0, 2.0),
+                job("b", 2.0, 12.0),
+                job("c", 20.0, 8.0),
+            ],
+            fleet,
+        )
+    }
+
+    #[test]
+    fn solo_slowdown_is_exactly_one() {
+        let (jobs, fleet) = fixture();
+        let mut ev = Evaluator::new(&jobs, &fleet);
+        // Jobs 0 and 2 share node 0; job 1 has node 1 to itself.
+        let plan = ev.plan("round_robin", &[0, 1, 0], 1.5);
+        assert_eq!(plan.placements[1].slowdown, 1.0);
+        assert_eq!(plan.colocated, 2);
+        assert!(plan.placements[0].slowdown >= 1.0);
+        assert!(plan.placements[2].slowdown >= 1.0);
+        assert!(plan.makespan > 0.0);
+        assert!(plan.throughput > 0.0);
+    }
+
+    #[test]
+    fn memoization_dedupes_identical_sets_across_identical_nodes() {
+        let (jobs, fleet) = fixture();
+        let mut ev = Evaluator::new(&jobs, &fleet);
+        ev.node_eval(0, &[0, 1]);
+        let sims = ev.sims();
+        ev.node_eval(1, &[0, 1]); // same platform, same set → cache hit
+        assert_eq!(ev.sims(), sims);
+    }
+
+    #[test]
+    fn two_layer_allocation_splits_cores_and_spreads_numa() {
+        let (jobs, fleet) = fixture();
+        let mut ev = Evaluator::new(&jobs, &fleet);
+        let eval = ev.node_eval(0, &[0, 1, 2]);
+        let node_cores = fleet.nodes[0].cores;
+        for a in &eval.allocs {
+            assert!(a.cores >= 1);
+            assert!(a.cores <= (node_cores / 3).clamp(1, 8));
+        }
+        // henri has two NUMA nodes: slots alternate compute homes.
+        assert_ne!(eval.allocs[0].comp_numa, eval.allocs[1].comp_numa);
+        assert_ne!(eval.allocs[0].comp_numa, eval.allocs[0].comm_numa);
+    }
+
+    #[test]
+    fn score_orders_by_violations_then_makespan() {
+        let a = Score {
+            violations: 0,
+            makespan: 10.0,
+        };
+        let b = Score {
+            violations: 1,
+            makespan: 1.0,
+        };
+        assert_eq!(a.order(&b), std::cmp::Ordering::Less);
+        let c = Score {
+            violations: 0,
+            makespan: 9.0,
+        };
+        assert_eq!(c.order(&a), std::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic text rendering of schedule plans.
+//!
+//! The report is the CLI's primary output and the subject of the
+//! determinism property test: same queue, fleet and seed must produce a
+//! **byte-identical** report. Everything here is fixed-precision
+//! formatting over already-deterministic numbers — no timestamps, no
+//! map iteration, no locale.
+
+use crate::fleet::Fleet;
+use crate::job::JobSpec;
+use crate::plan::SchedulePlan;
+
+fn pad(s: &str, w: usize) -> String {
+    format!("{s:<w$}")
+}
+
+/// Render one or more policies' plans over the same queue and fleet.
+pub fn render(
+    fleet: &Fleet,
+    jobs: &[JobSpec],
+    plans: &[SchedulePlan],
+    max_slowdown: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "schedule: {} jobs on {} (max-slowdown {:.2})\n",
+        jobs.len(),
+        fleet.describe(),
+        max_slowdown
+    ));
+    let name_w = jobs.iter().map(|j| j.name.len()).max().unwrap_or(3).max(3);
+    for plan in plans {
+        out.push('\n');
+        out.push_str(&format!("policy {}\n", plan.policy));
+        out.push_str(&format!(
+            "  {}  node  cores  comp  comm  finish_s      slowdown\n",
+            pad("job", name_w)
+        ));
+        for p in &plan.placements {
+            out.push_str(&format!(
+                "  {}  {:<4}  {:<5}  {:<4}  {:<4}  {:<12.6}  {:.2}\n",
+                pad(&jobs[p.job].name, name_w),
+                p.node,
+                p.cores,
+                p.m_comp.index(),
+                p.m_comm.index(),
+                p.finish,
+                p.slowdown
+            ));
+        }
+        out.push_str(&format!(
+            "  makespan_s {:.6}  throughput_jobs_per_s {:.4}  colocated {}  violations {}\n",
+            plan.makespan, plan.throughput, plan.colocated, plan.violations
+        ));
+    }
+    if plans.len() > 1 {
+        out.push('\n');
+        out.push_str("policy comparison\n");
+        out.push_str("  policy            makespan_s    throughput  colocated  violations\n");
+        for plan in plans {
+            out.push_str(&format!(
+                "  {}  {:<12.6}  {:<10.4}  {:<9}  {}\n",
+                pad(&plan.policy, 16),
+                plan.makespan,
+                plan.throughput,
+                plan.colocated,
+                plan.violations
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Evaluator;
+    use mc_model::{ModelRegistry, PhaseProfile};
+    use mc_topology::platforms;
+
+    #[test]
+    fn report_is_byte_stable_and_names_every_job() {
+        let reg = ModelRegistry::new(4);
+        let p = platforms::henri();
+        let fleet = Fleet::build(vec![p.clone(), p], &reg).unwrap();
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec {
+                name: format!("job-{i}"),
+                profile: PhaseProfile {
+                    compute_bytes: 4e9 * (i + 1) as f64,
+                    comm_bytes: 2e9,
+                    max_cores: 8,
+                },
+            })
+            .collect();
+        let mut ev = Evaluator::new(&jobs, &fleet);
+        let plans = vec![
+            ev.plan("first_fit", &[0, 0, 1], 1.25),
+            ev.plan("round_robin", &[0, 1, 0], 1.25),
+        ];
+        let a = render(&fleet, &jobs, &plans, 1.25);
+        let b = render(&fleet, &jobs, &plans, 1.25);
+        assert_eq!(a, b);
+        assert!(a.contains("policy comparison"));
+        for j in &jobs {
+            assert!(a.contains(&j.name), "{a}");
+        }
+        assert!(a.contains("makespan_s "));
+    }
+}

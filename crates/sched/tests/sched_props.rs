@@ -1,0 +1,96 @@
+//! Scheduler acceptance properties.
+//!
+//! * **Oracle equivalence** — on every property-tested small case
+//!   (fleets of ≤ 3 nodes, queues of ≤ 5 jobs) the contention-aware
+//!   heuristic (greedy + anneal) reaches exactly the exhaustive
+//!   oracle's score: same violation count, bit-identical makespan.
+//! * **Determinism** — the same queue, fleet and seed produce a
+//!   byte-identical schedule report, end to end from a fresh registry.
+
+use proptest::prelude::*;
+
+use mc_model::{ModelRegistry, PhaseProfile};
+use mc_sched::report::render;
+use mc_sched::{exhaustive, parse_jobs, policy_by_name, policy_names, Evaluator, Fleet, JobSpec};
+use mc_topology::platforms;
+
+fn arb_job() -> impl Strategy<Value = JobSpec> {
+    (
+        0.0f64..30.0,
+        0.0f64..12.0,
+        prop_oneof![Just(0usize), Just(2), Just(4), Just(8)],
+    )
+        .prop_map(|(compute_gb, comm_gb, max_cores)| JobSpec {
+            name: "p".into(),
+            profile: PhaseProfile {
+                // Keep at least a sliver of work so no job is empty.
+                compute_bytes: compute_gb * 1e9 + 1e6,
+                comm_bytes: comm_gb * 1e9,
+                max_cores,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn heuristic_matches_the_exhaustive_oracle_on_small_cases(
+        jobs in proptest::collection::vec(arb_job(), 1..6),
+        nodes in 1usize..4,
+        slack in 0.05f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let max_slowdown = 1.0 + slack;
+        let reg = ModelRegistry::new(8);
+        let fleet = Fleet::build(vec![platforms::henri(); nodes], &reg).unwrap();
+        let mut ev = Evaluator::new(&jobs, &fleet);
+        let (_, oracle) = exhaustive(&mut ev, max_slowdown);
+        let heur = policy_by_name("contention_aware", max_slowdown, seed)
+            .unwrap()
+            .assign(&mut ev);
+        let score = ev.score(&heur, max_slowdown);
+        prop_assert_eq!(score.violations, oracle.violations);
+        prop_assert_eq!(
+            score.makespan.to_bits(),
+            oracle.makespan.to_bits(),
+            "heuristic {} vs oracle {}",
+            score.makespan,
+            oracle.makespan
+        );
+    }
+}
+
+const QUEUE: &str = r#"{"name":"solver","compute_gb":28,"comm_gb":2,"max_cores":8}
+{"name":"shuffle","compute_gb":2,"comm_gb":11,"max_cores":8}
+{"name":"train","pattern":"allreduce","ranks":4,"iters":2,"cores":2,"compute_mb":512,"comm_mb":64}
+{"name":"halo","pattern":"halo2d","ranks":4,"iters":2,"cores":2,"compute_mb":128,"comm_mb":256}
+{"name":"filler","comm_gb":4}
+"#;
+
+/// One full pipeline run from scratch: registry, fleet, parse, all
+/// three policies, rendered report.
+fn full_report(seed: u64) -> String {
+    let reg = ModelRegistry::new(8);
+    let fleet = Fleet::build(vec![platforms::henri(); 2], &reg).unwrap();
+    let jobs = parse_jobs(QUEUE).unwrap();
+    fleet.validate_jobs(&jobs).unwrap();
+    let mut ev = Evaluator::new(&jobs, &fleet);
+    let plans: Vec<_> = policy_names()
+        .iter()
+        .map(|name| {
+            let a = policy_by_name(name, 1.25, seed).unwrap().assign(&mut ev);
+            ev.plan(name, &a, 1.25)
+        })
+        .collect();
+    render(&fleet, &jobs, &plans, 1.25)
+}
+
+#[test]
+fn same_queue_and_seed_give_a_byte_identical_report() {
+    let a = full_report(42);
+    let b = full_report(42);
+    assert_eq!(a, b);
+    assert!(a.contains("policy contention_aware"));
+    assert!(a.contains("policy comparison"));
+}
