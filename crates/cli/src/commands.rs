@@ -37,11 +37,11 @@ usage:
                        --platform NAME [--ranks N] [--iters N] [--cores N] \\
                        [--compute-mb X] [--comm-mb Y] [--comp-numa A] \\
                        [--comm-numa B] [--search yes] [--gantt FILE] \\
-                       [--save-trace FILE] [--stream yes]
+                       [--save-trace FILE] [--stream yes] [--report FILE.html]
   memcontend schedule  --jobs QUEUE.jsonl \\
                        (--platform NAME [--nodes N] | --fleet NAME*N,...) \\
                        [--policy first_fit|round_robin|contention_aware|all] \\
-                       [--max-slowdown X] [--seed N]
+                       [--max-slowdown X] [--seed N] [--report FILE.html]
   memcontend serve     [--workers N] [--capacity N] \\
                        [--warm PLATFORM=FILE]... \\
                        [--listen HOST:PORT] [--credits N] [--queue N] \\
@@ -87,9 +87,16 @@ then receive {\"ok\":false,\"error\":{\"class\":\"overload\",...}}.
 {\"op\":\"shutdown\"} stops the service cleanly; a failed connection
 tears down only itself.
 
+replay and schedule accept --report FILE.html: a self-contained HTML
+report (inline SVG Gantt timelines, metrics tables, run metadata — no
+external resources) written next to the normal text output.
+
 global options (any subcommand):
   --metrics FILE   export pipeline counters/histograms as JSON lines
   --trace FILE     export pipeline spans as JSON lines
+  --trace-format F span format for --trace: jsonl (default) or chrome,
+                   a Chrome trace_event JSON array that opens directly
+                   in chrome://tracing and ui.perfetto.dev
 
 platforms: henri, henri-subnuma, dahu, diablo, pyxis, occigen, grillon
 
@@ -483,6 +490,12 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
             }
         }
     };
+    // Feed the per-rank timelines to the recorder (when one is
+    // installed): `--trace-format chrome` then shows each rank on its
+    // own track, and `--report` can table the same spans.
+    if let Some(rec) = mc_obs::recorder() {
+        report::record_timeline_spans(rec.as_ref(), &outcome);
+    }
     let mut out = report::render(&outcome, p.name());
     if do_search {
         let trace = trace
@@ -517,6 +530,31 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
         let svg = report::gantt(&outcome, &title).render(900.0).render();
         fs::write(path, svg).map_err(|e| McError::io(path, e))?;
         let _ = writeln!(out, "gantt chart written to {path}");
+    }
+    if let Some(path) = args.get("report") {
+        let title = format!("trace replay on {}", p.name());
+        let mut rep = mc_viz::HtmlReport::new(&title);
+        rep.meta("platform", p.name());
+        rep.meta("ranks", &outcome.ranks.to_string());
+        rep.meta("events", &outcome.events.to_string());
+        rep.meta(
+            "contended makespan",
+            &format!("{:.6} s", outcome.contended.makespan),
+        );
+        rep.meta(
+            "baseline makespan",
+            &format!("{:.6} s", outcome.baseline.makespan),
+        );
+        rep.meta("contention slowdown", &format!("{:.3}x", outcome.slowdown));
+        rep.figure(
+            "Contended timeline",
+            &report::gantt(&outcome, &title).render(900.0),
+        );
+        if let Some(snap) = mc_obs::recorder().and_then(|r| r.snapshot()) {
+            rep.metrics(&snap);
+        }
+        fs::write(path, rep.render()).map_err(|e| McError::io(path, e))?;
+        let _ = writeln!(out, "report written to {path}");
     }
     Ok(out)
 }
@@ -630,10 +668,89 @@ pub fn schedule_cmd(args: &Args) -> Result<String, CliError> {
     }
     if let Some(rec) = mc_obs::recorder() {
         rec.add("sched.simulations", &[], ev.sims() as u64);
+        // Each placement becomes a node-tagged `sched.job` span:
+        // `--trace-format chrome` shows per-node occupancy tracks, and
+        // `--report` tables the same spans.
+        for plan in &plans {
+            mc_sched::report::record_plan_spans(rec.as_ref(), &jobs, plan);
+        }
     }
     let mut out = mc_sched::report::render(&fleet, &jobs, &plans, max_slowdown);
     let _ = writeln!(out, "\nnode simulations: {}", ev.sims());
+    if let Some(path) = args.get("report") {
+        let mut rep =
+            mc_viz::HtmlReport::new(&format!("schedule — {} jobs on {}", jobs.len(), fleet_desc));
+        rep.meta("fleet", &fleet_desc);
+        rep.meta("jobs", &jobs.len().to_string());
+        rep.meta("policies", &names.join(", "));
+        rep.meta("max slowdown", &format!("{max_slowdown:.2}"));
+        rep.meta("node simulations", &ev.sims().to_string());
+        for plan in &plans {
+            rep.figure(
+                &format!("policy {}", plan.policy),
+                &schedule_gantt(&jobs, fleet.nodes.len(), plan).render(900.0),
+            );
+        }
+        let rows = plans
+            .iter()
+            .map(|p| {
+                vec![
+                    p.policy.clone(),
+                    format!("{:.6}", p.makespan),
+                    format!("{:.4}", p.throughput),
+                    p.colocated.to_string(),
+                    p.violations.to_string(),
+                ]
+            })
+            .collect();
+        rep.table(
+            "Policy comparison",
+            &[
+                "policy",
+                "makespan_s",
+                "throughput_jobs_per_s",
+                "colocated",
+                "violations",
+            ],
+            rows,
+        );
+        if let Some(snap) = mc_obs::recorder().and_then(|r| r.snapshot()) {
+            rep.metrics(&snap);
+        }
+        fs::write(path, rep.render()).map_err(|e| McError::io(path, e))?;
+        let _ = writeln!(out, "report written to {path}");
+    }
     Ok(out)
+}
+
+/// Build a per-node occupancy Gantt for one schedule plan: one row per
+/// fleet node, one bar per placed job running from the common start to
+/// its predicted finish, alternating colours so overlapping co-located
+/// bars stay distinguishable.
+fn schedule_gantt(
+    jobs: &[mc_sched::JobSpec],
+    nodes: usize,
+    plan: &mc_sched::SchedulePlan,
+) -> mc_viz::Gantt {
+    use mc_viz::{GanttBar, GanttRow, COMM_COLOR, COMP_COLOR};
+    let mut rows: Vec<GanttRow> = (0..nodes)
+        .map(|n| GanttRow {
+            label: format!("node {n}"),
+            bars: Vec::new(),
+        })
+        .collect();
+    for (i, p) in plan.placements.iter().enumerate() {
+        rows[p.node].bars.push(GanttBar {
+            t0: 0.0,
+            t1: p.finish,
+            color: if i % 2 == 0 { COMP_COLOR } else { COMM_COLOR }.to_string(),
+            label: jobs[p.job].name.clone(),
+        });
+    }
+    mc_viz::Gantt {
+        title: format!("policy {}", plan.policy),
+        rows,
+    }
 }
 
 /// Dispatch a parsed command line.
@@ -1033,6 +1150,77 @@ mod tests {
     #[test]
     fn help_prints_usage() {
         assert!(run_line(&["help"]).unwrap().contains("memcontend"));
+    }
+
+    #[test]
+    fn replay_report_writes_self_contained_html() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("memcontend-report-{}.html", std::process::id()));
+        let path = path.to_str().unwrap();
+        let out = run_line(&[
+            "replay",
+            "--platform",
+            "henri",
+            "--generate",
+            "allreduce",
+            "--ranks",
+            "2",
+            "--iters",
+            "1",
+            "--compute-mb",
+            "32",
+            "--comm-mb",
+            "4",
+            "--report",
+            path,
+        ])
+        .unwrap();
+        assert!(out.contains("report written to"), "{out}");
+        let html = std::fs::read_to_string(path).unwrap();
+        assert!(html.starts_with("<!DOCTYPE html>"), "{}", &html[..60]);
+        assert!(html.contains("<dt>platform</dt><dd>henri</dd>"), "{html}");
+        assert!(html.contains("<dt>contention slowdown</dt>"), "{html}");
+        assert!(html.contains("<svg"), "{html}");
+        // Self-contained: nothing references external resources.
+        assert!(!html.contains("src="), "{html}");
+        assert!(!html.contains("href="), "{html}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn schedule_report_charts_every_policy() {
+        let queue = write_queue("report", SMALL_QUEUE);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "memcontend-sched-report-{}.html",
+            std::process::id()
+        ));
+        let path = path.to_str().unwrap();
+        let out = run_line(&[
+            "schedule",
+            "--jobs",
+            &queue,
+            "--platform",
+            "henri",
+            "--nodes",
+            "2",
+            "--policy",
+            "all",
+            "--report",
+            path,
+        ])
+        .unwrap();
+        assert!(out.contains("report written to"), "{out}");
+        let html = std::fs::read_to_string(path).unwrap();
+        for policy in ["first_fit", "round_robin", "contention_aware"] {
+            assert!(html.contains(&format!("policy {policy}")), "{html}");
+        }
+        assert!(html.contains("<h2>Policy comparison</h2>"), "{html}");
+        assert!(html.contains("solver"), "{html}");
+        assert!(html.contains("node 0"), "{html}");
+        assert!(!html.contains("src="), "{html}");
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(queue).ok();
     }
 
     fn write_queue(tag: &str, contents: &str) -> String {

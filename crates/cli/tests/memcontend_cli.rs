@@ -87,6 +87,103 @@ fn metrics_flag_exports_pipeline_metrics() {
 }
 
 #[test]
+fn chrome_trace_format_exports_a_trace_event_array() {
+    let dir = tmp("chrome");
+    let trace = dir.join("trace.json");
+    let out = memcontend(&[
+        "replay",
+        "--platform",
+        "henri",
+        "--generate",
+        "allreduce",
+        "--ranks",
+        "2",
+        "--iters",
+        "1",
+        "--compute-mb",
+        "32",
+        "--comm-mb",
+        "4",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let body = std::fs::read_to_string(&trace).expect("chrome trace exported");
+    assert!(body.starts_with("[\n"), "{}", &body[..40.min(body.len())]);
+    assert!(body.trim_end().ends_with(']'), "{body}");
+    // Complete events with the pinned phase, per-rank replay tracks and
+    // track-naming metadata.
+    assert!(body.contains("\"ph\":\"X\""), "{body}");
+    assert!(body.contains("\"cat\":\"replay\""), "{body}");
+    assert!(body.contains("\"rank\":\"1\""), "{body}");
+    assert!(body.contains("\"name\":\"thread_name\""), "{body}");
+    assert!(body.contains("rank 1"), "{body}");
+}
+
+#[test]
+fn trace_format_flag_mistakes_exit_2() {
+    // An unknown format is a usage error …
+    let dir = tmp("badformat");
+    let trace = dir.join("trace.json");
+    let out = memcontend(&[
+        "topo",
+        "--platform",
+        "henri",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--trace-format",
+        "xml",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("trace-format"), "{}", stderr(&out));
+    // … and so is --trace-format without --trace.
+    let out = memcontend(&["topo", "--platform", "henri", "--trace-format", "chrome"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("--trace"), "{}", stderr(&out));
+}
+
+#[test]
+fn report_flag_writes_self_contained_html() {
+    let dir = tmp("report");
+    let report = dir.join("report.html");
+    let out = memcontend(&[
+        "replay",
+        "--platform",
+        "henri",
+        "--generate",
+        "halo2d",
+        "--ranks",
+        "4",
+        "--iters",
+        "1",
+        "--compute-mb",
+        "64",
+        "--comm-mb",
+        "8",
+        "--report",
+        report.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("report written to"));
+    let html = std::fs::read_to_string(&report).expect("report written");
+    assert!(html.starts_with("<!DOCTYPE html>"), "{}", &html[..60]);
+    assert!(html.contains("<svg"), "{html}");
+    // The recorder is installed for --report alone: the run's own
+    // metrics (counters, spans) are embedded in the report.
+    assert!(html.contains("<h2>Counters</h2>"), "{html}");
+    assert!(html.contains("replay.ranks"), "{html}");
+    assert!(html.contains("<h2>Spans</h2>"), "{html}");
+    // Self-contained: no external resources of any kind. (The SVG
+    // xmlns attribute is a namespace identifier, not a fetched URL.)
+    assert!(!html.contains("src="), "{html}");
+    assert!(!html.contains("href="), "{html}");
+    assert!(!html.contains("<script"), "{html}");
+    assert!(!html.contains("<link"), "{html}");
+}
+
+#[test]
 fn unwritable_metrics_path_exits_4_after_success() {
     let out = memcontend(&[
         "topo",

@@ -1,0 +1,301 @@
+//! Chrome `trace_event` / Perfetto-compatible trace export.
+//!
+//! Renders a [`MetricsSnapshot`]'s spans as a JSON **array** of complete
+//! (`"ph":"X"`) events with microsecond `ts`/`dur`, loadable directly in
+//! `chrome://tracing`, <https://ui.perfetto.dev> or any other
+//! trace_event consumer. The mapping (DESIGN.md §16):
+//!
+//! * span stage → event `name`, span tags → `args` (string values,
+//!   exactly as the JSON-lines exporter renders them);
+//! * deterministic `pid`/`tid` assignment: pipeline stages share one
+//!   track (`pid` [`PID_PIPELINE`], `tid` 0), spans tagged `rank` land
+//!   on a per-rank `tid` under [`PID_REPLAY`], spans tagged `node` on a
+//!   per-node `tid` under [`PID_SCHED`];
+//! * spans that were still open at snapshot time keep `"ph":"X"` with
+//!   their duration-so-far and carry `"incomplete":true` in `args`;
+//! * `"M"` metadata events name every process and thread so viewers
+//!   label the tracks (`memcontend pipeline`, `rank 3`, `node 1`).
+//!
+//! Output is byte-stable for a given snapshot — goldenable exactly like
+//! the JSON-lines exporters. Timestamps are clamped to finite,
+//! non-negative microseconds: trace viewers silently misrender events
+//! with NaN or negative times, so an exporter must never emit them.
+
+use std::fmt::Write as _;
+
+use crate::export::json_escape;
+use crate::registry::{MetricsSnapshot, Registry, SpanRecord};
+
+/// `pid` of the pipeline track (spans without a `rank` or `node` tag).
+pub const PID_PIPELINE: u64 = 1;
+/// `pid` grouping replay tracks; each rank is its own `tid`.
+pub const PID_REPLAY: u64 = 2;
+/// `pid` grouping scheduler tracks; each fleet node is its own `tid`.
+pub const PID_SCHED: u64 = 3;
+
+/// One trace_event entry: a complete (`ph:"X"`) slice on one track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (the span's stage).
+    pub name: String,
+    /// Category: `pipeline`, `replay` or `sched` (the track family).
+    pub cat: &'static str,
+    /// Start, microseconds (finite, ≥ 0).
+    pub ts_us: f64,
+    /// Duration, microseconds (finite, ≥ 0).
+    pub dur_us: f64,
+    /// Process id (one of the `PID_*` constants).
+    pub pid: u64,
+    /// Thread id within the pid (0, a rank, or a node index).
+    pub tid: u64,
+    /// Flattened span tags, sorted by key.
+    pub args: Vec<(String, String)>,
+    /// The span was still open when the snapshot was taken.
+    pub incomplete: bool,
+}
+
+/// Trace viewers require finite, non-negative times; anything else is
+/// exporter input corruption and clamps to 0.
+fn clamp_us(v: f64) -> f64 {
+    if v.is_finite() && v > 0.0 {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// The track a span belongs on, from its tags: `rank` → a per-rank tid
+/// under [`PID_REPLAY`], `node` → a per-node tid under [`PID_SCHED`],
+/// anything else → the shared pipeline track.
+fn track_of(tags: &[(String, String)]) -> (u64, u64, &'static str) {
+    for (key, value) in tags {
+        let parsed = value.parse::<u64>().ok();
+        match (key.as_str(), parsed) {
+            (crate::tags::RANK, Some(rank)) => return (PID_REPLAY, rank, "replay"),
+            (crate::tags::NODE, Some(node)) => return (PID_SCHED, node, "sched"),
+            _ => {}
+        }
+    }
+    (PID_PIPELINE, 0, "pipeline")
+}
+
+fn event_of(span: &SpanRecord) -> TraceEvent {
+    let (pid, tid, cat) = track_of(&span.tags);
+    TraceEvent {
+        name: span.stage.clone(),
+        cat,
+        ts_us: clamp_us(span.start_s * 1e6),
+        dur_us: clamp_us(span.duration_s * 1e6),
+        pid,
+        tid,
+        args: span.tags.clone(),
+        incomplete: span.incomplete,
+    }
+}
+
+/// Map a snapshot's spans (completed first, then incomplete, exactly as
+/// the snapshot orders them) onto trace events.
+pub fn from_snapshot(snap: &MetricsSnapshot) -> Vec<TraceEvent> {
+    snap.spans.iter().map(event_of).collect()
+}
+
+fn write_args(out: &mut String, args: &[(String, String)], incomplete: bool) {
+    out.push('{');
+    let mut first = true;
+    for (k, v) in args {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    if incomplete {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("\"incomplete\":true");
+    }
+    out.push('}');
+}
+
+fn write_metadata(out: &mut String, events: &[TraceEvent]) {
+    // Name every process and thread the events use, in (pid, tid)
+    // order. Sorted-deduped: byte-stable regardless of event order.
+    let mut tracks: Vec<(u64, u64)> = events.iter().map(|e| (e.pid, e.tid)).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let mut named_pids: Vec<u64> = Vec::new();
+    for (pid, tid) in tracks {
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            let pname = match pid {
+                PID_REPLAY => "memcontend replay",
+                PID_SCHED => "memcontend sched",
+                _ => "memcontend pipeline",
+            };
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{pname}\"}}}}"
+            );
+        }
+        let tname = match pid {
+            PID_REPLAY => format!("rank {tid}"),
+            PID_SCHED => format!("node {tid}"),
+            _ => "pipeline".to_string(),
+        };
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{tname}\"}}}}"
+        );
+    }
+}
+
+/// Render events as a Chrome trace_event JSON array (byte-stable). The
+/// first entries are `"M"` metadata naming each track, then the events
+/// in the order given, one per line.
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{},\"args\":",
+            json_escape(&e.name),
+            e.cat,
+            fmt_us(e.ts_us),
+            fmt_us(e.dur_us),
+            e.pid,
+            e.tid,
+        );
+        write_args(&mut out, &e.args, e.incomplete);
+        out.push('}');
+    }
+    if !events.is_empty() {
+        write_metadata(&mut out, events);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Microseconds as a JSON number. Values are already clamped finite and
+/// non-negative; `{}` is the shortest round-trippable rendering.
+fn fmt_us(v: f64) -> String {
+    format!("{v}")
+}
+
+/// Snapshot → trace_event JSON array in one call.
+pub fn chrome_trace(snap: &MetricsSnapshot) -> String {
+    render(&from_snapshot(snap))
+}
+
+impl Registry {
+    /// The registry's spans as a Chrome trace_event JSON array; see
+    /// [`chrome_trace`].
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TagValue;
+
+    fn pipeline_span(r: &Registry) {
+        r.record_span(
+            "calibrate",
+            &[("platform", TagValue::Str("henri"))],
+            0.5,
+            0.25,
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_an_empty_array() {
+        let r = Registry::new();
+        assert_eq!(r.chrome_trace(), "[\n]\n");
+    }
+
+    #[test]
+    fn pipeline_spans_share_one_track() {
+        let r = Registry::new();
+        pipeline_span(&r);
+        r.record_span("evaluate", &[], 0.75, 0.125);
+        let events = from_snapshot(&r.snapshot());
+        assert!(events
+            .iter()
+            .all(|e| e.pid == PID_PIPELINE && e.tid == 0 && e.cat == "pipeline"));
+    }
+
+    #[test]
+    fn rank_and_node_tags_pick_their_own_tids() {
+        let r = Registry::new();
+        r.record_span(
+            "compute",
+            &[(crate::tags::RANK, TagValue::U64(3))],
+            0.0,
+            1.0,
+        );
+        r.record_span("solver", &[(crate::tags::NODE, TagValue::U64(2))], 0.0, 2.0);
+        let events = from_snapshot(&r.snapshot());
+        assert_eq!((events[0].pid, events[0].tid), (PID_REPLAY, 3));
+        assert_eq!(events[0].cat, "replay");
+        assert_eq!((events[1].pid, events[1].tid), (PID_SCHED, 2));
+        assert_eq!(events[1].cat, "sched");
+    }
+
+    #[test]
+    fn events_are_microseconds_complete_phase_with_args() {
+        let r = Registry::new();
+        pipeline_span(&r);
+        let out = r.chrome_trace();
+        assert!(out.starts_with("[\n"), "{out}");
+        assert!(out.trim_end().ends_with(']'), "{out}");
+        assert!(
+            out.contains(
+                "{\"name\":\"calibrate\",\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":500000,\
+                 \"dur\":250000,\"pid\":1,\"tid\":0,\"args\":{\"platform\":\"henri\"}}"
+            ),
+            "{out}"
+        );
+        // Metadata names the one track used.
+        assert!(out.contains("\"name\":\"process_name\""), "{out}");
+        assert!(out.contains("memcontend pipeline"), "{out}");
+    }
+
+    #[test]
+    fn open_spans_are_flagged_incomplete_in_args() {
+        let r = Registry::new();
+        let _open = crate::recorder::Recorder::span_enter(&r, "serve.request", &[]);
+        let out = r.chrome_trace();
+        assert!(out.contains("\"args\":{\"incomplete\":true}"), "{out}");
+        assert!(out.contains("\"ph\":\"X\""), "{out}");
+    }
+
+    #[test]
+    fn hostile_times_clamp_to_zero() {
+        let r = Registry::new();
+        r.record_span("bad", &[], -1.0, f64::NAN);
+        let e = &from_snapshot(&r.snapshot())[0];
+        assert_eq!(e.ts_us, 0.0);
+        assert_eq!(e.dur_us, 0.0);
+        let out = r.chrome_trace();
+        assert!(out.contains("\"ts\":0,\"dur\":0"), "{out}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let r = Registry::new();
+        pipeline_span(&r);
+        r.record_span("recv", &[(crate::tags::RANK, TagValue::U64(1))], 0.1, 0.2);
+        assert_eq!(r.chrome_trace(), r.chrome_trace());
+    }
+}

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 use crate::registry::{MetricsSnapshot, Registry};
 
 /// Escape a string for inclusion inside a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -79,18 +79,25 @@ pub fn metrics_json_lines(snap: &MetricsSnapshot) -> String {
     out
 }
 
-/// JSON-lines rendering of a snapshot's completed spans, in completion
-/// order.
+/// JSON-lines rendering of a snapshot's spans, in completion order.
+/// Spans still open at snapshot time carry `"incomplete":true`;
+/// completed spans render exactly as they always have, so goldens over
+/// finished runs are unaffected.
 pub fn trace_json_lines(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for span in &snap.spans {
         let _ = writeln!(
             out,
-            "{{\"type\":\"span\",\"stage\":\"{}\",\"tags\":{},\"start_s\":{},\"duration_s\":{}}}",
+            "{{\"type\":\"span\",\"stage\":\"{}\",\"tags\":{},\"start_s\":{},\"duration_s\":{}{}}}",
             json_escape(&span.stage),
             json_tags(&span.tags),
             json_f64(span.start_s),
             json_f64(span.duration_s),
+            if span.incomplete {
+                ",\"incomplete\":true"
+            } else {
+                ""
+            },
         );
     }
     out
@@ -106,30 +113,51 @@ fn fmt_tags(tags: &[(String, String)]) -> String {
         .join(",")
 }
 
+/// Column width fitting both a header and every row value: the longest
+/// entry in characters (formatting pads by character count, so a
+/// hard-coded 40 would break alignment for any longer name or tag set).
+fn col_width<'a>(header: &str, values: impl Iterator<Item = &'a str>) -> usize {
+    values
+        .map(|v| v.chars().count())
+        .chain(std::iter::once(header.chars().count()))
+        .max()
+        .unwrap_or(0)
+}
+
 /// Human-readable table rendering of a snapshot: counters, histograms,
-/// then spans, one aligned section each.
+/// then spans, one aligned section each. Column widths are computed
+/// from the snapshot, so arbitrarily long metric names and tag sets
+/// stay aligned.
 pub fn table(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     if !snap.counters.is_empty() {
+        let names = col_width("name", snap.counters.keys().map(|(n, _)| n.as_str()));
+        let tag_strings: Vec<String> = snap.counters.keys().map(|(_, t)| fmt_tags(t)).collect();
+        let tags_w = col_width("tags", tag_strings.iter().map(String::as_str));
         let _ = writeln!(out, "counters:");
-        let _ = writeln!(out, "  {:<40} {:<40} {:>12}", "name", "tags", "value");
-        for ((name, tags), value) in &snap.counters {
-            let _ = writeln!(out, "  {:<40} {:<40} {:>12}", name, fmt_tags(tags), value);
+        let _ = writeln!(
+            out,
+            "  {:<names$} {:<tags_w$} {:>12}",
+            "name", "tags", "value"
+        );
+        for (((name, _), value), tags) in snap.counters.iter().zip(&tag_strings) {
+            let _ = writeln!(out, "  {name:<names$} {tags:<tags_w$} {value:>12}");
         }
     }
     if !snap.histograms.is_empty() {
+        let names = col_width("name", snap.histograms.keys().map(|(n, _)| n.as_str()));
+        let tag_strings: Vec<String> = snap.histograms.keys().map(|(_, t)| fmt_tags(t)).collect();
+        let tags_w = col_width("tags", tag_strings.iter().map(String::as_str));
         let _ = writeln!(out, "histograms:");
         let _ = writeln!(
             out,
-            "  {:<40} {:<40} {:>8} {:>12} {:>12} {:>12}",
+            "  {:<names$} {:<tags_w$} {:>8} {:>12} {:>12} {:>12}",
             "name", "tags", "count", "mean", "min", "max"
         );
-        for ((name, tags), h) in &snap.histograms {
+        for (((name, _), h), tags) in snap.histograms.iter().zip(&tag_strings) {
             let _ = writeln!(
                 out,
-                "  {:<40} {:<40} {:>8} {:>12.6} {:>12.6} {:>12.6}",
-                name,
-                fmt_tags(tags),
+                "  {name:<names$} {tags:<tags_w$} {:>8} {:>12.6} {:>12.6} {:>12.6}",
                 h.count,
                 h.mean(),
                 h.min,
@@ -138,20 +166,23 @@ pub fn table(snap: &MetricsSnapshot) -> String {
         }
     }
     if !snap.spans.is_empty() {
+        let stages = col_width("stage", snap.spans.iter().map(|s| s.stage.as_str()));
+        let tag_strings: Vec<String> = snap.spans.iter().map(|s| fmt_tags(&s.tags)).collect();
+        let tags_w = col_width("tags", tag_strings.iter().map(String::as_str));
         let _ = writeln!(out, "spans:");
         let _ = writeln!(
             out,
-            "  {:<24} {:<40} {:>12} {:>12}",
+            "  {:<stages$} {:<tags_w$} {:>12} {:>12}",
             "stage", "tags", "start_s", "duration_s"
         );
-        for span in &snap.spans {
+        for (span, tags) in snap.spans.iter().zip(&tag_strings) {
             let _ = writeln!(
                 out,
-                "  {:<24} {:<40} {:>12.6} {:>12.6}",
+                "  {:<stages$} {tags:<tags_w$} {:>12.6} {:>12.6}{}",
                 span.stage,
-                fmt_tags(&span.tags),
                 span.start_s,
-                span.duration_s
+                span.duration_s,
+                if span.incomplete { " (incomplete)" } else { "" },
             );
         }
     }
@@ -233,6 +264,48 @@ mod tests {
         assert!(t.contains("histograms:"));
         assert!(t.contains("spans:"));
         assert!(t.contains("events"));
+    }
+
+    #[test]
+    fn open_spans_export_with_an_incomplete_marker() {
+        let r = Registry::new();
+        let _open = r.span_enter("serve.request", &[("op", TagValue::Str("predict"))]);
+        let lines = r.trace_json_lines();
+        assert!(
+            lines.contains("\"stage\":\"serve.request\"") && lines.contains("\"incomplete\":true"),
+            "{lines}"
+        );
+        // A completed span on the same registry has no marker.
+        r.record_span("done", &[], 0.0, 1.0);
+        let lines = r.trace_json_lines();
+        let done = lines.lines().find(|l| l.contains("\"done\"")).unwrap();
+        assert!(!done.contains("incomplete"), "{done}");
+    }
+
+    #[test]
+    fn table_columns_fit_long_names_and_tag_sets() {
+        let r = Registry::new();
+        let long = "sched.a_metric_name_well_past_forty_characters_in_total";
+        assert!(long.len() > 40);
+        r.add(long, &[], 1);
+        r.add(
+            "short",
+            &[
+                ("policy", TagValue::Str("contention_aware")),
+                ("fleet", TagValue::Str("henri x2 + dahu x1 + grillon x4")),
+            ],
+            2,
+        );
+        let t = r.table();
+        // Every counter row ends in the same column: the value column
+        // is right-aligned after dynamically sized name/tags columns.
+        let rows: Vec<&str> = t
+            .lines()
+            .filter(|l| l.starts_with("  ") && (l.contains("short") || l.contains(long)))
+            .collect();
+        assert_eq!(rows.len(), 2, "{t}");
+        assert_eq!(rows[0].len(), rows[1].len(), "{t}");
+        assert!(rows.iter().all(|r| r.ends_with('1') || r.ends_with('2')));
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!   allocation-free and bit-identical (asserted by test).
 //! * [`Registry`] is the std-only concrete recorder (a `Mutex` around
 //!   `BTreeMap`s — matching the workspace's no-external-crates policy)
-//!   with deterministic [JSON-lines](Registry::metrics_json_lines) and
-//!   [table](Registry::table) exporters.
+//!   with deterministic [JSON-lines](Registry::metrics_json_lines),
+//!   [table](Registry::table) and
+//!   [Chrome trace_event](Registry::chrome_trace) exporters.
 //! * Instrumentation is **run-granular**, never event-granular: the
 //!   engine reports one batch of counters per run, the sweep one
 //!   histogram sample per measured point — the per-event hot loop is
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chrome;
 pub mod export;
 pub mod recorder;
 pub mod registry;

@@ -55,6 +55,22 @@ pub trait Recorder: Send + Sync {
     /// Record one observation of an f64 distribution (a duration, an
     /// error percentage, a per-worker point count).
     fn observe(&self, name: &str, tags: &[Tag<'_>], value: f64);
+
+    /// Record a completed span with explicit timing, bypassing the wall
+    /// clock. Replay and scheduling tools use this to inject simulated
+    /// timelines (per-rank event spans, per-job placements) with
+    /// reproducible timestamps; recorders that cannot store spans may
+    /// ignore it (the default).
+    fn record_span(&self, stage: &str, tags: &[Tag<'_>], start_s: f64, duration_s: f64) {
+        let _ = (stage, tags, start_s, duration_s);
+    }
+
+    /// A point-in-time copy of everything accumulated, for recorders
+    /// that keep state (the [`Registry`](crate::Registry)). `None` — the
+    /// default — for sinks that only forward.
+    fn snapshot(&self) -> Option<crate::registry::MetricsSnapshot> {
+        None
+    }
 }
 
 /// The default recorder: drops everything, allocates nothing.

@@ -60,8 +60,8 @@ impl HistogramSummary {
     }
 }
 
-/// One completed span: a named stage with tags and wall-clock extent,
-/// in seconds relative to the registry's creation.
+/// One span: a named stage with tags and wall-clock extent, in seconds
+/// relative to the registry's creation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     /// Stage name (`"engine.run"`, `"sweep"`, `"calibrate"`, …).
@@ -70,8 +70,14 @@ pub struct SpanRecord {
     pub tags: Vec<(String, String)>,
     /// Start offset from registry creation, in seconds.
     pub start_s: f64,
-    /// Wall-clock duration in seconds.
+    /// Wall-clock duration in seconds. For an incomplete span this is
+    /// the time from enter to the snapshot, not to an exit.
     pub duration_s: f64,
+    /// True for a span that was still open when the snapshot was taken
+    /// (the stage panicked, or the export ran mid-stage). Exporters
+    /// flag these rather than dropping them — a killed session must
+    /// still show where it died.
+    pub incomplete: bool,
 }
 
 /// Point-in-time copy of everything a [`Registry`] has accumulated.
@@ -141,6 +147,7 @@ impl Registry {
             tags: own_tags(tags),
             start_s,
             duration_s,
+            incomplete: false,
         });
     }
 
@@ -173,14 +180,27 @@ impl Registry {
         stages
     }
 
-    /// Copy out everything accumulated so far. Open (unexited) spans are
-    /// not included.
+    /// Copy out everything accumulated so far. Open (unexited) spans —
+    /// a stage that panicked, or an export taken mid-stage — are closed
+    /// at the snapshot instant and appended after the completed spans,
+    /// flagged [`SpanRecord::incomplete`], in enter order.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let now = Instant::now();
         let inner = self.lock();
+        let mut spans = inner.spans.clone();
+        for (stage, tags, started) in inner.open.values() {
+            spans.push(SpanRecord {
+                stage: stage.clone(),
+                tags: tags.clone(),
+                start_s: started.duration_since(self.epoch).as_secs_f64(),
+                duration_s: now.duration_since(*started).as_secs_f64(),
+                incomplete: true,
+            });
+        }
         MetricsSnapshot {
             counters: inner.counters.clone(),
             histograms: inner.histograms.clone(),
-            spans: inner.spans.clone(),
+            spans,
         }
     }
 }
@@ -204,6 +224,7 @@ impl Recorder for Registry {
                 tags,
                 start_s: started.duration_since(self.epoch).as_secs_f64(),
                 duration_s: now.duration_since(started).as_secs_f64(),
+                incomplete: false,
             });
         }
     }
@@ -222,6 +243,14 @@ impl Recorder for Registry {
             .entry((name.to_string(), own_tags(tags)))
             .and_modify(|h| h.observe(value))
             .or_insert_with(|| HistogramSummary::new(value));
+    }
+
+    fn record_span(&self, stage: &str, tags: &[Tag<'_>], start_s: f64, duration_s: f64) {
+        Registry::record_span(self, stage, tags, start_s, duration_s);
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(Registry::snapshot(self))
     }
 }
 
@@ -274,6 +303,30 @@ mod tests {
         );
         assert!(snap.spans[0].duration_s >= 0.0);
         assert_eq!(r.span_stages(), vec!["stage-a".to_string()]);
+    }
+
+    #[test]
+    fn open_spans_surface_in_snapshots_as_incomplete() {
+        let r = Registry::new();
+        let _open = r.span_enter("stage-dying", &[("platform", TagValue::Str("henri"))]);
+        let done = r.span_enter("stage-done", &[]);
+        r.span_exit(done);
+        let snap = r.snapshot();
+        // Completed spans first, then the still-open one, flagged.
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].stage, "stage-done");
+        assert!(!snap.spans[0].incomplete);
+        let open = &snap.spans[1];
+        assert_eq!(open.stage, "stage-dying");
+        assert!(open.incomplete);
+        assert!(open.duration_s >= 0.0);
+        assert_eq!(
+            open.tags,
+            vec![("platform".to_string(), "henri".to_string())]
+        );
+        // The span is still open in the registry: a later snapshot sees
+        // it again (snapshots never mutate).
+        assert_eq!(r.snapshot().spans.len(), 2);
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub const CONFIG: &str = "config";
 
 /// Number of ranks a replayed trace defines.
 pub const RANKS: &str = "ranks";
+/// One specific rank of a replayed trace (timeline spans). The chrome
+/// exporter maps spans carrying this tag onto a per-rank `tid`.
+pub const RANK: &str = "rank";
 /// Trace event kind (`compute`, `send`, `recv`, `collective`, `wait`).
 pub const EVENT: &str = "event";
 /// Synthetic trace generator (`halo2d`, `allreduce`, `pipeline`).
@@ -70,6 +73,11 @@ pub const TRANSPORT: &str = "transport";
 pub const POLICY: &str = "policy";
 /// Fleet composition a schedule ran against (`henri x2 + dahu x1`).
 pub const FLEET: &str = "fleet";
+/// One specific fleet node (scheduler placement spans). The chrome
+/// exporter maps spans carrying this tag onto a per-node `tid`.
+pub const NODE: &str = "node";
+/// Job name a scheduler placement span describes.
+pub const JOB: &str = "job";
 
 #[cfg(test)]
 mod tests {
@@ -93,12 +101,15 @@ mod tests {
             super::BATCH_SIZE,
             super::CONFIG,
             super::RANKS,
+            super::RANK,
             super::EVENT,
             super::PATTERN,
             super::TENANT,
             super::TRANSPORT,
             super::POLICY,
             super::FLEET,
+            super::NODE,
+            super::JOB,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();

@@ -2,6 +2,7 @@
 //! (goldenable — every number formatted with fixed precision) and a
 //! per-rank Gantt chart via `mc-viz`.
 
+use mc_obs::{tags, Recorder, TagValue};
 use mc_viz::{Gantt, GanttBar, GanttRow, COMM_COLOR, COMP_COLOR};
 
 use crate::engine::{ReplayOutcome, KINDS};
@@ -64,6 +65,25 @@ pub fn render_search(search: &SearchOutcome) -> String {
         ));
     }
     out
+}
+
+/// Feed the contended per-rank timelines to a [`Recorder`] as spans:
+/// one span per trace event, named after its kind (`compute`, `send`,
+/// `recv`, `collective`, `wait`) and tagged `rank=N`. The chrome
+/// exporter lays rank-tagged spans out on per-rank tracks, so a replay
+/// opens in chrome://tracing / Perfetto as a real per-rank timeline
+/// rather than one aggregate `replay` span.
+///
+/// Only ranks with stored timelines are recorded (see
+/// [`crate::ReplayConfig::timeline_ranks`]); event times are already
+/// deterministic simulation seconds, so the recorded spans are too.
+pub fn record_timeline_spans(rec: &dyn Recorder, outcome: &ReplayOutcome) {
+    for (rank, spans) in outcome.contended.timelines.iter().enumerate() {
+        let rank_tags = [(tags::RANK, TagValue::U64(rank as u64))];
+        for s in spans {
+            rec.record_span(s.kind, &rank_tags, s.t0, (s.t1 - s.t0).max(0.0));
+        }
+    }
 }
 
 /// Maximum individual rank rows in a replay Gantt chart. A 4096-row
@@ -221,6 +241,30 @@ mod tests {
             text.contains("(+10 more ranks folded into the busy totals above)"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn timeline_spans_bridge_records_per_rank_spans() {
+        use mc_obs::Registry;
+        let outcome = outcome();
+        let reg = Registry::new();
+        record_timeline_spans(&reg, &outcome);
+        let snap = reg.snapshot();
+        let expected: usize = outcome.contended.timelines.iter().map(Vec::len).sum();
+        assert_eq!(snap.spans.len(), expected);
+        // Every span carries its rank tag; both ranks appear.
+        for rank in 0..outcome.contended.timelines.len() {
+            let tag = ("rank".to_string(), rank.to_string());
+            assert!(
+                snap.spans.iter().any(|s| s.tags.contains(&tag)),
+                "no span tagged rank={rank}"
+            );
+        }
+        assert!(snap.spans.iter().any(|s| s.stage == "compute"));
+        assert!(snap
+            .spans
+            .iter()
+            .all(|s| s.duration_s >= 0.0 && !s.incomplete));
     }
 
     #[test]

@@ -6,12 +6,34 @@
 //! formatting over already-deterministic numbers — no timestamps, no
 //! map iteration, no locale.
 
+use mc_obs::{tags, Recorder, TagValue};
+
 use crate::fleet::Fleet;
 use crate::job::JobSpec;
 use crate::plan::SchedulePlan;
 
 fn pad(s: &str, w: usize) -> String {
     format!("{s:<w$}")
+}
+
+/// Feed one plan's placements to a [`Recorder`] as spans: each job
+/// becomes a `sched.job` span from the common start (t = 0) to its
+/// predicted finish, tagged `job`, `node` and `policy`. The chrome
+/// exporter lays node-tagged spans out on per-node tracks, so a
+/// schedule opens in chrome://tracing / Perfetto as a per-node
+/// occupancy timeline.
+///
+/// Placement finish times are deterministic model predictions, so the
+/// recorded spans are deterministic too.
+pub fn record_plan_spans(rec: &dyn Recorder, jobs: &[JobSpec], plan: &SchedulePlan) {
+    for p in &plan.placements {
+        let span_tags = [
+            (tags::JOB, TagValue::Str(&jobs[p.job].name)),
+            (tags::NODE, TagValue::U64(p.node as u64)),
+            (tags::POLICY, TagValue::Str(&plan.policy)),
+        ];
+        rec.record_span("sched.job", &span_tags, 0.0, p.finish);
+    }
 }
 
 /// Render one or more policies' plans over the same queue and fleet.
@@ -106,5 +128,43 @@ mod tests {
             assert!(a.contains(&j.name), "{a}");
         }
         assert!(a.contains("makespan_s "));
+    }
+
+    #[test]
+    fn plan_spans_bridge_records_per_job_spans() {
+        use mc_obs::Registry;
+        let reg = ModelRegistry::new(4);
+        let p = platforms::henri();
+        let fleet = Fleet::build(vec![p.clone(), p], &reg).unwrap();
+        let jobs: Vec<JobSpec> = (0..3)
+            .map(|i| JobSpec {
+                name: format!("job-{i}"),
+                profile: PhaseProfile {
+                    compute_bytes: 4e9 * (i + 1) as f64,
+                    comm_bytes: 2e9,
+                    max_cores: 8,
+                },
+            })
+            .collect();
+        let mut ev = Evaluator::new(&jobs, &fleet);
+        let plan = ev.plan("first_fit", &[0, 0, 1], 1.25);
+
+        let rec = Registry::new();
+        record_plan_spans(&rec, &jobs, &plan);
+        let snap = rec.snapshot();
+        assert_eq!(snap.spans.len(), plan.placements.len());
+        for (s, p) in snap.spans.iter().zip(&plan.placements) {
+            assert_eq!(s.stage, "sched.job");
+            assert_eq!(s.start_s, 0.0);
+            assert_eq!(s.duration_s, p.finish);
+            let want = [
+                ("job".to_string(), jobs[p.job].name.clone()),
+                ("node".to_string(), p.node.to_string()),
+                ("policy".to_string(), "first_fit".to_string()),
+            ];
+            for tag in want {
+                assert!(s.tags.contains(&tag), "missing {tag:?} in {:?}", s.tags);
+            }
+        }
     }
 }

@@ -18,6 +18,20 @@ pub struct GanttBar {
     pub label: String,
 }
 
+impl GanttBar {
+    /// The bar's extent as an ordered `(lo, hi)` pair. Hand-edited or
+    /// adversarial input can carry `t1 < t0`; normalizing here keeps
+    /// [`Gantt::span`] and [`Gantt::render`] drawing the bar where it
+    /// actually lies instead of a 1-px sliver at the wrong position.
+    fn ordered(&self) -> (f64, f64) {
+        if self.t1 < self.t0 {
+            (self.t1, self.t0)
+        } else {
+            (self.t0, self.t1)
+        }
+    }
+}
+
 /// One row (entity) of a Gantt chart.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GanttRow {
@@ -43,8 +57,9 @@ impl Gantt {
         let mut t_max = f64::NEG_INFINITY;
         for row in &self.rows {
             for bar in &row.bars {
-                t_min = t_min.min(bar.t0);
-                t_max = t_max.max(bar.t1);
+                let (lo, hi) = bar.ordered();
+                t_min = t_min.min(lo);
+                t_max = t_max.max(hi);
             }
         }
         if t_min > t_max {
@@ -71,8 +86,9 @@ impl Gantt {
             svg.text(ml - 8.0, y + row_h / 2.0 + 4.0, 10.5, "end", &row.label);
             svg.line(ml, y + row_h, width - 20.0, y + row_h, "#ddd", 0.6);
             for bar in &row.bars {
-                let x0 = xs.map(bar.t0);
-                let x1 = xs.map(bar.t1);
+                let (lo, hi) = bar.ordered();
+                let x0 = xs.map(lo);
+                let x1 = xs.map(hi);
                 svg.rect(
                     x0,
                     y + 5.0,
@@ -82,7 +98,9 @@ impl Gantt {
                     &bar.color,
                     0.5,
                 );
-                if x1 - x0 > 8.0 * bar.label.len() as f64 * 0.6 {
+                // Fit check counts characters, not bytes: a multi-byte
+                // label ("64 MiB →") is no wider than its char count.
+                if x1 - x0 > 8.0 * bar.label.chars().count() as f64 * 0.6 {
                     svg.text(
                         (x0 + x1) / 2.0,
                         y + row_h / 2.0 + 3.5,
@@ -154,6 +172,58 @@ mod tests {
         };
         assert_eq!(g.span(), (0.0, 1.0));
         let _ = g.render(400.0);
+    }
+
+    #[test]
+    fn multibyte_labels_elide_by_char_count_not_bytes() {
+        // "64 MiB →" is 8 chars but 10 bytes: at a width where 8 chars
+        // fit, byte-based fitting would wrongly elide it.
+        let label = "64 MiB →";
+        assert_eq!(label.chars().count(), 8);
+        assert_eq!(label.len(), 10);
+        let bar_for = |label: &str| Gantt {
+            title: "labels".into(),
+            rows: vec![GanttRow {
+                label: "row".into(),
+                bars: vec![GanttBar {
+                    t0: 0.0,
+                    t1: 1.0,
+                    color: "#1f77b4".into(),
+                    label: label.into(),
+                }],
+            }],
+        };
+        // Pick a width where an 8-char label fits but a 10-char one
+        // would not: bar pixels ≈ width - 150, threshold 4.8/char.
+        let width = 150.0 + 8.0 * 8.0 * 0.6 + 4.0;
+        let multi = bar_for(label).render(width).render();
+        assert!(multi.contains("64 MiB"), "{multi}");
+        // A genuinely-10-char ASCII label still elides at that width.
+        let long = bar_for("64 MiB -)>").render(width).render();
+        assert!(!long.contains("64 MiB"), "{long}");
+    }
+
+    #[test]
+    fn reversed_bars_normalize_to_the_same_geometry() {
+        let bar = |t0: f64, t1: f64| Gantt {
+            title: "rev".into(),
+            rows: vec![GanttRow {
+                label: "row".into(),
+                bars: vec![GanttBar {
+                    t0,
+                    t1,
+                    color: "#1f77b4".into(),
+                    label: String::new(),
+                }],
+            }],
+        };
+        let fwd = bar(0.2, 0.8);
+        let rev = bar(0.8, 0.2);
+        assert_eq!(fwd.span(), (0.2, 0.8));
+        assert_eq!(rev.span(), (0.2, 0.8));
+        // Identical SVG output: the reversed bar is drawn at the same
+        // position and full width, not as a 1-px sliver.
+        assert_eq!(fwd.render(400.0).render(), rev.render(400.0).render());
     }
 
     #[test]

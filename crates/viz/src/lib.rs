@@ -3,8 +3,9 @@
 //! Hand-rolled SVG and ASCII plotting used by the reproduction harness to
 //! regenerate the paper's figures: dual-axis subplots (Figs. 3-8), the
 //! stacked-bandwidth chart (Fig. 2), subplot grids, and a terminal
-//! rendering of the machine diagram (Fig. 1). No dependencies beyond
-//! `serde`.
+//! rendering of the machine diagram (Fig. 1), plus self-contained HTML
+//! run reports ([`HtmlReport`]). No dependencies beyond `serde` and the
+//! workspace's own `mc-obs`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -14,6 +15,7 @@ pub mod chart;
 pub mod gantt;
 pub mod grid;
 pub mod heatmap;
+pub mod report;
 pub mod stacked;
 pub mod svg;
 
@@ -22,5 +24,6 @@ pub use chart::{DualAxisChart, Series, SeriesStyle, YAxis, ALONE_COLOR, COMM_COL
 pub use gantt::{Gantt, GanttBar, GanttRow};
 pub use grid::ChartGrid;
 pub use heatmap::Heatmap;
+pub use report::HtmlReport;
 pub use stacked::{MarkedPoint, StackedData};
 pub use svg::{Scale, Svg};
