@@ -1,0 +1,185 @@
+//! `bench5` — the BENCH_5 comm-mode crossover measurement.
+//!
+//! ```text
+//! bench5 [--platform NAME] [--cores N] [--comm-mb X] [--compute-mb X]
+//! ```
+//!
+//! Replays a fixed workload suite on a CXL-equipped platform twice —
+//! once over ordinary messaging, once message-free through the CXL.mem
+//! pool — and prints one JSON object with both contended makespans,
+//! slowdowns and the winner per workload. The suite brackets the
+//! crossover from both sides: a lone ping-pong keeps the NIC to itself
+//! (messaging wins), the same transfer under a saturating compute phase
+//! runs into the DMA bandwidth floor (message-free wins), and the 2D
+//! halo exchange shows what a real stencil's concurrent flows do.
+//! `bench5 > BENCH_5.json` snapshots the crossover (see EXPERIMENTS.md).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mc_replay::generate::{self, GenParams};
+use mc_replay::trace::EventKind;
+use mc_replay::{replay, CommMode, ReplayConfig, ReplayOutcome, Trace};
+use mc_topology::{platforms, NumaId};
+
+fn usage() -> &'static str {
+    "usage: bench5 [--platform NAME] [--cores N] [--comm-mb X] [--compute-mb X]"
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench5: {msg}");
+    eprintln!("{}", usage());
+    ExitCode::from(2)
+}
+
+/// One rank sends `bytes` to its peer, optionally while the receiver's
+/// `cores` cores stream `compute_bytes` through the same NUMA node —
+/// the minimal workload whose winner flips with the compute load.
+fn pingpong(bytes: u64, cores: usize, compute_bytes: u64) -> Trace {
+    let numa = NumaId::new(0);
+    let mut rank0 = Vec::new();
+    if cores > 0 {
+        rank0.push(EventKind::Compute {
+            numa,
+            cores,
+            bytes: compute_bytes,
+        });
+    }
+    rank0.push(EventKind::Recv {
+        peer: 1,
+        numa,
+        bytes,
+        tag: 0,
+    });
+    rank0.push(EventKind::Wait);
+    let rank1 = vec![
+        EventKind::Send {
+            peer: 0,
+            numa,
+            bytes,
+            tag: 0,
+        },
+        EventKind::Wait,
+    ];
+    Trace {
+        events: vec![rank0, rank1],
+    }
+}
+
+struct HeadToHead {
+    messages: ReplayOutcome,
+    cxl: ReplayOutcome,
+}
+
+fn run_both(platform: &mc_topology::Platform, trace: &Trace) -> Result<HeadToHead, String> {
+    let run = |mode: CommMode| {
+        let config = ReplayConfig {
+            comm_mode: mode,
+            ..ReplayConfig::default()
+        };
+        replay(platform, trace, &config).map_err(|e| e.to_string())
+    };
+    Ok(HeadToHead {
+        messages: run(CommMode::Messages)?,
+        cxl: run(CommMode::Cxl)?,
+    })
+}
+
+fn workload_json(name: &str, h: &HeadToHead) -> String {
+    let ratio = h.cxl.contended.makespan / h.messages.contended.makespan;
+    let winner = if ratio < 1.0 { "cxl" } else { "messages" };
+    format!(
+        "{{\"name\":\"{name}\",\"ranks\":{},\"events\":{},\
+         \"messages\":{{\"makespan_s\":{:.6},\"slowdown\":{:.4}}},\
+         \"cxl\":{{\"makespan_s\":{:.6},\"slowdown\":{:.4}}},\
+         \"cxl_over_messages\":{ratio:.4},\"winner\":\"{winner}\"}}",
+        h.messages.ranks,
+        h.messages.events,
+        h.messages.contended.makespan,
+        h.messages.slowdown,
+        h.cxl.contended.makespan,
+        h.cxl.slowdown,
+    )
+}
+
+fn main() -> ExitCode {
+    let mut platform_name = "henri-cxl".to_string();
+    let mut cores = 17usize;
+    let mut comm_mb = 64u64;
+    let mut compute_mb = 1024u64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--platform" => match args.next() {
+                Some(v) => platform_name = v,
+                None => return fail("--platform needs a name"),
+            },
+            "--cores" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cores = v,
+                None => return fail("--cores needs a number"),
+            },
+            "--comm-mb" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => comm_mb = v,
+                None => return fail("--comm-mb needs a number"),
+            },
+            "--compute-mb" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => compute_mb = v,
+                None => return fail("--compute-mb needs a number"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unexpected argument '{other}'")),
+        }
+    }
+    if cores == 0 || comm_mb == 0 || compute_mb == 0 {
+        return fail("--cores, --comm-mb and --compute-mb must be at least 1");
+    }
+    let Some(platform) = platforms::by_name(&platform_name) else {
+        return fail(&format!("unknown platform '{platform_name}'"));
+    };
+    if platform.topology.cxl_pools.is_empty() {
+        return fail(&format!(
+            "platform '{platform_name}' declares no CXL.mem pool"
+        ));
+    }
+
+    let comm_bytes = comm_mb << 20;
+    let compute_bytes = compute_mb << 20;
+    let halo_params = GenParams {
+        ranks: 4,
+        iters: 2,
+        cores,
+        compute_bytes,
+        comm_bytes,
+        comp_numa: NumaId::new(0),
+        comm_numa: NumaId::new(0),
+    };
+    let workloads: Vec<(&str, Trace)> = vec![
+        ("pingpong-idle", pingpong(comm_bytes, 0, 0)),
+        ("pingpong-hot", pingpong(comm_bytes, cores, compute_bytes)),
+        ("halo2d-hot", generate::halo2d(&halo_params)),
+    ];
+
+    let t0 = Instant::now();
+    let mut rows = Vec::new();
+    for (name, trace) in &workloads {
+        match run_both(&platform, trace) {
+            Ok(h) => rows.push(workload_json(name, &h)),
+            Err(e) => {
+                eprintln!("bench5: workload '{name}' failed: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    println!(
+        "{{\"platform\":\"{platform_name}\",\"cores\":{cores},\"comm_mb\":{comm_mb},\
+         \"compute_mb\":{compute_mb},\"wall_s\":{wall:.3},\"workloads\":[{}]}}",
+        rows.join(",")
+    );
+    ExitCode::SUCCESS
+}

@@ -14,7 +14,7 @@ use mc_model::{
 };
 use mc_obs::{tags, TagValue};
 use mc_replay::generate::{self, GenParams};
-use mc_replay::{report, ReplayConfig, Trace, TraceReader};
+use mc_replay::{report, CommMode, ReplayConfig, Trace, TraceReader};
 use mc_topology::{platforms, NumaId, Platform};
 use mc_viz::TopologySketch;
 
@@ -37,7 +37,8 @@ usage:
                        --platform NAME [--ranks N] [--iters N] [--cores N] \\
                        [--compute-mb X] [--comm-mb Y] [--comp-numa A] \\
                        [--comm-numa B] [--search yes] [--gantt FILE] \\
-                       [--save-trace FILE] [--stream yes] [--report FILE.html]
+                       [--save-trace FILE] [--stream yes] [--report FILE.html] \\
+                       [--comm-mode messages|cxl]
   memcontend schedule  --jobs QUEUE.jsonl \\
                        (--platform NAME [--nodes N] | --fleet NAME*N,...) \\
                        [--policy first_fit|round_robin|contention_aware|all] \\
@@ -57,7 +58,11 @@ the generator. --stream yes replays without materializing the trace:
 {\"ranks\":N} header — what --stream --save-trace writes), generators
 run lazily, memory stays bounded by ranks not events, and per-rank
 timelines are kept for the first 64 ranks only (--search needs the
-full trace and is incompatible).
+full trace and is incompatible). --comm-mode cxl lowers every message
+to load/store stream pairs against the platform's CXL.mem pool
+(message-free communication; the platform must declare a pool, e.g.
+henri-cxl) and prints a head-to-head against the ordinary messaging
+replay; the gantt/report exports then show the message-free timeline.
 
 schedule places a JSON-lines job queue (one job object per line: inline
 {\"name\",\"compute_gb\",\"comm_gb\",\"max_cores\"}, a synthetic
@@ -98,7 +103,8 @@ global options (any subcommand):
                    a Chrome trace_event JSON array that opens directly
                    in chrome://tracing and ui.perfetto.dev
 
-platforms: henri, henri-subnuma, dahu, diablo, pyxis, occigen, grillon
+platforms: henri, henri-subnuma, dahu, diablo, pyxis, occigen, grillon,
+           henri-cxl, dahu-cxl
 
 exit codes: 0 success, 2 usage error, 3 invalid or degenerate input data,
             4 file I/O failure
@@ -370,6 +376,22 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
                 .into(),
         ));
     }
+    let comm_mode = match args.get("comm-mode") {
+        None | Some("messages") => CommMode::Messages,
+        Some("cxl") => CommMode::Cxl,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--comm-mode must be 'messages' or 'cxl', got '{other}'"
+            )))
+        }
+    };
+    if comm_mode == CommMode::Cxl && do_search {
+        return Err(CliError::Usage(
+            "--search and --comm-mode cxl are mutually exclusive (the placement \
+             sweep ranks messaging replays)"
+                .into(),
+        ));
+    }
     // Streaming runs keep full timelines only for the ranks a gantt
     // chart can show; the rest fold into the busy totals.
     let timeline_ranks = if stream {
@@ -380,6 +402,9 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
     // `trace` stays `None` on the streaming paths — nothing below may
     // require the full event list there.
     let mut trace: Option<Trace> = None;
+    // In cxl mode the same source is replayed once more under ordinary
+    // messaging so the report can print the head-to-head.
+    let mut messaging: Option<mc_replay::ReplayOutcome> = None;
     let outcome = match (args.get("input"), args.get("generate")) {
         (Some(_), Some(_)) => {
             return Err(CliError::Usage(
@@ -409,6 +434,7 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
                 comm_numa: numa_override(args, "comm-numa", &p)?,
                 cores,
                 timeline_ranks,
+                comm_mode,
             };
             if stream {
                 if args.get("save-trace").is_some() {
@@ -428,12 +454,26 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
                     })?;
                     Ok(TraceReader::new(std::io::BufReader::new(f))?)
                 };
+                if comm_mode == CommMode::Cxl {
+                    let mcfg = ReplayConfig {
+                        comm_mode: CommMode::Messages,
+                        ..config
+                    };
+                    messaging = Some(mc_replay::replay_with(&p, open, &mcfg)?);
+                }
                 mc_replay::replay_with(&p, open, &config)?
             } else {
                 let text = fs::read_to_string(path).map_err(|e| McError::io(path, e))?;
                 let t = Trace::from_json_lines(&text)?;
                 if let Some(dst) = args.get("save-trace") {
                     fs::write(dst, t.to_json_lines()).map_err(|e| McError::io(dst, e))?;
+                }
+                if comm_mode == CommMode::Cxl {
+                    let mcfg = ReplayConfig {
+                        comm_mode: CommMode::Messages,
+                        ..config
+                    };
+                    messaging = Some(mc_replay::replay(&p, &t, &mcfg)?);
                 }
                 let outcome = mc_replay::replay(&p, &t, &config)?;
                 trace = Some(t);
@@ -468,6 +508,7 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::UnknownPattern(pattern.to_string()))?;
             let config = ReplayConfig {
                 timeline_ranks,
+                comm_mode,
                 ..ReplayConfig::default()
             };
             if stream {
@@ -478,11 +519,25 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
                         .and_then(|_| w.flush())
                         .map_err(|e| McError::io(dst, e))?;
                 }
+                if comm_mode == CommMode::Cxl {
+                    let mcfg = ReplayConfig {
+                        comm_mode: CommMode::Messages,
+                        ..config
+                    };
+                    messaging = Some(mc_replay::replay_with(&p, || Ok(gen.source()), &mcfg)?);
+                }
                 mc_replay::replay_with(&p, || Ok(gen.source()), &config)?
             } else {
                 let t = gen.collect();
                 if let Some(dst) = args.get("save-trace") {
                     fs::write(dst, t.to_json_lines()).map_err(|e| McError::io(dst, e))?;
+                }
+                if comm_mode == CommMode::Cxl {
+                    let mcfg = ReplayConfig {
+                        comm_mode: CommMode::Messages,
+                        ..config
+                    };
+                    messaging = Some(mc_replay::replay(&p, &t, &mcfg)?);
                 }
                 let outcome = mc_replay::replay(&p, &t, &config)?;
                 trace = Some(t);
@@ -497,6 +552,9 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
         report::record_timeline_spans(rec.as_ref(), &outcome);
     }
     let mut out = report::render(&outcome, p.name());
+    if let Some(messages) = &messaging {
+        out.push_str(&report::render_head_to_head(messages, &outcome, p.name()));
+    }
     if do_search {
         let trace = trace
             .as_ref()
@@ -535,6 +593,9 @@ pub fn replay_cmd(args: &Args) -> Result<String, CliError> {
         let title = format!("trace replay on {}", p.name());
         let mut rep = mc_viz::HtmlReport::new(&title);
         rep.meta("platform", p.name());
+        if messaging.is_some() {
+            rep.meta("comm mode", "message-free (cxl)");
+        }
         rep.meta("ranks", &outcome.ranks.to_string());
         rep.meta("events", &outcome.events.to_string());
         rep.meta(
@@ -1149,7 +1210,65 @@ mod tests {
 
     #[test]
     fn help_prints_usage() {
-        assert!(run_line(&["help"]).unwrap().contains("memcontend"));
+        let out = run_line(&["help"]).unwrap();
+        assert!(out.contains("memcontend"));
+        assert!(out.contains("henri-cxl"), "{out}");
+        assert!(out.contains("--comm-mode"), "{out}");
+    }
+
+    #[test]
+    fn replay_cxl_mode_prints_the_head_to_head() {
+        let base = [
+            "replay",
+            "--platform",
+            "henri-cxl",
+            "--generate",
+            "halo2d",
+            "--ranks",
+            "4",
+            "--iters",
+            "2",
+            "--cores",
+            "17",
+            "--compute-mb",
+            "1024",
+            "--comm-mb",
+            "64",
+        ];
+        let out = run_line(&[&base[..], &["--comm-mode", "cxl"]].concat()).unwrap();
+        assert!(out.contains("comm-mode head-to-head"), "{out}");
+        assert!(out.contains("verdict:"), "{out}");
+        // The streamed form agrees byte for byte.
+        let streamed =
+            run_line(&[&base[..], &["--comm-mode", "cxl", "--stream", "yes"]].concat()).unwrap();
+        let head = |s: &str| s.lines().take(8).collect::<Vec<_>>().join("\n");
+        assert_eq!(head(&out), head(&streamed));
+        // Plain messaging mode never prints the comparison.
+        let plain = run_line(&[&base[..], &["--comm-mode", "messages"]].concat()).unwrap();
+        assert!(!plain.contains("comm-mode head-to-head"), "{plain}");
+        assert_eq!(plain, run_line(&base).unwrap());
+    }
+
+    #[test]
+    fn replay_cxl_mode_flag_mistakes_are_typed_errors() {
+        let base = ["replay", "--platform", "henri", "--generate", "halo2d"];
+        // A platform without a pool is invalid data (exit 3), not a panic.
+        let e = run_line(&[&base[..], &["--comm-mode", "cxl"]].concat()).unwrap_err();
+        assert_eq!(e.exit_code(), crate::args::EXIT_INVALID_DATA, "{e}");
+        assert!(e.to_string().contains("CXL"), "{e}");
+        // An unknown mode and --search with cxl are usage errors.
+        let e = run_line(&[&base[..], &["--comm-mode", "zzz"]].concat()).unwrap_err();
+        assert!(e.is_usage(), "{e}");
+        assert!(e.to_string().contains("comm-mode"), "{e}");
+        let e = run_line(
+            &[
+                &["replay", "--platform", "henri-cxl", "--generate", "halo2d"][..],
+                &["--comm-mode", "cxl", "--search", "yes"],
+            ]
+            .concat(),
+        )
+        .unwrap_err();
+        assert!(e.is_usage(), "{e}");
     }
 
     #[test]

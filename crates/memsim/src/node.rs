@@ -18,7 +18,7 @@
 //! two-phase makespan, computed on the simulated fabric instead of the
 //! calibrated closed form.
 
-use mc_topology::{NumaId, Platform};
+use mc_topology::{NumaId, Platform, PoolId};
 
 use crate::fabric::{Fabric, FabricScratch, SolveResult, StreamSpec};
 
@@ -36,6 +36,11 @@ pub struct JobLoad {
     pub compute_bytes: f64,
     /// Bytes the communication phase must move over the NIC.
     pub comm_bytes: f64,
+    /// Memory tier the communication phase runs on: `None` keeps the
+    /// classic NIC DMA stream into `comm_numa`; `Some(pool)` reads the
+    /// bytes message-free from that CXL.mem pool instead (the pool must
+    /// exist on the node's platform).
+    pub comm_pool: Option<PoolId>,
 }
 
 /// Per-job outcome of a node run.
@@ -129,8 +134,14 @@ impl NodeWorld {
                     }
                 }
                 if res.comm > 0.0 {
-                    streams.push(StreamSpec::DmaRecv {
-                        numa: job.comm_numa,
+                    streams.push(match job.comm_pool {
+                        None => StreamSpec::DmaRecv {
+                            numa: job.comm_numa,
+                        },
+                        Some(pool) => StreamSpec::CxlRead {
+                            numa: job.comm_numa,
+                            pool,
+                        },
                     });
                     owner.push((i, true));
                 }
@@ -214,6 +225,7 @@ mod tests {
             comm_numa: NumaId::new(comm),
             compute_bytes: compute_gb * 1e9,
             comm_bytes: comm_gb * 1e9,
+            comm_pool: None,
         }
     }
 
@@ -282,6 +294,56 @@ mod tests {
             spread.makespan,
             piled.makespan
         );
+    }
+
+    #[test]
+    fn mixed_tier_node_offloads_the_cxl_job_from_the_nic() {
+        // One job reads its bytes message-free from the CXL.mem pool,
+        // the other keeps the NIC DMA path: the DMA job must finish as
+        // if it never shared the wire, because the tiers only meet at
+        // the destination memory controllers.
+        let p = platforms::henri_cxl();
+        let pool = p.topology.cxl_pools[0].id;
+        let dram = job(0, 0, 0, 0.0, 8.0);
+        let cxl = JobLoad {
+            comm_pool: Some(pool),
+            comm_numa: NumaId::new(1),
+            ..job(0, 0, 1, 0.0, 8.0)
+        };
+        let mut node = NodeWorld::new(&p);
+        let dram_alone = node.run(&[dram]).jobs[0].comm_done;
+        let both = node.run(&[dram, cxl]);
+        assert_eq!(
+            both.jobs[0].comm_done.to_bits(),
+            dram_alone.to_bits(),
+            "a CXL reader on the other NUMA node must not slow the NIC job"
+        );
+        // The CXL job drains at the pool's per-stream bandwidth.
+        let expect = 8e9 / (p.topology.cxl_pools[0].stream_bandwidth * 1e9);
+        assert!(
+            (both.jobs[1].comm_done - expect).abs() < 1e-9,
+            "cxl job took {} s, expected {expect} s",
+            both.jobs[1].comm_done
+        );
+    }
+
+    #[test]
+    fn mixed_tier_runs_are_deterministic_and_byte_stable() {
+        let p = platforms::henri_cxl();
+        let pool = p.topology.cxl_pools[0].id;
+        let dram = job(8, 0, 1, 30.0, 8.0);
+        let cxl = JobLoad {
+            comm_pool: Some(pool),
+            ..job(8, 1, 0, 20.0, 12.0)
+        };
+        let mut node = NodeWorld::new(&p);
+        let a = node.run(&[dram, cxl]);
+        let b = node.run(&[dram, cxl]);
+        assert_eq!(a, b);
+        for (x, y) in a.jobs.iter().zip(b.jobs.iter()) {
+            assert_eq!(x.finish().to_bits(), y.finish().to_bits());
+        }
+        assert!(a.makespan > 0.0 && a.solves > 0);
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub enum MpiError {
     /// Waiting would never return: the request's peer operation was never
     /// posted and no further progress is possible.
     Deadlock(RequestId),
+    /// Message-free (CXL) communication was requested on a platform whose
+    /// topology declares no CXL.mem pool.
+    NoCxlPool(String),
 }
 
 impl fmt::Display for MpiError {
@@ -32,6 +35,9 @@ impl fmt::Display for MpiError {
             MpiError::Truncated(r) => write!(f, "message truncated on {r}"),
             MpiError::SelfMessage(r) => write!(f, "rank {r} cannot message itself"),
             MpiError::Deadlock(r) => write!(f, "deadlock: {r} can never complete"),
+            MpiError::NoCxlPool(p) => {
+                write!(f, "platform {p} has no CXL.mem pool for message-free mode")
+            }
         }
     }
 }

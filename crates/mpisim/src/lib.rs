@@ -36,4 +36,4 @@ pub use collectives::{
 };
 pub use error::MpiError;
 pub use request::{JobId, Rank, RequestId, RequestStatus, Tag};
-pub use world::{JobRecord, TransferRecord, World, WorldSolverStats};
+pub use world::{CommMode, JobRecord, TransferRecord, World, WorldSolverStats};

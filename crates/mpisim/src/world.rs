@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, HashMap};
 use mc_memsim::delta::{ActiveSet, DeltaSolver, DeltaStats};
 use mc_memsim::fabric::{Fabric, StreamSpec};
 use mc_netsim::protocol::ProtocolConfig;
-use mc_topology::{NumaId, Platform};
+use mc_topology::{NumaId, Platform, PoolId};
 
 use crate::error::MpiError;
 use crate::request::{JobId, Rank, RequestId, RequestStatus, Tag};
@@ -67,6 +67,51 @@ struct JobState {
 
 /// Sentinel `history_idx` when history recording is off.
 const NO_HISTORY: usize = usize::MAX;
+
+/// How matched sends and receives move their payload between ranks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum CommMode {
+    /// Classic messaging: rendezvous + RDMA through the NIC, payload
+    /// moved by the DMA engines of both endpoints.
+    #[default]
+    Messages,
+    /// Message-free: the sender's cores push the payload into a shared
+    /// CXL.mem pool and the receiver's cores pull it out. No NIC, no
+    /// rendezvous round trip — but also no DMA arbitration floor, so
+    /// the streams take whatever max-min share the memory fabric grants
+    /// the CPU class.
+    Cxl,
+}
+
+/// The per-endpoint streams a transfer occupies: `(sender side,
+/// receiver side)` as seen by each endpoint's own fabric.
+fn transfer_specs(
+    mode: CommMode,
+    pool: Option<PoolId>,
+    src_numa: NumaId,
+    dst_numa: NumaId,
+) -> (StreamSpec, StreamSpec) {
+    match mode {
+        CommMode::Messages => (
+            // Sender-side NIC read of the source buffer.
+            StreamSpec::DmaRecv { numa: src_numa },
+            StreamSpec::DmaRecv { numa: dst_numa },
+        ),
+        CommMode::Cxl => {
+            let pool = pool.expect("CXL comm mode requires a pool (checked in set_comm_mode)");
+            (
+                StreamSpec::CxlWrite {
+                    numa: src_numa,
+                    pool,
+                },
+                StreamSpec::CxlRead {
+                    numa: dst_numa,
+                    pool,
+                },
+            )
+        }
+    }
+}
 
 /// A completed (or in-flight) transfer, for post-mortem analysis and
 /// Gantt rendering.
@@ -135,6 +180,11 @@ impl WorldSolverStats {
 pub struct World {
     fabric: Fabric,
     protocol: ProtocolConfig,
+    /// How payloads move between ranks (NIC messaging or CXL pool).
+    comm_mode: CommMode,
+    /// The shared pool used in [`CommMode::Cxl`] (the topology's first),
+    /// `None` when the platform declares none.
+    cxl_pool: Option<PoolId>,
     n: usize,
     time: f64,
     next_id: u64,
@@ -175,9 +225,12 @@ impl World {
         assert!(n >= 2, "a world needs at least two nodes");
         let fabric = Fabric::new(platform);
         let protocol = ProtocolConfig::for_tech(platform.topology.nic.tech);
+        let cxl_pool = platform.topology.cxl_pools.first().map(|p| p.id);
         World {
             fabric,
             protocol,
+            comm_mode: CommMode::default(),
+            cxl_pool,
             n,
             time: 0.0,
             next_id: 0,
@@ -268,6 +321,49 @@ impl World {
     /// [`set_contended`](World::set_contended)`(false)` was called)?
     pub fn contended(&self) -> bool {
         self.contended
+    }
+
+    /// Select how payloads move between ranks. [`CommMode::Cxl`] lowers
+    /// every matched send/receive to a core-issued write/read pair
+    /// against the platform's first CXL.mem pool instead of NIC DMA
+    /// streams, and replaces the rendezvous protocol with an always-
+    /// eager one (the receiver pulls straight from the pool, so there
+    /// is no RTS/CTS round trip); the pre/post latency becomes the
+    /// pool's access latency. Fails with [`MpiError::NoCxlPool`] when
+    /// the platform declares no pool.
+    ///
+    /// Must be called before any traffic is posted: transfers in flight
+    /// keep the stream specs they started with.
+    pub fn set_comm_mode(&mut self, mode: CommMode) -> Result<(), MpiError> {
+        assert!(
+            self.transfers.is_empty(),
+            "comm mode must be set before any transfer is matched"
+        );
+        if mode == CommMode::Cxl && self.cxl_pool.is_none() {
+            return Err(MpiError::NoCxlPool(
+                self.fabric.platform().topology.name.clone(),
+            ));
+        }
+        self.comm_mode = mode;
+        self.protocol = match mode {
+            CommMode::Messages => {
+                ProtocolConfig::for_tech(self.fabric.platform().topology.nic.tech)
+            }
+            CommMode::Cxl => {
+                let pool = &self.fabric.platform().topology.cxl_pools[0];
+                ProtocolConfig {
+                    eager_threshold: u64::MAX,
+                    sw_overhead: self.protocol.sw_overhead,
+                    wire_latency: pool.latency,
+                }
+            }
+        };
+        Ok(())
+    }
+
+    /// The active communication mode.
+    pub fn comm_mode(&self) -> CommMode {
+        self.comm_mode
     }
 
     /// Current simulation time in seconds.
@@ -591,11 +687,8 @@ impl World {
                 continue;
             }
             let (src, dst) = (tr.src, tr.dst);
-            let (src_spec, dst_spec) = (
-                // Sender-side NIC read of the source buffer.
-                StreamSpec::DmaRecv { numa: tr.src_numa },
-                StreamSpec::DmaRecv { numa: tr.dst_numa },
-            );
+            let (src_spec, dst_spec) =
+                transfer_specs(self.comm_mode, self.cxl_pool, tr.src_numa, tr.dst_numa);
             let rate_in = self.stream_rate(dst, dst_spec);
             let rate_out = self.stream_rate(src, src_spec);
             transfer_rates.push(rate_in.min(rate_out));
@@ -664,6 +757,7 @@ impl World {
         // delta solver re-solves (or cache-hits) exactly where the
         // active multiset changed.
         let now = self.time;
+        let (comm_mode, cxl_pool) = (self.comm_mode, self.cxl_pool);
         let Self {
             active_jobs,
             jobs,
@@ -692,13 +786,17 @@ impl World {
             match tr.phase {
                 TransferPhase::Pre(t) if t <= now + EPS => {
                     tr.phase = TransferPhase::Streaming(tr.payload);
-                    node_sets[tr.dst].add(StreamSpec::DmaRecv { numa: tr.dst_numa });
-                    node_sets[tr.src].add(StreamSpec::DmaRecv { numa: tr.src_numa });
+                    let (src_spec, dst_spec) =
+                        transfer_specs(comm_mode, cxl_pool, tr.src_numa, tr.dst_numa);
+                    node_sets[tr.dst].add(dst_spec);
+                    node_sets[tr.src].add(src_spec);
                 }
                 TransferPhase::Streaming(bytes) if bytes <= 1.0 => {
                     tr.phase = TransferPhase::Post(now + tr.post_len);
-                    node_sets[tr.dst].remove(StreamSpec::DmaRecv { numa: tr.dst_numa });
-                    node_sets[tr.src].remove(StreamSpec::DmaRecv { numa: tr.src_numa });
+                    let (src_spec, dst_spec) =
+                        transfer_specs(comm_mode, cxl_pool, tr.src_numa, tr.dst_numa);
+                    node_sets[tr.dst].remove(dst_spec);
+                    node_sets[tr.src].remove(src_spec);
                 }
                 TransferPhase::Post(t) if t <= now + EPS => {
                     finished.push((tr.send_req, tr.recv_req));
@@ -989,6 +1087,71 @@ mod tests {
             (baseline - alone).abs() / alone < 1e-9,
             "baseline {baseline} == alone {alone}"
         );
+    }
+
+    #[test]
+    fn cxl_mode_requires_a_pool() {
+        let mut w = World::pair(&platforms::henri());
+        assert_eq!(
+            w.set_comm_mode(CommMode::Cxl).unwrap_err(),
+            MpiError::NoCxlPool("henri".into())
+        );
+        // The failed switch leaves the world in messaging mode.
+        assert_eq!(w.comm_mode(), CommMode::Messages);
+        let mut w = World::pair(&platforms::henri_cxl());
+        w.set_comm_mode(CommMode::Cxl).unwrap();
+        assert_eq!(w.comm_mode(), CommMode::Cxl);
+    }
+
+    #[test]
+    fn uncontended_cxl_transfer_is_slower_than_messaging() {
+        let p = platforms::henri_cxl();
+        let mut w = World::pair(&p);
+        let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        let messages = w.wait(r).unwrap();
+
+        let mut w = World::pair(&p);
+        w.set_comm_mode(CommMode::Cxl).unwrap();
+        let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        let cxl = w.wait(r).unwrap();
+        // 64 MiB at ~11.3 GB/s (wire) vs 6 GB/s (pool stream).
+        assert!(cxl > 1.5 * messages, "cxl={cxl}, messages={messages}");
+    }
+
+    #[test]
+    fn contended_cxl_transfer_beats_the_floored_nic() {
+        // 17 cores hammer the receiver's buffer node: the NIC drops to
+        // its arbitration floor, but CXL pool streams keep the CPU-class
+        // max-min share — the message-free crossover.
+        let p = platforms::henri_cxl();
+        let mut w = World::pair(&p);
+        w.start_compute(0, n0(), 17, 8 << 30).unwrap();
+        let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        let messages = w.wait(r).unwrap();
+
+        let mut w = World::pair(&p);
+        w.set_comm_mode(CommMode::Cxl).unwrap();
+        w.start_compute(0, n0(), 17, 8 << 30).unwrap();
+        let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+        w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+        let cxl = w.wait(r).unwrap();
+        assert!(cxl < messages, "cxl={cxl}, messages={messages}");
+    }
+
+    #[test]
+    fn cxl_runs_are_bit_identical() {
+        let run = || {
+            let mut w = World::pair(&platforms::dahu_cxl());
+            w.set_comm_mode(CommMode::Cxl).unwrap();
+            w.start_compute(0, n0(), 8, 2 << 30).unwrap();
+            let r = w.irecv(0, 1, n0(), MB64, Tag(0)).unwrap();
+            w.isend(1, 0, n0(), MB64, Tag(0)).unwrap();
+            w.wait(r).unwrap()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
     }
 
     #[test]

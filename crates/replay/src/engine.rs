@@ -37,7 +37,9 @@ use std::fmt;
 
 use mc_model::ErrorCategory;
 use mc_mpisim::collectives;
-use mc_mpisim::{JobId, MpiError, RequestId, RequestStatus, Tag, World, WorldSolverStats};
+use mc_mpisim::{
+    CommMode, JobId, MpiError, RequestId, RequestStatus, Tag, World, WorldSolverStats,
+};
 use mc_obs::{tags, TagValue};
 use mc_topology::{NumaId, Platform};
 
@@ -64,6 +66,10 @@ pub struct ReplayConfig {
     /// essential at thousands of ranks, where storing every span would
     /// defeat the streaming path's bounded memory.
     pub timeline_ranks: Option<usize>,
+    /// How matched sends/receives move their payload: classic NIC
+    /// messaging (the default) or message-free through the platform's
+    /// CXL.mem pool (see [`mc_mpisim::World::set_comm_mode`]).
+    pub comm_mode: CommMode,
 }
 
 /// One completed interval of one rank's timeline.
@@ -490,6 +496,7 @@ pub fn run_source<S: EventSource>(
     }
     let numa_count = platform.topology.numa_count();
     let mut world = World::homogeneous(platform, ranks);
+    world.set_comm_mode(config.comm_mode)?;
     world.set_contended(contended);
     world.set_record_history(false);
     let keep = config.timeline_ranks.unwrap_or(usize::MAX);
@@ -891,6 +898,102 @@ mod tests {
             Err(ReplayError::Stuck { .. }) => {}
             other => panic!("expected Stuck, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cxl_mode_needs_a_platform_with_a_pool() {
+        let trace = generate::halo2d(&GenParams::default());
+        let config = ReplayConfig {
+            comm_mode: CommMode::Cxl,
+            ..ReplayConfig::default()
+        };
+        match replay(&platforms::henri(), &trace, &config) {
+            Err(ReplayError::Mpi(MpiError::NoCxlPool(name))) => assert_eq!(name, "henri"),
+            other => panic!("expected NoCxlPool, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cxl_mode_wins_the_contended_halo_exchange() {
+        // Heavy compute overlapping the halo exchange on the same node:
+        // the NIC is floored, the CXL pool streams are not.
+        let p = platforms::henri_cxl();
+        let params = GenParams {
+            ranks: 4,
+            iters: 2,
+            cores: 17,
+            compute_bytes: 1 << 30,
+            comm_bytes: 64 << 20,
+            comp_numa: n(0),
+            comm_numa: n(0),
+        };
+        let trace = generate::halo2d(&params);
+        let messages = replay(&p, &trace, &cfg()).unwrap();
+        let cxl = replay(
+            &p,
+            &trace,
+            &ReplayConfig {
+                comm_mode: CommMode::Cxl,
+                ..ReplayConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            cxl.contended.makespan < messages.contended.makespan,
+            "cxl {} vs messages {}",
+            cxl.contended.makespan,
+            messages.contended.makespan
+        );
+        // Both modes still report a genuine contention slowdown.
+        assert!(messages.slowdown >= 1.0 - 1e-9);
+        assert!(cxl.slowdown >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn messaging_wins_the_uncontended_exchange() {
+        // A lone pairwise message with no overlapping compute: the NIC
+        // wire (≈ 11.3 GB/s) beats the 6 GB/s pool stream — the other
+        // side of the crossover.
+        use crate::trace::EventKind;
+        let p = platforms::henri_cxl();
+        let trace = Trace {
+            events: vec![
+                vec![
+                    EventKind::Recv {
+                        peer: 1,
+                        numa: n(0),
+                        bytes: 64 << 20,
+                        tag: 0,
+                    },
+                    EventKind::Wait,
+                ],
+                vec![
+                    EventKind::Send {
+                        peer: 0,
+                        numa: n(0),
+                        bytes: 64 << 20,
+                        tag: 0,
+                    },
+                    EventKind::Wait,
+                ],
+            ],
+        };
+        let messages = replay(&p, &trace, &cfg()).unwrap();
+        let cxl = replay(
+            &p,
+            &trace,
+            &ReplayConfig {
+                comm_mode: CommMode::Cxl,
+                ..ReplayConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            messages.contended.makespan * 1.5 < cxl.contended.makespan,
+            "messages {} vs cxl {}",
+            messages.contended.makespan,
+            cxl.contended.makespan
+        );
     }
 
     #[test]

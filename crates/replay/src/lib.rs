@@ -51,6 +51,7 @@ pub use engine::{
     replay, replay_with, run_once, run_source, EventSpan, ReplayConfig, ReplayError, ReplayOutcome,
     ReplayRun, SourceRun, KINDS,
 };
+pub use mc_mpisim::CommMode;
 pub use search::{
     advisor_crosscheck, phase_profile, search, Crosscheck, SearchOutcome, SearchPoint,
 };

@@ -54,6 +54,59 @@ pub fn render(outcome: &ReplayOutcome, platform: &str) -> String {
     out
 }
 
+/// Render the messaging-vs-message-free head-to-head as deterministic
+/// text: the same trace replayed once per comm mode, compared against
+/// the uncontended baseline. `messages` and `cxl` must come from the
+/// same trace (the caller replays it twice). Same outcomes, same bytes.
+pub fn render_head_to_head(
+    messages: &ReplayOutcome,
+    cxl: &ReplayOutcome,
+    platform: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "comm-mode head-to-head — {} ranks, {} events on {}\n",
+        messages.ranks, messages.events, platform
+    ));
+    out.push_str(&format!(
+        "contended messaging    : {:.6} s  (slowdown {:.3}x)\n",
+        messages.contended.makespan, messages.slowdown
+    ));
+    out.push_str(&format!(
+        "contended message-free : {:.6} s  (slowdown {:.3}x)\n",
+        cxl.contended.makespan, cxl.slowdown
+    ));
+    out.push_str(&format!(
+        "uncontended baseline   : {:.6} s  (messaging, every stream alone)\n",
+        messages.baseline.makespan
+    ));
+    if messages.contended.makespan > 0.0 {
+        let ratio = cxl.contended.makespan / messages.contended.makespan;
+        if ratio < 1.0 {
+            out.push_str(&format!(
+                "verdict: message-free wins — {:.3}x the messaging makespan\n",
+                ratio
+            ));
+        } else {
+            out.push_str(&format!(
+                "verdict: messaging wins — message-free takes {:.3}x as long\n",
+                ratio
+            ));
+        }
+    }
+    out.push_str("busy seconds by event kind (messaging | message-free):\n");
+    for (i, kind) in KINDS.iter().enumerate() {
+        if messages.contended.busy[i] == 0.0 && cxl.contended.busy[i] == 0.0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "  {kind:<10} {:>12.6} | {:>12.6}\n",
+            messages.contended.busy[i], cxl.contended.busy[i]
+        ));
+    }
+    out
+}
+
 /// A one-line summary of a placement search, best first, byte-stable.
 pub fn render_search(search: &SearchOutcome) -> String {
     let mut out = String::new();
@@ -194,6 +247,38 @@ mod tests {
             "{a}"
         );
         assert!(a.contains("contention slowdown:"), "{a}");
+    }
+
+    #[test]
+    fn head_to_head_is_byte_stable_and_names_a_winner() {
+        use mc_mpisim::CommMode;
+        let trace = generate::halo2d(&GenParams {
+            ranks: 4,
+            iters: 1,
+            cores: 17,
+            compute_bytes: 512 << 20,
+            comm_bytes: 32 << 20,
+            ..GenParams::default()
+        });
+        let p = platforms::henri_cxl();
+        let messages = replay(&p, &trace, &ReplayConfig::default()).unwrap();
+        let cxl = replay(
+            &p,
+            &trace,
+            &ReplayConfig {
+                comm_mode: CommMode::Cxl,
+                ..ReplayConfig::default()
+            },
+        )
+        .unwrap();
+        let a = render_head_to_head(&messages, &cxl, "henri-cxl");
+        let b = render_head_to_head(&messages, &cxl, "henri-cxl");
+        assert_eq!(a, b);
+        assert!(a.starts_with("comm-mode head-to-head — 4 ranks,"), "{a}");
+        assert!(a.contains("verdict: message-free wins"), "{a}");
+        // The reversed comparison names the other winner.
+        let flipped = render_head_to_head(&cxl, &messages, "henri-cxl");
+        assert!(flipped.contains("verdict: messaging wins"), "{flipped}");
     }
 
     #[test]

@@ -120,6 +120,7 @@ fn alloc_for(node: &FleetNode, jobs: &[JobSpec], set: &[u32]) -> Vec<JobLoad> {
                 comm_numa: comm,
                 compute_bytes: prof.compute_bytes,
                 comm_bytes: prof.comm_bytes,
+                comm_pool: None,
             }
         })
         .collect()

@@ -7,8 +7,9 @@
 //! validates the result.
 
 use crate::behavior::{ArbitrationSpec, CoreStreamSpec, HwBehavior, MemCtrlSpec, NoiseSpec};
+use crate::cxl::CxlPool;
 use crate::error::TopologyError;
-use crate::ids::{NumaId, SocketId};
+use crate::ids::{NumaId, PoolId, SocketId};
 use crate::link::{InterSocketTech, PcieGen};
 use crate::machine::MachineTopology;
 use crate::nic::{NetworkTech, Nic};
@@ -54,6 +55,7 @@ pub struct PlatformBuilder {
     arbitration: ArbitrationSpec,
     noise: NoiseSpec,
     nic_numa_efficiency: Vec<f64>,
+    cxl_pools: Vec<CxlPool>,
 }
 
 /// Re-exported link technology under a builder-friendly name.
@@ -98,6 +100,7 @@ impl PlatformBuilder {
                 seed: 0x5EED,
             },
             nic_numa_efficiency: vec![],
+            cxl_pools: vec![],
         }
     }
 
@@ -194,10 +197,37 @@ impl PlatformBuilder {
         self
     }
 
+    /// Attach a CXL.mem pool: the hosting socket, the number of CXL
+    /// ports and per-port bandwidth (GB/s), the pool controller's
+    /// aggregate bandwidth (GB/s), the bandwidth one load/store stream
+    /// sustains (GB/s), and the one-way access latency in seconds.
+    /// Call repeatedly for several pools; ids are assigned in call
+    /// order.
+    pub fn cxl_pool(
+        mut self,
+        socket: u16,
+        ports: u16,
+        port_bandwidth: f64,
+        pool_bandwidth: f64,
+        stream_bandwidth: f64,
+        latency: f64,
+    ) -> Self {
+        self.cxl_pools.push(CxlPool {
+            id: PoolId::new(self.cxl_pools.len() as u16),
+            socket: SocketId::new(socket),
+            ports,
+            port_bandwidth,
+            pool_bandwidth,
+            stream_bandwidth,
+            latency,
+        });
+        self
+    }
+
     /// Assemble and validate the platform.
     pub fn build(self) -> Result<Platform, TopologyError> {
         let nic_numa = NumaId::new(self.nic_socket * self.numa_per_socket);
-        let topology = MachineTopology::homogeneous(
+        let mut topology = MachineTopology::homogeneous(
             self.name,
             self.processor,
             self.sockets,
@@ -214,6 +244,10 @@ impl PlatformBuilder {
                 closest_numa: nic_numa,
             },
         )?;
+        if !self.cxl_pools.is_empty() {
+            topology.cxl_pools = self.cxl_pools;
+            topology.validate()?;
+        }
         let mesh_capacity = self.mesh_capacity.unwrap_or_else(|| {
             // Default: the socket can absorb what all its controllers can,
             // up to a mild mesh limit.
@@ -278,6 +312,35 @@ mod tests {
             .processor("x", 0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn cxl_pools_are_attached_and_validated() {
+        let p = PlatformBuilder::new("pooled")
+            .cxl_pool(1, 4, 8.0, 24.0, 6.0, 0.4e-6)
+            .build()
+            .unwrap();
+        assert_eq!(p.topology.cxl_pools.len(), 1);
+        let pool = &p.topology.cxl_pools[0];
+        assert_eq!(pool.id.index(), 0);
+        assert_eq!(pool.socket, SocketId::new(1));
+        assert_eq!(pool.ports, 4);
+        // A degenerate pool bandwidth is rejected at build time.
+        let bad = PlatformBuilder::new("bad-pool")
+            .cxl_pool(0, 4, 0.0, 24.0, 6.0, 0.4e-6)
+            .build();
+        assert!(matches!(
+            bad,
+            Err(TopologyError::DegenerateBandwidth("cxl port bandwidth"))
+        ));
+        // So is a pool hanging off a socket the machine does not have.
+        let dangling = PlatformBuilder::new("dangling-pool")
+            .cxl_pool(7, 4, 8.0, 24.0, 6.0, 0.4e-6)
+            .build();
+        assert!(matches!(
+            dangling,
+            Err(TopologyError::DanglingReference("cxl pool socket"))
+        ));
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum TopologyError {
         /// Number of links found (expected exactly 1).
         count: usize,
     },
+    /// A link, NIC, or CXL pool declares a zero, negative, or
+    /// non-finite bandwidth (or latency) — a silent divide-by-zero
+    /// hazard if it ever reached the solver.
+    DegenerateBandwidth(&'static str),
 }
 
 impl fmt::Display for TopologyError {
@@ -42,6 +46,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::BadLinkCount { a, b, count } => {
                 write!(f, "{a} and {b} connected by {count} links, expected 1")
+            }
+            TopologyError::DegenerateBandwidth(what) => {
+                write!(f, "zero, negative, or non-finite value: {what}")
             }
         }
     }

@@ -74,6 +74,14 @@ id_type!(
     "link"
 );
 
+id_type!(
+    /// A CXL.mem pool: one fabric-attached memory device shared by the
+    /// node. Pools are numbered from 0 in
+    /// [`crate::machine::MachineTopology::cxl_pools`] order.
+    PoolId,
+    "pool"
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +92,7 @@ mod tests {
         assert_eq!(NumaId::new(3).to_string(), "numa3");
         assert_eq!(CoreId::new(17).to_string(), "core17");
         assert_eq!(LinkId::new(0).to_string(), "link0");
+        assert_eq!(PoolId::new(2).to_string(), "pool2");
     }
 
     #[test]

@@ -26,17 +26,22 @@
 
 pub mod behavior;
 pub mod builder;
+pub mod cxl;
 pub mod error;
+pub mod graph;
 pub mod ids;
 pub mod link;
 pub mod machine;
 pub mod nic;
+pub mod persist;
 pub mod platforms;
 
 pub use behavior::{ArbitrationSpec, CoreStreamSpec, HwBehavior, MemCtrlSpec, NoiseSpec};
 pub use builder::PlatformBuilder;
+pub use cxl::CxlPool;
 pub use error::TopologyError;
-pub use ids::{CoreId, LinkId, NumaId, SocketId};
+pub use graph::{CapacityRule, ResourceGraph, ResourceKind, ResourceNode, RouteSpec};
+pub use ids::{CoreId, LinkId, NumaId, PoolId, SocketId};
 pub use link::{InterSocketLink, InterSocketTech, PcieGen};
 pub use machine::{MachineTopology, NumaNode, Socket};
 pub use nic::{NetworkTech, Nic};

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cxl::CxlPool;
 use crate::error::TopologyError;
 use crate::ids::{CoreId, NumaId, SocketId};
 use crate::link::{InterSocketLink, InterSocketTech};
@@ -45,7 +46,10 @@ pub struct NumaNode {
 /// * every socket has the same number of cores and of NUMA nodes;
 /// * every pair of sockets is connected by exactly one inter-socket link;
 /// * the NIC is attached to an existing socket and its closest NUMA node
-///   belongs to that socket.
+///   belongs to that socket;
+/// * CXL pools are numbered densely, attach to existing sockets, and
+///   every bandwidth on a link, the NIC, or a pool is finite and
+///   positive.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MachineTopology {
     /// Machine name (Table I "Name" column).
@@ -58,6 +62,10 @@ pub struct MachineTopology {
     pub links: Vec<InterSocketLink>,
     /// The (single) high-performance NIC.
     pub nic: Nic,
+    /// CXL.mem pools attached to the node (usually empty; the paper's
+    /// Table I machines have none).
+    #[serde(default)]
+    pub cxl_pools: Vec<CxlPool>,
 }
 
 impl MachineTopology {
@@ -126,6 +134,7 @@ impl MachineTopology {
             numa_nodes: numa_vec,
             links,
             nic,
+            cxl_pools: Vec::new(),
         };
         machine.validate()?;
         Ok(machine)
@@ -188,6 +197,41 @@ impl MachineTopology {
             return Err(TopologyError::DanglingReference(
                 "nic numa not on nic socket",
             ));
+        }
+        // Bandwidths the solver divides by must be finite and positive —
+        // a zero or NaN capacity would silently poison every rate.
+        fn positive(what: &'static str, v: f64) -> Result<(), TopologyError> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(TopologyError::DegenerateBandwidth(what))
+            }
+        }
+        for l in &self.links {
+            positive("inter-socket link cpu bandwidth", l.cpu_bandwidth)?;
+            positive("inter-socket link dma bandwidth", l.dma_bandwidth)?;
+        }
+        positive("nic pcie bandwidth", self.nic.pcie.usable_bandwidth())?;
+        positive(
+            "nic wire bandwidth",
+            self.nic.tech.wire_rate() * self.nic.tech.protocol_efficiency(),
+        )?;
+        for (i, pool) in self.cxl_pools.iter().enumerate() {
+            if pool.id.index() != i {
+                return Err(TopologyError::NonDenseIds("cxl pool"));
+            }
+            if pool.socket.index() >= self.sockets.len() {
+                return Err(TopologyError::DanglingReference("cxl pool socket"));
+            }
+            if pool.ports == 0 {
+                return Err(TopologyError::DegenerateBandwidth("cxl pool has no ports"));
+            }
+            positive("cxl port bandwidth", pool.port_bandwidth)?;
+            positive("cxl pool bandwidth", pool.pool_bandwidth)?;
+            positive("cxl stream bandwidth", pool.stream_bandwidth)?;
+            if !(pool.latency.is_finite() && pool.latency >= 0.0) {
+                return Err(TopologyError::DegenerateBandwidth("cxl pool latency"));
+            }
         }
         Ok(())
     }

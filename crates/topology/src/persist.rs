@@ -1,0 +1,457 @@
+//! Plain-text persistence for platforms.
+//!
+//! A platform is the other artefact users archive next to their
+//! calibrated models: the machine they measured, including behavioural
+//! ground truth and any CXL.mem pools. The format mirrors
+//! `mc_core::persist` — a minimal `key = value` file with `[section]`
+//! headers, hand-rolled so the dependency set stays at the approved
+//! crates. Floats are printed with Rust's shortest round-tripping
+//! representation, so `from_text(to_text(p)) == p` bit for bit.
+
+use std::fmt::Write as _;
+
+use crate::behavior::{ArbitrationSpec, CoreStreamSpec, HwBehavior, MemCtrlSpec, NoiseSpec};
+use crate::cxl::CxlPool;
+use crate::ids::{NumaId, PoolId, SocketId};
+use crate::link::{InterSocketTech, PcieGen};
+use crate::machine::MachineTopology;
+use crate::nic::{NetworkTech, Nic};
+use crate::platforms::Platform;
+
+/// Errors when parsing a persisted platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// A required key is missing from a section.
+    MissingKey(&'static str),
+    /// A value failed to parse (line number, 1-based).
+    BadValue(usize),
+    /// A section header is missing, unknown, or duplicated.
+    BadSection(usize),
+    /// The parsed platform is structurally invalid.
+    Invalid(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::MissingKey(k) => write!(f, "missing key {k}"),
+            PersistError::BadValue(line) => write!(f, "bad value at line {line}"),
+            PersistError::BadSection(line) => write!(f, "bad section at line {line}"),
+            PersistError::Invalid(e) => write!(f, "invalid platform: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+fn link_tech_name(t: InterSocketTech) -> &'static str {
+    match t {
+        InterSocketTech::Upi => "upi",
+        InterSocketTech::Qpi => "qpi",
+        InterSocketTech::InfinityFabric => "infinity-fabric",
+        InterSocketTech::Ccpi2 => "ccpi2",
+    }
+}
+
+fn link_tech_parse(s: &str) -> Option<InterSocketTech> {
+    match s {
+        "upi" => Some(InterSocketTech::Upi),
+        "qpi" => Some(InterSocketTech::Qpi),
+        "infinity-fabric" => Some(InterSocketTech::InfinityFabric),
+        "ccpi2" => Some(InterSocketTech::Ccpi2),
+        _ => None,
+    }
+}
+
+fn net_tech_name(t: NetworkTech) -> &'static str {
+    match t {
+        NetworkTech::InfinibandFdr => "infiniband-fdr",
+        NetworkTech::InfinibandEdr => "infiniband-edr",
+        NetworkTech::InfinibandHdr => "infiniband-hdr",
+        NetworkTech::OmniPath100 => "omni-path-100",
+    }
+}
+
+fn net_tech_parse(s: &str) -> Option<NetworkTech> {
+    match s {
+        "infiniband-fdr" => Some(NetworkTech::InfinibandFdr),
+        "infiniband-edr" => Some(NetworkTech::InfinibandEdr),
+        "infiniband-hdr" => Some(NetworkTech::InfinibandHdr),
+        "omni-path-100" => Some(NetworkTech::OmniPath100),
+        _ => None,
+    }
+}
+
+/// Serialise a platform (topology, behaviour, CXL pools) to text.
+pub fn platform_to_text(p: &Platform) -> String {
+    let topo = &p.topology;
+    let b = &p.behavior;
+    let mut out = String::new();
+    let _ = writeln!(out, "# memory-contention platform");
+    let _ = writeln!(out, "[machine]");
+    let _ = writeln!(out, "name = {}", topo.name);
+    let _ = writeln!(out, "processor = {}", topo.sockets[0].processor);
+    let _ = writeln!(out, "sockets = {}", topo.sockets.len());
+    let _ = writeln!(out, "cores_per_socket = {}", topo.cores_per_socket());
+    let _ = writeln!(out, "numa_per_socket = {}", topo.numa_per_socket());
+    let total_mem: u32 = topo.numa_nodes.iter().map(|n| n.memory_gb).sum();
+    let _ = writeln!(out, "memory_gb = {total_mem}");
+    let _ = writeln!(out, "[link]");
+    let link = &topo.links[0];
+    let _ = writeln!(out, "tech = {}", link_tech_name(link.tech));
+    let _ = writeln!(out, "cpu_bandwidth = {}", link.cpu_bandwidth);
+    let _ = writeln!(out, "dma_bandwidth = {}", link.dma_bandwidth);
+    let _ = writeln!(out, "[nic]");
+    let _ = writeln!(out, "tech = {}", net_tech_name(topo.nic.tech));
+    let _ = writeln!(out, "socket = {}", topo.nic.socket.index());
+    let _ = writeln!(out, "pcie_generation = {}", topo.nic.pcie.generation);
+    let _ = writeln!(out, "pcie_lanes = {}", topo.nic.pcie.lanes);
+    let _ = writeln!(out, "closest_numa = {}", topo.nic.closest_numa.index());
+    let _ = writeln!(out, "[behavior]");
+    let _ = writeln!(out, "mem_ctrl_capacity = {}", b.mem_ctrl.base_capacity);
+    let knees: Vec<String> = b
+        .mem_ctrl
+        .contention_knees
+        .iter()
+        .map(|(n, p)| format!("{n}:{p}"))
+        .collect();
+    let _ = writeln!(out, "mem_ctrl_knees = {}", knees.join(","));
+    let _ = writeln!(
+        out,
+        "mem_ctrl_min_fraction = {}",
+        b.mem_ctrl.min_capacity_fraction
+    );
+    let _ = writeln!(out, "mesh_capacity = {}", b.mesh_capacity);
+    let _ = writeln!(out, "core_local = {}", b.core_stream.local_bandwidth);
+    let _ = writeln!(out, "core_remote = {}", b.core_stream.remote_bandwidth);
+    let _ = writeln!(out, "core_dropoff = {}", b.core_stream.scaling_dropoff);
+    let _ = writeln!(
+        out,
+        "dma_floor_fraction = {}",
+        b.arbitration.dma_floor_fraction
+    );
+    let _ = writeln!(
+        out,
+        "dma_accessor_weight = {}",
+        b.arbitration.dma_accessor_weight
+    );
+    if let Some(u0) = b.arbitration.soft_decay_start {
+        let _ = writeln!(out, "soft_decay_start = {u0}");
+    }
+    let _ = writeln!(
+        out,
+        "cross_traffic_pressure_factor = {}",
+        b.arbitration.cross_traffic_pressure_factor
+    );
+    let _ = writeln!(out, "noise_compute_sigma = {}", b.noise.compute_sigma);
+    let _ = writeln!(out, "noise_comm_sigma = {}", b.noise.comm_sigma);
+    let _ = writeln!(out, "noise_seed = {}", b.noise.seed);
+    if !b.nic_numa_efficiency.is_empty() {
+        let eff: Vec<String> = b.nic_numa_efficiency.iter().map(f64::to_string).collect();
+        let _ = writeln!(out, "nic_numa_efficiency = {}", eff.join(","));
+    }
+    for pool in &topo.cxl_pools {
+        let _ = writeln!(out, "[cxl_pool]");
+        let _ = writeln!(out, "socket = {}", pool.socket.index());
+        let _ = writeln!(out, "ports = {}", pool.ports);
+        let _ = writeln!(out, "port_bandwidth = {}", pool.port_bandwidth);
+        let _ = writeln!(out, "pool_bandwidth = {}", pool.pool_bandwidth);
+        let _ = writeln!(out, "stream_bandwidth = {}", pool.stream_bandwidth);
+        let _ = writeln!(out, "latency = {}", pool.latency);
+    }
+    out
+}
+
+/// One parsed section: raw string values plus the line each came from.
+#[derive(Default, Clone)]
+struct RawSection {
+    entries: Vec<(String, String, usize)>,
+}
+
+impl RawSection {
+    fn get(&self, key: &'static str) -> Result<(&str, usize), PersistError> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, line)| (v.as_str(), *line))
+            .ok_or(PersistError::MissingKey(key))
+    }
+
+    fn text(&self, key: &'static str) -> Result<String, PersistError> {
+        Ok(self.get(key)?.0.to_string())
+    }
+
+    fn f64(&self, key: &'static str) -> Result<f64, PersistError> {
+        let (v, line) = self.get(key)?;
+        let x: f64 = v.parse().map_err(|_| PersistError::BadValue(line))?;
+        // `str::parse::<f64>` happily accepts "NaN"/"inf"; a persisted
+        // platform must never smuggle non-finite values past validate().
+        if !x.is_finite() {
+            return Err(PersistError::BadValue(line));
+        }
+        Ok(x)
+    }
+
+    fn int(&self, key: &'static str) -> Result<u64, PersistError> {
+        let (v, line) = self.get(key)?;
+        v.parse().map_err(|_| PersistError::BadValue(line))
+    }
+
+    fn opt_f64(&self, key: &'static str) -> Result<Option<f64>, PersistError> {
+        if self.entries.iter().any(|(k, _, _)| k == key) {
+            Ok(Some(self.f64(key)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Parse the text format back into a platform (validated).
+pub fn platform_from_text(text: &str) -> Result<Platform, PersistError> {
+    let mut machine: Option<RawSection> = None;
+    let mut link: Option<RawSection> = None;
+    let mut nic: Option<RawSection> = None;
+    let mut behavior: Option<RawSection> = None;
+    let mut pools: Vec<RawSection> = Vec::new();
+    // Index into the logical section currently being filled.
+    enum Cur {
+        Machine,
+        Link,
+        Nic,
+        Behavior,
+        Pool(usize),
+        None,
+    }
+    let mut current = Cur::None;
+
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            let slot = |opt: &mut Option<RawSection>, cur| {
+                if opt.is_some() {
+                    Err(PersistError::BadSection(idx + 1))
+                } else {
+                    *opt = Some(RawSection::default());
+                    Ok(cur)
+                }
+            };
+            current = match section {
+                "machine" => slot(&mut machine, Cur::Machine)?,
+                "link" => slot(&mut link, Cur::Link)?,
+                "nic" => slot(&mut nic, Cur::Nic)?,
+                "behavior" => slot(&mut behavior, Cur::Behavior)?,
+                "cxl_pool" => {
+                    pools.push(RawSection::default());
+                    Cur::Pool(pools.len() - 1)
+                }
+                _ => return Err(PersistError::BadSection(idx + 1)),
+            };
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(PersistError::BadValue(idx + 1));
+        };
+        let entry = (key.trim().to_string(), value.trim().to_string(), idx + 1);
+        match current {
+            Cur::Machine => machine.as_mut().unwrap().entries.push(entry),
+            Cur::Link => link.as_mut().unwrap().entries.push(entry),
+            Cur::Nic => nic.as_mut().unwrap().entries.push(entry),
+            Cur::Behavior => behavior.as_mut().unwrap().entries.push(entry),
+            Cur::Pool(i) => pools[i].entries.push(entry),
+            Cur::None => return Err(PersistError::BadSection(idx + 1)),
+        }
+    }
+
+    let machine = machine.ok_or(PersistError::MissingKey("[machine]"))?;
+    let link = link.ok_or(PersistError::MissingKey("[link]"))?;
+    let nic = nic.ok_or(PersistError::MissingKey("[nic]"))?;
+    let behavior = behavior.ok_or(PersistError::MissingKey("[behavior]"))?;
+
+    let (tech_str, tech_line) = link.get("tech")?;
+    let link_tech = link_tech_parse(tech_str).ok_or(PersistError::BadValue(tech_line))?;
+    let (nic_tech_str, nic_tech_line) = nic.get("tech")?;
+    let nic_tech = net_tech_parse(nic_tech_str).ok_or(PersistError::BadValue(nic_tech_line))?;
+    let nic = Nic {
+        tech: nic_tech,
+        socket: SocketId::new(nic.int("socket")? as u16),
+        pcie: PcieGen {
+            generation: nic.int("pcie_generation")? as u8,
+            lanes: nic.int("pcie_lanes")? as u8,
+        },
+        closest_numa: NumaId::new(nic.int("closest_numa")? as u16),
+    };
+    let mut topology = MachineTopology::homogeneous(
+        machine.text("name")?,
+        machine.text("processor")?,
+        machine.int("sockets")? as u16,
+        machine.int("cores_per_socket")? as u16,
+        machine.int("numa_per_socket")? as u16,
+        machine.int("memory_gb")? as u32,
+        link_tech,
+        link.f64("cpu_bandwidth")?,
+        link.f64("dma_bandwidth")?,
+        nic,
+    )
+    .map_err(|e| PersistError::Invalid(e.to_string()))?;
+    for (i, sec) in pools.iter().enumerate() {
+        topology.cxl_pools.push(CxlPool {
+            id: PoolId::new(i as u16),
+            socket: SocketId::new(sec.int("socket")? as u16),
+            ports: sec.int("ports")? as u16,
+            port_bandwidth: sec.f64("port_bandwidth")?,
+            pool_bandwidth: sec.f64("pool_bandwidth")?,
+            stream_bandwidth: sec.f64("stream_bandwidth")?,
+            latency: sec.f64("latency")?,
+        });
+    }
+    topology
+        .validate()
+        .map_err(|e| PersistError::Invalid(e.to_string()))?;
+
+    let (knees_str, knees_line) = behavior.get("mem_ctrl_knees")?;
+    let mut contention_knees = Vec::new();
+    for part in knees_str.split(',').filter(|s| !s.is_empty()) {
+        let (n, p) = part
+            .split_once(':')
+            .ok_or(PersistError::BadValue(knees_line))?;
+        let n: u32 = n.parse().map_err(|_| PersistError::BadValue(knees_line))?;
+        let p: f64 = p.parse().map_err(|_| PersistError::BadValue(knees_line))?;
+        if !p.is_finite() {
+            return Err(PersistError::BadValue(knees_line));
+        }
+        contention_knees.push((n, p));
+    }
+    let nic_numa_efficiency = match behavior
+        .entries
+        .iter()
+        .find(|(k, _, _)| k == "nic_numa_efficiency")
+    {
+        Some((_, v, line)) => {
+            let mut eff = Vec::new();
+            for part in v.split(',').filter(|s| !s.is_empty()) {
+                let x: f64 = part.parse().map_err(|_| PersistError::BadValue(*line))?;
+                if !x.is_finite() {
+                    return Err(PersistError::BadValue(*line));
+                }
+                eff.push(x);
+            }
+            eff
+        }
+        None => Vec::new(),
+    };
+
+    Ok(Platform {
+        topology,
+        behavior: HwBehavior {
+            mem_ctrl: MemCtrlSpec {
+                base_capacity: behavior.f64("mem_ctrl_capacity")?,
+                contention_knees,
+                min_capacity_fraction: behavior.f64("mem_ctrl_min_fraction")?,
+            },
+            mesh_capacity: behavior.f64("mesh_capacity")?,
+            core_stream: CoreStreamSpec {
+                local_bandwidth: behavior.f64("core_local")?,
+                remote_bandwidth: behavior.f64("core_remote")?,
+                scaling_dropoff: behavior.f64("core_dropoff")?,
+            },
+            arbitration: ArbitrationSpec {
+                dma_floor_fraction: behavior.f64("dma_floor_fraction")?,
+                dma_accessor_weight: behavior.f64("dma_accessor_weight")?,
+                soft_decay_start: behavior.opt_f64("soft_decay_start")?,
+                cross_traffic_pressure_factor: behavior.f64("cross_traffic_pressure_factor")?,
+            },
+            noise: NoiseSpec {
+                compute_sigma: behavior.f64("noise_compute_sigma")?,
+                comm_sigma: behavior.f64("noise_comm_sigma")?,
+                seed: behavior.int("noise_seed")?,
+            },
+            nic_numa_efficiency,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms;
+
+    #[test]
+    fn round_trip_is_exact_on_every_platform() {
+        for p in platforms::extended() {
+            let text = platform_to_text(&p);
+            let back = platform_from_text(&text)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}\n{text}", p.name()));
+            assert_eq!(back, p, "{} did not round-trip", p.name());
+        }
+    }
+
+    #[test]
+    fn cxl_fields_are_persisted() {
+        let text = platform_to_text(&platforms::henri_cxl());
+        assert!(text.contains("[cxl_pool]"), "{text}");
+        assert!(text.contains("stream_bandwidth = 6"), "{text}");
+        let base = platform_to_text(&platforms::henri());
+        assert!(!base.contains("[cxl_pool]"));
+    }
+
+    #[test]
+    fn degenerate_pool_is_rejected_with_a_typed_error() {
+        let text = platform_to_text(&platforms::henri_cxl())
+            .replace("pool_bandwidth = 24", "pool_bandwidth = 0");
+        match platform_from_text(&text) {
+            Err(PersistError::Invalid(msg)) => {
+                assert!(msg.contains("cxl pool bandwidth"), "{msg}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected_with_line_numbers() {
+        let text = platform_to_text(&platforms::dahu());
+        let broken = text.replace("mesh_capacity = 76", "mesh_capacity = inf");
+        assert!(broken.contains("= inf"), "substitution must hit");
+        assert!(matches!(
+            platform_from_text(&broken),
+            Err(PersistError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn missing_sections_and_keys_are_reported() {
+        assert_eq!(
+            platform_from_text("# empty\n"),
+            Err(PersistError::MissingKey("[machine]"))
+        );
+        let text = platform_to_text(&platforms::henri()).replace("mesh_capacity", "mash_capacity");
+        assert_eq!(
+            platform_from_text(&text),
+            Err(PersistError::MissingKey("mesh_capacity"))
+        );
+    }
+
+    #[test]
+    fn unknown_or_duplicate_sections_are_rejected() {
+        assert_eq!(
+            platform_from_text("[surprise]\nx = 1\n"),
+            Err(PersistError::BadSection(1))
+        );
+        let text = platform_to_text(&platforms::henri());
+        let dup = format!("{text}[machine]\nname = again\n");
+        assert!(matches!(
+            platform_from_text(&dup),
+            Err(PersistError::BadSection(_))
+        ));
+    }
+
+    #[test]
+    fn key_before_any_section_is_rejected() {
+        assert_eq!(
+            platform_from_text("x = 1\n"),
+            Err(PersistError::BadSection(1))
+        );
+    }
+}

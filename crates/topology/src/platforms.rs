@@ -19,7 +19,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::behavior::{ArbitrationSpec, CoreStreamSpec, HwBehavior, MemCtrlSpec, NoiseSpec};
-use crate::ids::{NumaId, SocketId};
+use crate::cxl::CxlPool;
+use crate::ids::{NumaId, PoolId, SocketId};
 use crate::link::{InterSocketTech, PcieGen};
 use crate::machine::MachineTopology;
 use crate::nic::{NetworkTech, Nic};
@@ -409,6 +410,48 @@ pub fn grillon_nps4() -> Platform {
     }
 }
 
+/// Default CXL.mem pool used by the `*-cxl` platform variants: four
+/// CXL ports on the given socket, shaped after the single-device
+/// numbers of Vanecek et al. — one load/store stream sustains well
+/// below a NIC wire (≈ 6 GB/s), but the pool is reached without the
+/// NIC's DMA arbitration, so heavy compute cannot squeeze it to a
+/// floor.
+fn default_pool(socket: u16) -> CxlPool {
+    CxlPool {
+        id: PoolId::new(0),
+        socket: SocketId::new(socket),
+        ports: 4,
+        port_bandwidth: 8.0,
+        pool_bandwidth: 24.0,
+        stream_bandwidth: 6.0,
+        latency: 0.4e-6,
+    }
+}
+
+/// `henri-cxl`: the henri machine with one CXL.mem pool on socket 0 —
+/// the message-free communication scenario of Vanecek et al. run on
+/// the paper's primary testbed. Not part of Table I; exposed through
+/// [`extended`] only.
+pub fn henri_cxl() -> Platform {
+    let mut p = henri();
+    p.topology.name = "henri-cxl".into();
+    p.topology.cxl_pools.push(default_pool(0));
+    p.behavior.noise.seed = 0xEC;
+    p
+}
+
+/// `dahu-cxl`: the dahu machine with one CXL.mem pool on socket 0.
+/// With Omni-Path's onloaded NIC the messaging path is slower than on
+/// henri, shifting the messaging-vs-message-free crossover. Not part
+/// of Table I; exposed through [`extended`] only.
+pub fn dahu_cxl() -> Platform {
+    let mut p = dahu();
+    p.topology.name = "dahu-cxl".into();
+    p.topology.cxl_pools.push(default_pool(0));
+    p.behavior.noise.seed = 0xDC;
+    p
+}
+
 /// All six platforms, in the order of the paper's Table I.
 pub fn all() -> Vec<Platform> {
     vec![
@@ -422,10 +465,13 @@ pub fn all() -> Vec<Platform> {
 }
 
 /// Table I platforms plus the synthetic many-NUMA `grillon` machine that
-/// demonstrates the §IV-C1 limitation.
+/// demonstrates the §IV-C1 limitation and the CXL.mem pool variants
+/// `henri-cxl` / `dahu-cxl`.
 pub fn extended() -> Vec<Platform> {
     let mut v = all();
     v.push(grillon_nps4());
+    v.push(henri_cxl());
+    v.push(dahu_cxl());
     v
 }
 
@@ -508,6 +554,34 @@ mod tests {
         let eff = &g.behavior.nic_numa_efficiency;
         assert_eq!(eff.len(), 8);
         assert!(eff.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn cxl_variants_are_extended_only() {
+        for name in ["henri-cxl", "dahu-cxl"] {
+            assert!(all().iter().all(|p| p.name() != name));
+            assert!(extended().iter().any(|p| p.name() == name), "{name}");
+        }
+        for p in [henri_cxl(), dahu_cxl()] {
+            p.topology.validate().unwrap();
+            assert_eq!(p.topology.cxl_pools.len(), 1);
+            let pool = &p.topology.cxl_pools[0];
+            // One CXL stream is slower than the platform's NIC wire,
+            // but the ports and pool controller out-carry one stream:
+            // the crossover has to come from contention, not raw rates.
+            let wire = p.topology.nic.tech.wire_rate() * p.topology.nic.tech.protocol_efficiency();
+            assert!(pool.stream_bandwidth < wire);
+            assert!(pool.total_port_bandwidth() > pool.stream_bandwidth);
+            assert!(pool.pool_bandwidth > pool.stream_bandwidth);
+        }
+        // Apart from the pool, name, and seed, the variants are their
+        // base machines — the head-to-head comparison is apples to
+        // apples.
+        let (base, cxl) = (henri(), henri_cxl());
+        assert_eq!(base.topology.sockets, cxl.topology.sockets);
+        assert_eq!(base.topology.links, cxl.topology.links);
+        assert_eq!(base.topology.nic, cxl.topology.nic);
+        assert_eq!(base.behavior.mem_ctrl, cxl.behavior.mem_ctrl);
     }
 
     #[test]

@@ -6,14 +6,17 @@
 
 use proc_macro::TokenStream;
 
-/// Expands to nothing; `serde::Serialize` has a blanket impl.
-#[proc_macro_derive(Serialize)]
+/// Expands to nothing; `serde::Serialize` has a blanket impl. Registers
+/// the `#[serde(...)]` helper attribute like the real derive so field
+/// annotations (e.g. `#[serde(default)]`) parse.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Expands to nothing; `serde::Deserialize` has a blanket impl.
-#[proc_macro_derive(Deserialize)]
+/// Expands to nothing; `serde::Deserialize` has a blanket impl. Registers
+/// the `#[serde(...)]` helper attribute like the real derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
